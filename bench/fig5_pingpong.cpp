@@ -1,0 +1,76 @@
+// Figure 5 reproduction: "The effect of different reservation sizes for
+// the ping-pong MPICH-GQ program. Each line represents the throughput
+// achieved for a particular message size at different reservation sizes."
+//
+// Message sizes 8/40/80/120 Kb (paper's kilobits = 1/5/10/15 KB) under
+// heavy UDP contention; one-way reservation swept from 0.5 to 12 Mb/s.
+// Expected shape: throughput rises with reservation until "adequate" for
+// the message size, then flattens; under-reserved throughput is far below
+// the reservation itself (TCP back-off); larger messages plateau higher.
+#include "common.hpp"
+
+namespace mgq::bench {
+namespace {
+
+int run() {
+  banner("Figure 5: ping-pong throughput vs. reservation",
+         "message sizes 8/40/80/120 Kb, one-way reservation 0.5-12 Mb/s, "
+         "heavy UDP contention");
+
+  const std::vector<int> message_kilobits{8, 40, 80, 120};
+  const std::vector<double> reservations_kbps{
+      500, 1000, 2000, 3000, 4000, 6000, 8000, 10000, 12000, 16000, 20000};
+  const double seconds = 10.0;
+
+  util::Table table({"reservation_kbps", "8Kb_msgs", "40Kb_msgs",
+                     "80Kb_msgs", "120Kb_msgs"});
+  // curves[size][reservation index] = achieved one-way throughput.
+  std::vector<std::vector<double>> curves(message_kilobits.size());
+  for (double resv : reservations_kbps) {
+    std::vector<std::string> row{util::Table::num(resv, 0)};
+    for (std::size_t m = 0; m < message_kilobits.size(); ++m) {
+      const int bytes = message_kilobits[m] * 1000 / 8;
+      const double kbps = pingPongThroughputKbps(resv, bytes, seconds);
+      curves[m].push_back(kbps);
+      row.push_back(util::Table::num(kbps, 0));
+    }
+    table.addRow(row);
+  }
+  table.renderAscii(std::cout);
+  std::cout << "\n";
+
+  // Baseline without any reservation (paper: "performance is extremely
+  // poor in the first case").
+  const double no_resv_40kb =
+      pingPongThroughputKbps(0.0, 40 * 1000 / 8, seconds);
+  std::printf("no reservation, 40Kb messages: %.0f kb/s\n\n", no_resv_40kb);
+
+  for (std::size_t m = 0; m < curves.size(); ++m) {
+    const auto& c = curves[m];
+    const double first = c.front();
+    const double last = c.back();
+    check(last > 2.0 * first,
+          "curve rises substantially with reservation (" +
+              std::to_string(message_kilobits[m]) + "Kb messages)");
+    // Plateau: the last two points are within 30% of each other.
+    const double prev = c[c.size() - 2];
+    check(std::abs(last - prev) < 0.30 * last,
+          "curve flattens once the reservation is adequate (" +
+              std::to_string(message_kilobits[m]) + "Kb messages)");
+  }
+  // Under-reservation punishes beyond proportionality: at 500 kb/s
+  // reserved, achieved stays below the reservation (TCP back-off).
+  check(curves[1][0] < 500.0,
+        "under-reserved throughput below the reservation itself (40Kb)");
+  // Larger messages reach higher plateaus (paper's line ordering).
+  check(curves[3].back() > curves[0].back(),
+        "120Kb messages plateau above 8Kb messages");
+  check(no_resv_40kb < 0.3 * curves[1].back(),
+        "no reservation under contention is far below the reserved case");
+  return finish();
+}
+
+}  // namespace
+}  // namespace mgq::bench
+
+int main() { return mgq::bench::run(); }

@@ -1,0 +1,121 @@
+// Figure 7 reproduction: "TCP traces of two programs that each send at
+// 400Kb/s, but with very different burstiness characteristics. On the top
+// is a program sending 10 frames per second, and each frame is 40Kb. On
+// the bottom is a program sending just 1 frame per second, and the frame
+// is 400Kb."
+//
+// We trace the stream sequence number of every data segment the sender's
+// TCP connection emits during one second of steady state and print both
+// traces, plus burst statistics: the 10 fps program shows many small,
+// evenly spaced steps; the 1 fps program one large burst.
+#include "common.hpp"
+
+#include "mpi/world.hpp"
+
+namespace mgq::bench {
+namespace {
+
+struct BurstTrace {
+  std::vector<apps::SequenceTracer::Point> window;  // 1s steady state
+  int bursts = 0;          // clusters separated by >20 ms gaps
+  double largest_burst_bytes = 0;
+};
+
+BurstTrace runTrace(double fps, std::int64_t frame_bytes) {
+  apps::GarnetRig rig;
+  // No contention needed: burstiness is a property of the sender.
+  apps::SequenceTracer tracer;
+  apps::VisualizationStats stats;
+  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
+    if (comm.rank() == 0) {
+      apps::VisualizationConfig config;
+      config.frames_per_second = fps;
+      config.frame_bytes = frame_bytes;
+      co_await apps::visualizationSender(
+          comm, config, sim::TimePoint::fromSeconds(6.0), &stats);
+    } else {
+      co_await apps::visualizationReceiver(comm, &stats);
+    }
+  });
+  // Attach the tracer once the rank-0 -> rank-1 connection exists.
+  rig.sim.schedule(sim::Duration::millis(500), [&] {
+    auto* socket = rig.world.connectionSocket(0, 1);
+    if (socket != nullptr) tracer.attach(*socket);
+  });
+  rig.sim.runUntil(sim::TimePoint::fromSeconds(8.0));
+
+  BurstTrace result;
+  // Steady-state window [2s, 3s), re-based to 0.
+  std::uint64_t base_seq = 0;
+  for (const auto& p : tracer.series()) {
+    if (p.t_seconds < 2.0 || p.t_seconds >= 3.0) continue;
+    if (result.window.empty()) base_seq = p.seq;
+    auto q = p;
+    q.t_seconds -= 2.0;
+    q.seq -= base_seq;
+    result.window.push_back(q);
+  }
+  // Burst clustering by inter-segment gap.
+  double burst_bytes = 0;
+  double last_t = -1;
+  for (const auto& p : result.window) {
+    if (last_t < 0 || p.t_seconds - last_t > 0.020) {
+      ++result.bursts;
+      burst_bytes = 0;
+    }
+    burst_bytes += p.bytes;
+    result.largest_burst_bytes =
+        std::max(result.largest_burst_bytes, burst_bytes);
+    last_t = p.t_seconds;
+  }
+  return result;
+}
+
+void printTrace(const std::string& label, const BurstTrace& trace) {
+  std::cout << label << " — (time s, sequence Kb):\n";
+  util::Table table({"t_s", "seq_kb"});
+  // Downsample to at most ~40 points for readability.
+  const std::size_t stride = std::max<std::size_t>(1, trace.window.size() / 40);
+  for (std::size_t i = 0; i < trace.window.size(); i += stride) {
+    const auto& p = trace.window[i];
+    table.addRow({util::Table::num(p.t_seconds, 3),
+                  util::Table::num(static_cast<double>(p.seq) * 8 / 1000.0, 1)});
+  }
+  table.renderAscii(std::cout);
+  std::printf("bursts in 1 s: %d, largest burst: %.1f Kb\n\n", trace.bursts,
+              trace.largest_burst_bytes * 8 / 1000.0);
+}
+
+int run() {
+  banner("Figure 7: sequence-number traces at equal rate, different "
+         "burstiness",
+         "400 kb/s as 10 fps x 40 Kb frames vs 1 fps x 400 Kb frame; 1 s "
+         "window");
+
+  const auto smooth = runTrace(10.0, 40'000 / 8);   // 40 Kb frames
+  const auto bursty = runTrace(1.0, 400'000 / 8);   // one 400 Kb frame
+
+  printTrace("10 frames/second (top panel)", smooth);
+  printTrace("1 frame/second (bottom panel)", bursty);
+
+  check(smooth.bursts >= 8 && smooth.bursts <= 12,
+        "10 fps trace shows ~10 evenly spaced small bursts");
+  check(bursty.bursts <= 3, "1 fps trace is a single large burst");
+  check(bursty.largest_burst_bytes > 5.0 * smooth.largest_burst_bytes,
+        "the 1 fps burst is far larger than any 10 fps burst");
+  // Both moved the same amount of data across the second.
+  const double total_smooth =
+      smooth.window.empty() ? 0
+                            : static_cast<double>(smooth.window.back().seq);
+  const double total_bursty =
+      bursty.window.empty() ? 0
+                            : static_cast<double>(bursty.window.back().seq);
+  check(std::abs(total_smooth - total_bursty) < 0.3 * total_smooth,
+        "both programs send ~the same bytes per second (equal rate)");
+  return finish();
+}
+
+}  // namespace
+}  // namespace mgq::bench
+
+int main() { return mgq::bench::run(); }

@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrates:
+// event-queue operations, token-bucket conformance checks, classifier
+// lookup, end-to-end simulated TCP transfer speed, and MPI round trips.
+// These measure *simulator performance* (wall-clock cost per simulated
+// unit), which bounds how large an experiment the harness can run.
+#include <benchmark/benchmark.h>
+
+#include "apps/garnet_rig.hpp"
+#include "apps/workloads.hpp"
+#include "net/classifier.hpp"
+#include "sim/event_queue.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace mgq {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  const auto n = state.range(0);
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      queue.push(sim::TimePoint::zero() + sim::Duration::nanos(
+                                              static_cast<std::int64_t>(
+                                                  x % 1'000'000)),
+                 [] {});
+    }
+    while (!queue.empty()) queue.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1'000)->Arg(100'000);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 100'000) sim.schedule(sim::Duration::nanos(10), tick);
+    };
+    sim.schedule(sim::Duration::nanos(10), tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_TokenBucketTryConsume(benchmark::State& state) {
+  sim::Simulator sim;
+  net::TokenBucket bucket(sim, 1e12, 1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucket.tryConsume(100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenBucketTryConsume);
+
+void BM_DsPolicyProcess(benchmark::State& state) {
+  net::DsPolicy policy;
+  // A realistic edge: several premium rules, the matched one last.
+  for (int i = 0; i < state.range(0); ++i) {
+    net::MarkingRule rule;
+    rule.match.dst = static_cast<net::NodeId>(1000 + i);
+    rule.mark = net::Dscp::kExpedited;
+    policy.addRule(rule);
+  }
+  net::Packet packet;
+  packet.flow = net::FlowKey{1, static_cast<net::NodeId>(1000 + state.range(0) - 1),
+                             10, 20, net::Protocol::kTcp};
+  packet.size_bytes = 1500;
+  for (auto _ : state) {
+    auto out = policy.process(packet);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DsPolicyProcess)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TcpSimulatedTransfer(benchmark::State& state) {
+  // Wall-clock cost of simulating a 10 MB TCP transfer over a clean link.
+  const std::int64_t total = 10'000'000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    auto& a = net.addHost("a");
+    auto& b = net.addHost("b");
+    net::LinkConfig link;
+    link.rate_bps = 1e9;
+    net.connect(a, b, link);
+    net.computeRoutes();
+    tcp::TcpListener listener(b, 5000);
+    auto server = [](tcp::TcpListener& l, std::int64_t n) -> sim::Task<> {
+      auto s = co_await l.accept();
+      (void)co_await s->drain(n, false);
+    };
+    auto client = [](net::Host& h, net::NodeId dst, std::int64_t n)
+        -> sim::Task<> {
+      auto s = co_await tcp::TcpSocket::connect(h, dst, 5000);
+      co_await s->sendBulk(n);
+      co_await s->flush();
+    };
+    sim.spawn(server(listener, total));
+    sim.spawn(client(a, b.id(), total));
+    sim.run();
+  }
+  state.SetBytesProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_TcpSimulatedTransfer)->Unit(benchmark::kMillisecond);
+
+void BM_MpiPingPongRoundTrips(benchmark::State& state) {
+  // Wall-clock cost per simulated MPI round trip (1 KB messages).
+  for (auto _ : state) {
+    apps::GarnetRig rig;
+    apps::PingPongStats stats;
+    rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
+      co_await apps::runPingPong(comm, 1000, sim::TimePoint::fromSeconds(2),
+                                 comm.rank() == 0 ? &stats : nullptr);
+    });
+    rig.sim.runUntil(sim::TimePoint::fromSeconds(5));
+    benchmark::DoNotOptimize(stats.round_trips);
+  }
+  state.SetLabel("2 simulated seconds of ping-pong per iteration");
+}
+BENCHMARK(BM_MpiPingPongRoundTrips)->Unit(benchmark::kMillisecond);
+
+void BM_SlotTableAdmission(benchmark::State& state) {
+  gara::SlotTable table(1e9);
+  // Preload overlapping slots.
+  for (int i = 0; i < state.range(0); ++i) {
+    table.insert(sim::TimePoint::fromSeconds(i * 0.5),
+                 sim::TimePoint::fromSeconds(i * 0.5 + 10), 1e5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.available(sim::TimePoint::fromSeconds(5),
+                        sim::TimePoint::fromSeconds(15), 1e6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlotTableAdmission)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace mgq

@@ -1,0 +1,98 @@
+// Table 1 reproduction: "The reservation required to achieve a specified
+// throughput, for varying degrees of 'burstiness' (expressed in frames
+// per second) and token bucket sizes."
+//
+//   Bandwidth   |  normal bucket (bw/40)  | large bucket (bw/4)
+//   desired     |  10 fps   |  1 fps      | 1 fps
+//   400         |  500      |  750        | 500
+//   800         |  900      |  1450       | 900
+//   1600        |  1700     |  2700       | 1700
+//   2400        |  2500     |  3600       | 2500
+//
+// We search for the minimum reservation that achieves >= 99% of the
+// desired throughput. Expected shape: the very bursty (1 fps) traffic
+// with a normal bucket needs a substantially (paper: ~50%) larger
+// reservation; the large bucket removes the penalty. (Our TCP model uses
+// the RFC 2988 1-second minimum RTO, which punishes the bursty case even
+// harder than the paper's testbed did — the ordering is what matters.)
+#include "common.hpp"
+
+namespace mgq::bench {
+namespace {
+
+// Minimum reservation (kb/s) achieving >= 97% of `desired_kbps`, by
+// bisection on [desired, 4 * desired]. The 97% threshold sits above the
+// ~96.5% ceiling a reservation of exactly the application rate can reach
+// (TCP/IP header overhead), so "required" always exceeds the rate; a one
+// second snapshot grace forgives the final frame's in-flight tail.
+double requiredReservation(double desired_kbps, double fps,
+                           double bucket_divisor, double seconds = 20.0) {
+  const std::int64_t frame_bytes =
+      static_cast<std::int64_t>(desired_kbps * 1000.0 / 8.0 / fps);
+  auto achieves = [&](double reservation_kbps) {
+    const auto run = visualizationThroughput(reservation_kbps, fps,
+                                             frame_bytes, seconds,
+                                             bucket_divisor, 1,
+                                             /*snapshot_grace=*/1.0);
+    return run.delivered_kbps >= 0.97 * desired_kbps;
+  };
+  double lo = desired_kbps;        // never sufficient (overheads)
+  double hi = desired_kbps * 4.0;  // assumed sufficient
+  if (achieves(lo)) return lo;
+  if (!achieves(hi)) return hi * 1.2;  // out of range marker
+  for (int i = 0; i < 6; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (achieves(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+int run() {
+  banner("Table 1: reservation required vs. burstiness and bucket size",
+         "desired 400/800/1600/2400 kb/s; 10 fps vs 1 fps; bucket bw/40 "
+         "vs bw/4");
+
+  const std::vector<double> desired{400, 800, 1600, 2400};
+  util::Table table({"desired_kbps", "normal_10fps", "normal_1fps",
+                     "large_1fps"});
+  std::vector<double> normal10, normal1, large1;
+  for (double d : desired) {
+    const double n10 = requiredReservation(d, 10.0, 40.0);
+    const double n1 = requiredReservation(d, 1.0, 40.0);
+    const double l1 = requiredReservation(d, 1.0, 4.0);
+    normal10.push_back(n10);
+    normal1.push_back(n1);
+    large1.push_back(l1);
+    table.addRow({util::Table::num(d, 0), util::Table::num(n10, 0),
+                  util::Table::num(n1, 0), util::Table::num(l1, 0)});
+  }
+  table.renderAscii(std::cout);
+  std::cout << "\npaper's values (kb/s):\n"
+               "  400: 500 / 750 / 500\n"
+               "  800: 900 / 1450 / 900\n"
+               " 1600: 1700 / 2700 / 1700\n"
+               " 2400: 2500 / 3600 / 2500\n\n";
+
+  for (std::size_t i = 0; i < desired.size(); ++i) {
+    const auto label = util::Table::num(desired[i], 0) + " kb/s";
+    check(normal10[i] > desired[i],
+          "smooth traffic still needs > the application rate (" + label +
+              ")");
+    check(normal1[i] > 1.2 * normal10[i],
+          "very bursty traffic needs a much larger reservation with the "
+          "normal bucket (" + label + ")");
+    check(large1[i] < 1.15 * normal10[i],
+          "the large bucket removes the burstiness penalty (" + label +
+              ")");
+  }
+  return finish();
+}
+
+}  // namespace
+}  // namespace mgq::bench
+
+int main() { return mgq::bench::run(); }

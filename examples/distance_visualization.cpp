@@ -1,0 +1,95 @@
+// Distance visualization (paper §5.3): a scientist streams rendered
+// frames from a compute site to a display site at a fixed frame rate.
+// This example reproduces the paper's narrative interactively:
+//
+//   phase 1 (0-10 s):  clean network, stream runs at full rate;
+//   phase 2 (10-20 s): contention floods the shared bottleneck — frames
+//                      stall and the rate collapses;
+//   phase 3 (20-30 s): the application requests premium QoS through its
+//                      communicator attribute — the rate recovers.
+//
+// Run:  ./distance_visualization [frames_per_second] [frame_kB]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/garnet_rig.hpp"
+#include "apps/sampler.hpp"
+#include "gq/mpich_gq.hpp"
+
+using namespace mgq;
+
+int main(int argc, char** argv) {
+  const double fps = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const double frame_kb = argc > 2 ? std::atof(argv[2]) : 25.0;
+  const auto frame_bytes = static_cast<std::int64_t>(frame_kb * 1000);
+  const double target_kbps = fps * static_cast<double>(frame_bytes) * 8 / 1000;
+
+  std::printf("distance visualization: %.0f frames/s x %.0f kB = %.0f kb/s\n\n",
+              fps, frame_kb, target_kbps);
+
+  apps::GarnetRig rig;
+  apps::VisualizationStats stats;
+
+  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
+    if (comm.rank() == 0) {
+      apps::VisualizationConfig config;
+      config.frames_per_second = fps;
+      config.frame_bytes = frame_bytes;
+      co_await apps::visualizationSender(
+          comm, config, sim::TimePoint::fromSeconds(36), &stats);
+    } else {
+      co_await apps::visualizationReceiver(comm, &stats);
+    }
+  });
+
+  apps::BandwidthSampler sampler(
+      rig.sim, [&] { return stats.bytes_delivered; },
+      sim::Duration::seconds(1.0));
+  sampler.start();
+
+  // Phase 2: contention begins at t=10 s and saturates the bottleneck.
+  rig.sim.schedule(sim::Duration::seconds(10), [&] {
+    std::printf("t=10s  contention floods the bottleneck\n");
+    rig.startContention();
+  });
+  // Phase 3: the user asks for QoS at t=20 s with the usual 1.1x margin.
+  // That is enough for a flow starting fresh, but this flow is *behind*:
+  // the blocked sender keeps TCP continuously backlogged, its bursts
+  // overrun the policer, and goodput stalls near half the reservation
+  // (the paper's Figure 1 pathology at small scale).
+  rig.sim.schedule(sim::Duration::seconds(20), [&] {
+    std::printf("t=20s  requesting premium QoS via MPI_Attr_put (1.1x)\n");
+    auto& comm = rig.world.worldComm(0);
+    rig.premium_attr.qosclass = gq::QosClass::kPremium;
+    rig.premium_attr.bandwidth_kbps = target_kbps * 1.1;
+    rig.premium_attr.max_message_size = static_cast<int>(frame_bytes);
+    comm.attrPut(rig.agent.keyval(), &rig.premium_attr);
+  });
+  // Phase 4: re-putting the attribute with recovery headroom lets the
+  // backlogged flow work off its deficit and settle back into paced,
+  // drop-free operation.
+  rig.sim.schedule(sim::Duration::seconds(27), [&] {
+    std::printf("t=27s  re-putting the attribute with 2.2x headroom\n");
+    auto& comm = rig.world.worldComm(0);
+    rig.premium_attr.bandwidth_kbps = target_kbps * 2.2;
+    comm.attrPut(rig.agent.keyval(), &rig.premium_attr);
+  });
+
+  rig.sim.runUntil(sim::TimePoint::fromSeconds(36));
+
+  std::printf("\n time   delivered bandwidth\n");
+  for (const auto& p : sampler.series()) {
+    const int bars = static_cast<int>(p.kbps / target_kbps * 40);
+    std::printf("%5.0fs %8.0f kb/s  %.*s\n", p.t_seconds, p.kbps,
+                bars > 60 ? 60 : bars,
+                "############################################################");
+  }
+  std::printf("\nclean %.0f | contended %.0f | tight reservation %.0f | "
+              "with headroom %.0f (kb/s)\n",
+              sampler.meanKbps(2, 10), sampler.meanKbps(12, 20),
+              sampler.meanKbps(23, 27), sampler.meanKbps(30, 35));
+  const bool recovered =
+      sampler.meanKbps(30, 35) > 0.8 * sampler.meanKbps(2, 10);
+  std::printf("QoS recovery: %s\n", recovered ? "yes" : "no");
+  return recovered ? 0 : 1;
+}

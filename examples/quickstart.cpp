@@ -1,0 +1,60 @@
+// Quickstart: the MPICH-GQ workflow in ~60 lines of user code.
+//
+//  1. Build the GARNET testbed rig (network + GARA + MPI world + agent).
+//  2. Launch a two-rank MPI program.
+//  3. Saturate the bottleneck with best-effort contention.
+//  4. Request premium QoS by *putting an attribute on the communicator*
+//     (the paper's Figure 3 pattern) and check it was granted.
+//  5. Observe: with the reservation the application keeps its bandwidth.
+//
+// Run:  ./quickstart
+#include <cstdio>
+
+#include "apps/garnet_rig.hpp"
+#include "gq/mpich_gq.hpp"
+
+using namespace mgq;
+
+namespace {
+
+double pingPong(bool reserve) {
+  apps::GarnetRig rig;
+  rig.startContention();  // hostile best-effort traffic on the bottleneck
+
+  apps::PingPongStats stats;
+  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
+    if (reserve) {
+      // The MPICH-GQ pattern: fill a qos_attribute and put it on the
+      // communicator; the put triggers the reservation request.
+      static gq::QosAttribute qos;
+      qos.qosclass = gq::QosClass::kPremium;
+      qos.bandwidth_kbps = 5000.0;   // 5 Mb/s each way
+      qos.max_message_size = 10'000;
+      comm.attrPut(rig.agent.keyval(), &qos);
+
+      // MPI_Attr_get-style check of the outcome.
+      co_await rig.agent.awaitSettled(comm);
+      const auto status = rig.agent.status(comm);
+      std::printf("rank %d: QoS request %s\n", comm.rank(),
+                  gq::qosRequestStateName(status.state));
+    }
+    co_await apps::runPingPong(comm, 10'000, sim::TimePoint::fromSeconds(10),
+                               comm.rank() == 0 ? &stats : nullptr);
+  });
+  rig.sim.runUntil(sim::TimePoint::fromSeconds(60));
+  return stats.oneWayThroughputKbps(10.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MPICH-GQ quickstart: 10 KB ping-pong through a congested "
+              "bottleneck\n\n");
+  const double without = pingPong(false);
+  std::printf("\nwithout reservation: %8.0f kb/s one-way\n", without);
+  const double with = pingPong(true);
+  std::printf("with 5 Mb/s premium reservation: %8.0f kb/s one-way\n", with);
+  std::printf("\nQoS improved throughput by %.0fx\n",
+              with / (without > 0 ? without : 1.0));
+  return with > without ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "apps/garnet_rig.hpp"
+
+namespace mgq::apps {
+
+namespace {
+
+mpi::World::Config worldConfig(net::GarnetTopology& garnet,
+                               const tcp::TcpConfig& tcp) {
+  mpi::World::Config config;
+  config.hosts = {garnet.premium_src, garnet.premium_dst};
+  config.tcp = tcp;
+  return config;
+}
+
+gq::QosAgent::Config agentConfig(net::GarnetTopology& garnet) {
+  gq::QosAgent::Config config;
+  config.default_network_resource = "net-forward";
+  const auto src_id = garnet.premium_src->id();
+  const auto dst_id = garnet.premium_dst->id();
+  config.resource_resolver = [src_id, dst_id](const net::FlowKey& flow) {
+    if (flow.src == src_id) return std::string("net-forward");
+    if (flow.src == dst_id) return std::string("net-reverse");
+    return std::string();
+  };
+  return config;
+}
+
+}  // namespace
+
+GarnetRig::GarnetRig() : GarnetRig(Config{}) {}
+
+GarnetRig::GarnetRig(const Config& config)
+    : sim(config.seed),
+      garnet(sim, config.topology),
+      sender_cpu(sim, "sender-cpu"),
+      receiver_cpu(sim, "receiver-cpu"),
+      net_forward(config.topology.core_rate_bps *
+                      config.premium_capacity_fraction,
+                  *garnet.ingressEdgeInterface()),
+      net_reverse(config.topology.core_rate_bps *
+                      config.premium_capacity_fraction,
+                  *garnet.egressEdgeInterface()),
+      cpu_sender_rm(sender_cpu),
+      cpu_receiver_rm(receiver_cpu),
+      gara(sim),
+      world(sim, worldConfig(garnet, config.tcp)),
+      agent(world, gara, agentConfig(garnet)),
+      contention_sink(*garnet.competitive_dst, 9),
+      config_(config) {
+  gara.registerManager("net-forward", net_forward);
+  gara.registerManager("net-reverse", net_reverse);
+  gara.registerManager("cpu-sender", cpu_sender_rm);
+  gara.registerManager("cpu-receiver", cpu_receiver_rm);
+  garnet.premium_src->attachCpu(&sender_cpu);
+  garnet.premium_dst->attachCpu(&receiver_cpu);
+}
+
+void GarnetRig::startContention(double rate_bps) {
+  if (contention == nullptr) {
+    net::UdpTrafficGenerator::Config blast;
+    blast.rate_bps = rate_bps > 0.0 ? rate_bps
+                                    : config_.topology.core_rate_bps * 1.5;
+    contention = std::make_unique<net::UdpTrafficGenerator>(
+        *garnet.competitive_src, garnet.competitive_dst->id(), 9, blast);
+  }
+  contention->start();
+}
+
+void GarnetRig::stopContention() {
+  if (contention != nullptr) contention->stop();
+}
+
+sim::Task<bool> GarnetRig::requestPremium(mpi::Comm& comm,
+                                          double bandwidth_kbps,
+                                          int max_message_size,
+                                          double bucket_divisor) {
+  premium_attr.qosclass = gq::QosClass::kPremium;
+  premium_attr.bandwidth_kbps = bandwidth_kbps;
+  premium_attr.max_message_size = max_message_size;
+  premium_attr.bucket_divisor = bucket_divisor;
+  comm.attrPut(agent.keyval(), &premium_attr);
+  co_await agent.awaitSettled(comm);
+  co_return agent.status(comm).state == gq::QosRequestState::kGranted;
+}
+
+}  // namespace mgq::apps

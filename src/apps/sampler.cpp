@@ -1,0 +1,50 @@
+#include "apps/sampler.hpp"
+
+namespace mgq::apps {
+
+BandwidthSampler::BandwidthSampler(sim::Simulator& sim,
+                                   std::function<std::int64_t()> byte_counter,
+                                   sim::Duration interval)
+    : sim_(sim), counter_(std::move(byte_counter)), interval_(interval) {}
+
+void BandwidthSampler::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.spawn(run());
+}
+
+sim::Task<> BandwidthSampler::run() {
+  std::int64_t last = counter_();
+  while (running_) {
+    co_await sim_.delay(interval_);
+    if (!running_) co_return;
+    const auto now_bytes = counter_();
+    const double kbps = static_cast<double>(now_bytes - last) * 8.0 /
+                        interval_.toSeconds() / 1000.0;
+    series_.push_back(Point{sim_.now().toSeconds(), kbps});
+    last = now_bytes;
+  }
+}
+
+double BandwidthSampler::meanKbps(double from_seconds,
+                                  double to_seconds) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& p : series_) {
+    if (p.t_seconds > from_seconds && p.t_seconds <= to_seconds) {
+      sum += p.kbps;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+void SequenceTracer::attach(tcp::TcpSocket& socket) {
+  socket.on_segment_sent = [this](sim::TimePoint t, std::uint64_t seq,
+                                  std::int32_t bytes, bool retransmit) {
+    series_.push_back(
+        Point{t.toSeconds(), seq, bytes, retransmit});
+  };
+}
+
+}  // namespace mgq::apps

@@ -1,0 +1,102 @@
+// The paper's benchmark applications as reusable MPI workloads:
+//  * ping-pong (§5.2) — two processes exchanging fixed-size messages;
+//  * distance visualization (§5.3-5.5) — a fixed-rate frame stream with
+//    adjustable rate, frame size, and per-frame CPU work;
+//  * a finite-difference halo-exchange kernel (the §3 motivating
+//    example), usable both as an example application and a correctness
+//    test (it computes a real Jacobi iteration).
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/cpu_scheduler.hpp"
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+namespace mgq::apps {
+
+// --------------------------------------------------------------------------
+// Ping-pong (paper §5.2)
+// --------------------------------------------------------------------------
+
+struct PingPongStats {
+  std::int64_t round_trips = 0;
+  std::int64_t bytes_received = 0;  // grows monotonically; samplable
+
+  /// One-way application throughput in kb/s over `seconds`.
+  double oneWayThroughputKbps(double seconds) const {
+    return static_cast<double>(bytes_received) * 8.0 / seconds / 1000.0;
+  }
+};
+
+/// Runs the ping-pong on a two-party communicator until the simulated
+/// deadline. Rank 0 sends ping and awaits pong; rank 1 echoes. Both ranks
+/// call this; rank 1 returns after rank 0's stop marker.
+sim::Task<> runPingPong(mpi::Comm comm, std::int32_t message_bytes,
+                        sim::TimePoint until, PingPongStats* stats);
+
+// --------------------------------------------------------------------------
+// Distance visualization (paper §5.3)
+// --------------------------------------------------------------------------
+
+struct VisualizationConfig {
+  double frames_per_second = 10.0;
+  std::int64_t frame_bytes = 5'000;
+  /// Optional CPU work per frame on the sending host (paper §5.5: "do
+  /// some 'work' between sending frames").
+  cpu::CpuScheduler* cpu = nullptr;
+  cpu::JobId cpu_job = 0;
+  double cpu_seconds_per_frame = 0.0;
+};
+
+struct VisualizationStats {
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_delivered = 0;
+  std::int64_t bytes_delivered = 0;  // receiver side; samplable
+
+  double deliveredKbps(double seconds) const {
+    return static_cast<double>(bytes_delivered) * 8.0 / seconds / 1000.0;
+  }
+};
+
+/// Sender half (rank 0 of the communicator): emits frames at the target
+/// rate until the deadline, then a stop marker. If TCP back-pressure makes
+/// a frame late, the next frame goes out immediately (no catch-up bursts
+/// beyond the natural queue) — matching the paper's blocking sender.
+sim::Task<> visualizationSender(mpi::Comm comm, VisualizationConfig config,
+                                sim::TimePoint until,
+                                VisualizationStats* stats);
+/// Receiver half (rank 1): drains frames until the stop marker.
+sim::Task<> visualizationReceiver(mpi::Comm comm, VisualizationStats* stats);
+
+// --------------------------------------------------------------------------
+// Finite-difference stencil (paper §3's motivating application)
+// --------------------------------------------------------------------------
+
+struct FiniteDifferenceConfig {
+  int global_rows = 64;
+  int cols = 64;
+  int iterations = 50;
+  /// Optional per-iteration compute cost on each rank's host CPU.
+  cpu::CpuScheduler* cpu = nullptr;
+  cpu::JobId cpu_job = 0;
+  double cpu_seconds_per_iteration = 0.0;
+};
+
+struct FiniteDifferenceResult {
+  int iterations = 0;
+  double checksum = 0.0;          // sum over the final local block
+  std::int64_t halo_bytes = 0;    // halo traffic sent by this rank
+};
+
+/// Jacobi iteration on a 1-D row-decomposed grid with halo exchange.
+/// Boundary condition: top edge = 1, other edges = 0. All ranks call it;
+/// each returns its local result (checksums are combined via allreduce so
+/// every rank reports the same global checksum).
+sim::Task<FiniteDifferenceResult> runFiniteDifference(
+    mpi::Comm comm, FiniteDifferenceConfig config);
+
+/// Single-process reference for the same problem (test oracle).
+double finiteDifferenceReferenceChecksum(int rows, int cols, int iterations);
+
+}  // namespace mgq::apps

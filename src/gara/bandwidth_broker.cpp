@@ -1,0 +1,72 @@
+#include "gara/bandwidth_broker.hpp"
+
+#include <cassert>
+
+namespace mgq::gara {
+
+void BandwidthBroker::definePath(const std::string& name,
+                                 std::vector<std::string> resources) {
+  assert(!resources.empty());
+  for (const auto& resource : resources) {
+    (void)resource;  // used by the assert below only
+    assert(gara_->findManager(resource) != nullptr &&
+           "path references an unregistered resource");
+  }
+  paths_[name] = std::move(resources);
+}
+
+std::vector<std::string> BandwidthBroker::pathNames() const {
+  std::vector<std::string> names;
+  names.reserve(paths_.size());
+  for (const auto& [name, resources] : paths_) names.push_back(name);
+  return names;
+}
+
+BandwidthBroker::PathReservation BandwidthBroker::requestPath(
+    const std::string& path, const ReservationRequest& request) {
+  PathReservation result;
+  const auto it = paths_.find(path);
+  if (it == paths_.end()) {
+    result.error = "unknown path '" + path + "'";
+    return result;
+  }
+  std::vector<Gara::CoRequest> legs;
+  legs.reserve(it->second.size());
+  for (const auto& resource : it->second) {
+    legs.push_back({resource, request});
+  }
+  auto outcome = gara_->coReserve(legs);
+  if (!outcome) {
+    result.error = outcome.error;
+    return result;
+  }
+  result.handles = std::move(outcome.handles);
+  return result;
+}
+
+void BandwidthBroker::cancel(PathReservation& reservation) {
+  for (auto& handle : reservation.handles) gara_->cancel(handle);
+  reservation.handles.clear();
+}
+
+bool BandwidthBroker::modify(PathReservation& reservation,
+                             double new_amount) {
+  std::vector<double> previous;
+  previous.reserve(reservation.handles.size());
+  for (std::size_t i = 0; i < reservation.handles.size(); ++i) {
+    auto& handle = reservation.handles[i];
+    previous.push_back(handle->request().amount);
+    if (!gara_->modify(handle, new_amount)) {
+      // Roll back the legs already grown/shrunk.
+      for (std::size_t j = 0; j < i; ++j) {
+        const bool restored = gara_->modify(reservation.handles[j], previous[j]);
+        assert(restored && "rollback to a previously-held amount failed");
+        (void)restored;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mgq::gara

@@ -1,0 +1,148 @@
+#include "gara/gara.hpp"
+
+#include <cassert>
+
+namespace mgq::gara {
+
+const char* reservationStateName(ReservationState s) {
+  switch (s) {
+    case ReservationState::kPending:
+      return "pending";
+    case ReservationState::kActive:
+      return "active";
+    case ReservationState::kExpired:
+      return "expired";
+    case ReservationState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+void Reservation::transition(ReservationState next) {
+  const auto old = state_;
+  if (old == next) return;
+  state_ = next;
+  for (const auto& cb : callbacks_) cb(*this, old, next);
+}
+
+void Gara::registerManager(const std::string& name,
+                           ResourceManager& manager) {
+  const bool inserted = managers_.emplace(name, &manager).second;
+  assert(inserted && "duplicate resource name");
+  (void)inserted;
+}
+
+ResourceManager* Gara::findManager(const std::string& name) {
+  const auto it = managers_.find(name);
+  return it == managers_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Gara::resourceNames() const {
+  std::vector<std::string> names;
+  names.reserve(managers_.size());
+  for (const auto& [name, manager] : managers_) names.push_back(name);
+  return names;
+}
+
+ReserveOutcome Gara::reserve(const std::string& resource,
+                             ReservationRequest request) {
+  auto* manager = findManager(resource);
+  if (manager == nullptr) {
+    return {nullptr, "unknown resource '" + resource + "'"};
+  }
+  if (auto error = manager->validate(request); !error.empty()) {
+    return {nullptr, error};
+  }
+  if (request.start < sim_.now()) request.start = sim_.now();
+  const auto slot =
+      manager->slots().insert(request.start, endOf(request), request.amount);
+  if (slot == 0) {
+    return {nullptr, "admission control: insufficient capacity on '" +
+                         resource + "'"};
+  }
+  auto handle = std::make_shared<Reservation>(next_reservation_id_++,
+                                              request, *manager, slot);
+  if (request.start <= sim_.now()) {
+    activate(handle);
+  } else {
+    sim_.scheduleAt(request.start, [this, handle] {
+      if (handle->state() == ReservationState::kPending) activate(handle);
+    });
+  }
+  return {handle, {}};
+}
+
+Gara::CoOutcome Gara::coReserve(const std::vector<CoRequest>& requests) {
+  CoOutcome outcome;
+  for (const auto& co : requests) {
+    auto result = reserve(co.resource, co.request);
+    if (!result) {
+      // All-or-nothing: roll back everything granted so far.
+      for (auto& held : outcome.handles) cancel(held);
+      outcome.handles.clear();
+      outcome.error = "co-reservation failed on '" + co.resource +
+                      "': " + result.error;
+      return outcome;
+    }
+    outcome.handles.push_back(std::move(result.handle));
+  }
+  return outcome;
+}
+
+bool Gara::modify(const ReservationHandle& handle, double new_amount,
+                  double new_bucket_divisor) {
+  assert(handle != nullptr);
+  const auto state = handle->state();
+  if (state == ReservationState::kExpired ||
+      state == ReservationState::kCancelled) {
+    return false;
+  }
+  auto request = handle->request();
+  request.amount = new_amount;
+  if (new_bucket_divisor > 0.0) request.bucket_divisor = new_bucket_divisor;
+  if (auto error = handle->manager().validate(request); !error.empty()) {
+    return false;
+  }
+  if (!handle->manager().slots().modify(handle->slot(), request.start,
+                                        endOf(request), request.amount)) {
+    return false;
+  }
+  handle->updateRequest(request);
+  if (state == ReservationState::kActive) {
+    handle->manager().reconfigure(*handle);
+  }
+  return true;
+}
+
+void Gara::cancel(const ReservationHandle& handle) {
+  assert(handle != nullptr);
+  const auto state = handle->state();
+  if (state == ReservationState::kExpired ||
+      state == ReservationState::kCancelled) {
+    return;
+  }
+  if (state == ReservationState::kActive) {
+    handle->manager().release(*handle);
+  }
+  handle->manager().slots().remove(handle->slot());
+  handle->transition(ReservationState::kCancelled);
+}
+
+void Gara::activate(const ReservationHandle& handle) {
+  handle->manager().enforce(*handle);
+  handle->transition(ReservationState::kActive);
+  const auto end = endOf(handle->request());
+  if (handle->request().duration < sim::Duration::infinite()) {
+    sim_.scheduleAt(end, [this, handle] {
+      if (handle->state() == ReservationState::kActive) expire(handle);
+    });
+  }
+}
+
+void Gara::expire(const ReservationHandle& handle) {
+  handle->manager().release(*handle);
+  handle->manager().slots().remove(handle->slot());
+  handle->transition(ReservationState::kExpired);
+}
+
+}  // namespace mgq::gara

@@ -1,0 +1,80 @@
+// The GARA facade: uniform immediate/advance reservation, co-reservation,
+// modification, cancellation, and monitoring over registered resource
+// managers (paper §4.2).
+//
+// Timer-based callbacks "generate call-outs to resource-specific routines
+// to enable and cancel reservations": an admitted reservation is Pending
+// until its start time (enforcement installed by a timer), Active until
+// its end time, then Expired.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gara/reservation.hpp"
+#include "gara/resource_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgq::gara {
+
+class Gara {
+ public:
+  explicit Gara(sim::Simulator& sim) : sim_(sim) {}
+  Gara(const Gara&) = delete;
+  Gara& operator=(const Gara&) = delete;
+
+  /// Registers a manager under a resource name (e.g. "net-forward",
+  /// "cpu-sender"). The manager must outlive the Gara instance.
+  void registerManager(const std::string& name, ResourceManager& manager);
+  ResourceManager* findManager(const std::string& name);
+  std::vector<std::string> resourceNames() const;
+
+  /// Requests a reservation (immediate when request.start <= now). On
+  /// success the outcome carries a handle; on rejection, a reason.
+  ReserveOutcome reserve(const std::string& resource,
+                         ReservationRequest request);
+
+  /// All-or-nothing reservation across several resources — the paper's
+  /// end-to-end network + CPU co-reservation. On failure nothing is held.
+  struct CoRequest {
+    std::string resource;
+    ReservationRequest request;
+  };
+  struct CoOutcome {
+    std::vector<ReservationHandle> handles;
+    std::string error;
+    explicit operator bool() const { return error.empty(); }
+  };
+  CoOutcome coReserve(const std::vector<CoRequest>& requests);
+
+  /// Changes the amount (and bucket sizing) of a pending or active
+  /// reservation; returns false if the new amount does not fit.
+  bool modify(const ReservationHandle& handle, double new_amount,
+              double new_bucket_divisor = 0.0 /* keep */);
+
+  /// Cancels a pending or active reservation; enforcement is removed
+  /// immediately. Idempotent.
+  void cancel(const ReservationHandle& handle);
+
+  /// Polling-style monitoring, as in the paper's API.
+  ReservationState status(const ReservationHandle& handle) const {
+    return handle->state();
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  void activate(const ReservationHandle& handle);
+  void expire(const ReservationHandle& handle);
+  static sim::TimePoint endOf(const ReservationRequest& r) {
+    return r.start + r.duration;
+  }
+
+  sim::Simulator& sim_;
+  std::map<std::string, ResourceManager*> managers_;
+  std::uint64_t next_reservation_id_ = 1;
+};
+
+}  // namespace mgq::gara

@@ -1,0 +1,67 @@
+#include "gara/resource_manager.hpp"
+
+#include <cassert>
+
+namespace mgq::gara {
+
+// ---------------------------------------------------------------------------
+// NetworkResourceManager
+// ---------------------------------------------------------------------------
+
+std::string NetworkResourceManager::validate(
+    const ReservationRequest& request) const {
+  if (request.amount <= 0.0) return "network reservation needs amount > 0";
+  if (request.bucket_divisor <= 0.0) return "bucket divisor must be > 0";
+  return {};
+}
+
+void NetworkResourceManager::enforce(Reservation& reservation) {
+  auto& edge = attachPoint(reservation, *edge_);
+  const auto& req = reservation.request();
+  auto& sim = edge.owner().simulator();
+  reservation.bucket = std::make_shared<net::TokenBucket>(
+      sim, req.amount,
+      net::TokenBucket::depthForRate(req.amount, req.bucket_divisor));
+  net::MarkingRule rule;
+  rule.match = req.flow;
+  rule.mark = req.mark;
+  rule.bucket = reservation.bucket;
+  rule.out_action = req.out_action;
+  reservation.enforcement_rule_id = edge.ingressPolicy().addRule(rule);
+}
+
+void NetworkResourceManager::release(Reservation& reservation) {
+  if (reservation.enforcement_rule_id == 0) return;
+  auto& edge = attachPoint(reservation, *edge_);
+  edge.ingressPolicy().removeRule(reservation.enforcement_rule_id);
+  reservation.enforcement_rule_id = 0;
+  reservation.bucket.reset();
+}
+
+// ---------------------------------------------------------------------------
+// CpuResourceManager
+// ---------------------------------------------------------------------------
+
+std::string CpuResourceManager::validate(
+    const ReservationRequest& request) const {
+  if (request.amount <= 0.0 || request.amount > 1.0) {
+    return "cpu reservation amount must be a fraction in (0, 1]";
+  }
+  if (request.cpu_job == 0) return "cpu reservation needs a job id";
+  return {};
+}
+
+void CpuResourceManager::enforce(Reservation& reservation) {
+  const auto& req = reservation.request();
+  const bool ok = cpu_->setReservation(req.cpu_job, req.amount);
+  // The slot table capacity mirrors the scheduler's admission bound, so
+  // this cannot fail unless reservations were made behind GARA's back.
+  assert(ok && "scheduler rejected an admitted CPU reservation");
+  (void)ok;
+}
+
+void CpuResourceManager::release(Reservation& reservation) {
+  cpu_->clearReservation(reservation.request().cpu_job);
+}
+
+}  // namespace mgq::gara

@@ -1,0 +1,99 @@
+// Resource managers: the pluggable enforcement backends of GARA
+// (paper §4.2: "only certain elements of this resource manager need to be
+// replaced to instantiate a new resource interface").
+//
+// A manager owns a slot table (admission) and knows how to program its
+// device when a reservation activates: the DS network manager installs a
+// classifier rule plus token-bucket policer on an edge interface; the CPU
+// manager applies a DSRT reservation.
+#pragma once
+
+#include <string>
+
+#include "gara/reservation.hpp"
+#include "gara/slot_table.hpp"
+#include "net/node.hpp"
+
+namespace mgq::gara {
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(double capacity) : slots_(capacity) {}
+  virtual ~ResourceManager() = default;
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  virtual std::string type() const = 0;
+
+  /// Validates manager-specific request fields; returns an error string
+  /// (empty = OK). Called before slot-table admission.
+  virtual std::string validate(const ReservationRequest& request) const = 0;
+
+  /// Programs the device for an activating reservation.
+  virtual void enforce(Reservation& reservation) = 0;
+
+  /// Removes the device programming (expiry/cancel of an active
+  /// reservation).
+  virtual void release(Reservation& reservation) = 0;
+
+  /// Re-programs the device after a successful modify of an active
+  /// reservation. Default: release + enforce.
+  virtual void reconfigure(Reservation& reservation) {
+    release(reservation);
+    enforce(reservation);
+  }
+
+  SlotTable& slots() { return slots_; }
+  const SlotTable& slots() const { return slots_; }
+
+ private:
+  SlotTable slots_;
+};
+
+/// DS network manager: admission against the premium share of a bottleneck
+/// link; enforcement = classifier + token-bucket marker/policer installed
+/// on an edge interface's ingress policy (paper §5.1 mechanisms).
+class NetworkResourceManager : public ResourceManager {
+ public:
+  /// `premium_capacity_bps` bounds total admitted premium bandwidth (EF
+  /// must stay a bounded fraction of the link to avoid starving best
+  /// effort); `default_edge` is where rules are installed unless the
+  /// request overrides it.
+  NetworkResourceManager(double premium_capacity_bps,
+                         net::Interface& default_edge)
+      : ResourceManager(premium_capacity_bps), edge_(&default_edge) {}
+
+  std::string type() const override { return "network"; }
+  std::string validate(const ReservationRequest& request) const override;
+  void enforce(Reservation& reservation) override;
+  void release(Reservation& reservation) override;
+
+  net::Interface& defaultEdge() { return *edge_; }
+
+ private:
+  static net::Interface& attachPoint(Reservation& r,
+                                     net::Interface& fallback) {
+    return r.request().attach != nullptr ? *r.request().attach : fallback;
+  }
+  net::Interface* edge_;
+};
+
+/// DSRT CPU manager: admission against the schedulable fraction;
+/// enforcement = a soft real-time share pinned on the host scheduler.
+class CpuResourceManager : public ResourceManager {
+ public:
+  explicit CpuResourceManager(cpu::CpuScheduler& cpu)
+      : ResourceManager(cpu::CpuScheduler::maxReservable()), cpu_(&cpu) {}
+
+  std::string type() const override { return "cpu"; }
+  std::string validate(const ReservationRequest& request) const override;
+  void enforce(Reservation& reservation) override;
+  void release(Reservation& reservation) override;
+
+  cpu::CpuScheduler& scheduler() { return *cpu_; }
+
+ private:
+  cpu::CpuScheduler* cpu_;
+};
+
+}  // namespace mgq::gara

@@ -1,0 +1,58 @@
+#include "gara/slot_table.hpp"
+
+#include <cassert>
+
+namespace mgq::gara {
+
+SlotTable::SlotTable(double capacity) : capacity_(capacity) {
+  assert(capacity > 0.0);
+}
+
+double SlotTable::usedAt(sim::TimePoint t) const {
+  double used = 0.0;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.start <= t && t < slot.end) used += slot.amount;
+  }
+  return used;
+}
+
+bool SlotTable::available(sim::TimePoint start, sim::TimePoint end,
+                          double amount) const {
+  if (end <= start || amount < 0.0) return false;
+  if (amount > capacity_ + 1e-9) return false;
+  // Piecewise-constant usage: the maximum over [start, end) is attained at
+  // `start` or at some slot boundary inside the interval.
+  if (usedAt(start) + amount > capacity_ + 1e-9) return false;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.start > start && slot.start < end) {
+      if (usedAt(slot.start) + amount > capacity_ + 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+SlotId SlotTable::insert(sim::TimePoint start, sim::TimePoint end,
+                         double amount) {
+  if (!available(start, end, amount)) return 0;
+  const SlotId id = next_id_++;
+  slots_.emplace(id, Slot{start, end, amount});
+  return id;
+}
+
+bool SlotTable::remove(SlotId id) { return slots_.erase(id) != 0; }
+
+bool SlotTable::modify(SlotId id, sim::TimePoint start, sim::TimePoint end,
+                       double amount) {
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) return false;
+  const Slot saved = it->second;
+  slots_.erase(it);  // re-check admission without our own claim
+  if (!available(start, end, amount)) {
+    slots_.emplace(id, saved);
+    return false;
+  }
+  slots_.emplace(id, Slot{start, end, amount});
+  return true;
+}
+
+}  // namespace mgq::gara

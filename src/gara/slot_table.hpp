@@ -1,0 +1,58 @@
+// Slot table for admission control (paper §4.2: "This manager uses a slot
+// table to keep track of reservations").
+//
+// Capacity is a scalar resource amount (bits/second for a network link,
+// CPU fraction for a processor). A slot claims `amount` over [start, end);
+// admission requires that total claims never exceed capacity at any
+// instant of the requested interval — checked at the interval's event
+// points, which is exact for piecewise-constant usage.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace mgq::gara {
+
+using SlotId = std::uint64_t;
+
+class SlotTable {
+ public:
+  explicit SlotTable(double capacity);
+
+  double capacity() const { return capacity_; }
+
+  /// True when `amount` fits everywhere in [start, end).
+  bool available(sim::TimePoint start, sim::TimePoint end,
+                 double amount) const;
+
+  /// Claims the interval; returns 0 when it does not fit.
+  SlotId insert(sim::TimePoint start, sim::TimePoint end, double amount);
+
+  /// Releases a claim. Returns false for unknown ids.
+  bool remove(SlotId id);
+
+  /// Atomically replaces a slot's claim; on failure the original claim is
+  /// kept untouched.
+  bool modify(SlotId id, sim::TimePoint start, sim::TimePoint end,
+              double amount);
+
+  /// Total claimed amount at time `t`.
+  double usedAt(sim::TimePoint t) const;
+
+  std::size_t slotCount() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    sim::TimePoint start;
+    sim::TimePoint end;
+    double amount;
+  };
+
+  double capacity_;
+  std::unordered_map<SlotId, Slot> slots_;
+  SlotId next_id_ = 1;
+};
+
+}  // namespace mgq::gara

@@ -1,0 +1,22 @@
+#include "gq/negotiation.hpp"
+
+namespace mgq::gq {
+
+sim::Task<int> negotiateQos(QosAgent& agent, mpi::Comm& comm,
+                            std::vector<QosAttribute>& alternatives) {
+  for (std::size_t i = 0; i < alternatives.size(); ++i) {
+    comm.attrPut(agent.keyval(), &alternatives[i]);
+    co_await agent.awaitSettled(comm);
+    if (agent.status(comm).state == QosRequestState::kGranted) {
+      co_return static_cast<int>(i);
+    }
+  }
+  // Nothing fit: fall back to best effort explicitly so the communicator
+  // carries a truthful attribute.
+  static QosAttribute best_effort;  // all defaults = best effort
+  comm.attrPut(agent.keyval(), &best_effort);
+  co_await agent.awaitSettled(comm);
+  co_return -1;
+}
+
+}  // namespace mgq::gq

@@ -1,0 +1,23 @@
+// Startup-time QoS negotiation (paper §4.2 future work: "an MPI program
+// can select from among alternative resources, according to their
+// availability, and adapt execution strategies or change reservations if
+// reservations cannot be satisfied in full or are preempted").
+//
+// negotiateQos tries a ranked list of QoS alternatives on a communicator
+// and returns the index of the first one granted (-1 if none was; the
+// communicator is then left at best effort).
+#pragma once
+
+#include <vector>
+
+#include "gq/qos_agent.hpp"
+
+namespace mgq::gq {
+
+/// Tries `alternatives` in order via attrPut; returns the granted index
+/// or -1 (best effort). The attribute structs must outlive the
+/// communicator's use of them (MPI pointer semantics).
+sim::Task<int> negotiateQos(QosAgent& agent, mpi::Comm& comm,
+                            std::vector<QosAttribute>& alternatives);
+
+}  // namespace mgq::gq

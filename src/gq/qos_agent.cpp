@@ -1,0 +1,180 @@
+#include "gq/qos_agent.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace mgq::gq {
+
+const char* qosClassName(QosClass c) {
+  switch (c) {
+    case QosClass::kBestEffort:
+      return "best-effort";
+    case QosClass::kLowLatency:
+      return "low-latency";
+    case QosClass::kPremium:
+      return "premium";
+  }
+  return "?";
+}
+
+const char* qosRequestStateName(QosRequestState s) {
+  switch (s) {
+    case QosRequestState::kNone:
+      return "none";
+    case QosRequestState::kPending:
+      return "pending";
+    case QosRequestState::kGranted:
+      return "granted";
+    case QosRequestState::kDenied:
+      return "denied";
+    case QosRequestState::kReleased:
+      return "released";
+  }
+  return "?";
+}
+
+double protocolOverheadFactor(int max_message_size, int mss) {
+  if (max_message_size <= 0) return 1.06;  // paper's measured default
+  const double payload =
+      static_cast<double>(max_message_size) + mpi::WireHeader::kBytes;
+  const double segments = std::ceil(payload / mss);
+  const double wire =
+      payload + segments * (net::kIpHeaderBytes + net::kTcpHeaderBytes);
+  // Never below 3% — retransmissions and ACK-clock jitter always cost a
+  // little; the paper's empirical value was 6%.
+  return std::max(wire / max_message_size, 1.03);
+}
+
+QosAgent::QosAgent(mpi::World& world, gara::Gara& gara, Config config)
+    : world_(world), gara_(gara), config_(std::move(config)) {
+  // QoS attributes never propagate silently to duplicated communicators:
+  // reservations belong to the communicator they were requested on.
+  keyval_ = world_.attributes().create(
+      [](mpi::Comm&, mpi::Keyval, void*, void**) { return false; });
+  world_.attributes().setPutHook(
+      keyval_, [this](mpi::Comm& comm, mpi::Keyval, void* value) {
+        onPut(comm, value);
+      });
+}
+
+QosAgent::StatusKey QosAgent::keyOf(const mpi::Comm& comm) {
+  return {comm.context(), comm.worldRank(comm.rank())};
+}
+
+QosStatus QosAgent::status(const mpi::Comm& comm) const {
+  const auto it = statuses_.find(keyOf(comm));
+  return it == statuses_.end() ? QosStatus{} : it->second;
+}
+
+double QosAgent::networkReservationBps(const QosAttribute& attr) const {
+  const double overhead = attr.max_message_size > 0
+                              ? protocolOverheadFactor(attr.max_message_size)
+                              : config_.default_overhead;
+  return attr.bandwidth_kbps * 1000.0 * overhead;
+}
+
+std::string QosAgent::resourceFor(const net::FlowKey& flow) const {
+  if (config_.resource_resolver) {
+    auto name = config_.resource_resolver(flow);
+    if (!name.empty()) return name;
+  }
+  return config_.default_network_resource;
+}
+
+void QosAgent::onPut(mpi::Comm& comm, void* value) {
+  const auto key = keyOf(comm);
+  const auto generation = ++generations_[key];
+  release(comm);  // a re-put replaces the previous request
+
+  if (value == nullptr) return;
+  const auto attr = *static_cast<const QosAttribute*>(value);  // snapshot
+  if (attr.qosclass == QosClass::kBestEffort) {
+    statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}};
+    if (const auto it = settled_.find(key); it != settled_.end()) {
+      it->second->notifyAll();
+    }
+    return;
+  }
+  statuses_[key] = QosStatus{QosRequestState::kPending, {}, {}};
+  // The put itself is synchronous (MPI semantics); flow establishment and
+  // reservation proceed as a simulated process. attrGet / status() report
+  // the outcome, exactly as the paper describes. The generation must be
+  // bound here — the coroutine body runs later, when a re-put may already
+  // have superseded this request.
+  world_.simulator().spawn(applyQos(comm, attr, generation));
+}
+
+sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
+                               std::uint64_t generation) {
+  const auto key = keyOf(comm);
+  auto flows = co_await comm.establishOutgoingFlows();
+  if (generations_[key] != generation) co_return;  // superseded re-put
+
+  auto finish = [this, key](QosStatus status) {
+    statuses_[key] = std::move(status);
+    if (const auto it = settled_.find(key); it != settled_.end()) {
+      it->second->notifyAll();
+    }
+  };
+
+  if (flows.empty()) {
+    // All peers share this host; nothing to reserve on the network.
+    finish(QosStatus{QosRequestState::kGranted, {}, {}});
+    co_return;
+  }
+
+  std::vector<gara::Gara::CoRequest> requests;
+  requests.reserve(flows.size());
+  for (const auto& flow : flows) {
+    gara::ReservationRequest request;
+    request.start = world_.simulator().now();
+    request.amount = networkReservationBps(attr);
+    request.flow = net::FlowMatch::exact(flow);
+    request.bucket_divisor = attr.bucket_divisor;
+    if (attr.qosclass == QosClass::kPremium) {
+      request.mark = net::Dscp::kExpedited;
+      request.out_action = net::OutOfProfileAction::kDrop;
+    } else {  // low-latency: elevated queue, no hard policing
+      request.mark = net::Dscp::kLowLatency;
+      request.out_action = net::OutOfProfileAction::kDemote;
+    }
+    requests.push_back({resourceFor(flow), request});
+  }
+
+  auto outcome = gara_.coReserve(requests);
+  if (!outcome) {
+    MGQ_LOG(kInfo) << "QoS request denied for context " << comm.context()
+                   << ": " << outcome.error;
+    finish(QosStatus{QosRequestState::kDenied, outcome.error, {}});
+    co_return;
+  }
+  finish(QosStatus{QosRequestState::kGranted, {}, std::move(outcome.handles)});
+}
+
+sim::Task<> QosAgent::awaitSettled(const mpi::Comm& comm) {
+  const auto key = keyOf(comm);
+  auto [it, inserted] = settled_.try_emplace(key, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<sim::Condition>(world_.simulator());
+  }
+  auto* cond = it->second.get();
+  co_await awaitUntil(*cond, [this, key] {
+    const auto sit = statuses_.find(key);
+    return sit != statuses_.end() &&
+           sit->second.state != QosRequestState::kPending;
+  });
+}
+
+void QosAgent::release(const mpi::Comm& comm) {
+  const auto key = keyOf(comm);
+  const auto it = statuses_.find(key);
+  if (it == statuses_.end()) return;
+  for (auto& handle : it->second.reservations) {
+    gara_.cancel(handle);
+  }
+  it->second.reservations.clear();
+  it->second.state = QosRequestState::kReleased;
+}
+
+}  // namespace mgq::gq

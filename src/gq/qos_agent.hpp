@@ -1,0 +1,87 @@
+// The MPI QoS Agent (paper Figure 2): "incorporates the rules used to
+// translate application-level QoS specifications into the lower-level
+// commands and parameters required to implement QoS."
+//
+// Wiring: the agent registers the MPICH_GQ_QOS keyval and installs a put
+// hook, so MPI_Attr_put on any communicator *triggers* the QoS request
+// (§4.1). The agent then, asynchronously:
+//   1. extracts the communicator's flows (host/port tuples) by forcing
+//      connection establishment — each rank handles its own outgoing
+//      directions, matching diffserv's sender-side edge policing;
+//   2. translates the application rate to a network reservation using the
+//      protocol-overhead rule and the bucket-depth rule;
+//   3. requests an all-or-nothing co-reservation from GARA.
+// MPI_Attr_get (or status()) reports whether the requested QoS is in
+// place.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "gara/gara.hpp"
+#include "gq/qos_attribute.hpp"
+#include "mpi/world.hpp"
+
+namespace mgq::gq {
+
+class QosAgent {
+ public:
+  struct Config {
+    /// GARA resource used for a flow when `resource_resolver` is unset or
+    /// returns empty.
+    std::string default_network_resource;
+    /// Maps a concrete flow to the GARA network resource managing its
+    /// path (multi-domain deployments register one manager per edge).
+    std::function<std::string(const net::FlowKey&)> resource_resolver;
+    /// Fallback overhead multiplier when max_message_size is unknown
+    /// (the paper's measured value).
+    double default_overhead = 1.06;
+  };
+
+  /// Registers the QoS keyval on the world's attribute registry.
+  QosAgent(mpi::World& world, gara::Gara& gara, Config config);
+  QosAgent(const QosAgent&) = delete;
+  QosAgent& operator=(const QosAgent&) = delete;
+
+  /// The MPICH_GQ_QOS keyval: put a QosAttribute* on a communicator to
+  /// request QoS.
+  mpi::Keyval keyval() const { return keyval_; }
+
+  /// Current request state for this rank's view of the communicator.
+  QosStatus status(const mpi::Comm& comm) const;
+
+  /// Suspends until the request triggered by the last attrPut on `comm`
+  /// settles (granted or denied).
+  sim::Task<> awaitSettled(const mpi::Comm& comm);
+
+  /// Releases any reservations this rank holds for the communicator.
+  void release(const mpi::Comm& comm);
+
+  /// The reservation rate for an attribute: bandwidth × protocol
+  /// overhead (bits/second).
+  double networkReservationBps(const QosAttribute& attr) const;
+
+  gara::Gara& gara() { return gara_; }
+
+ private:
+  using StatusKey = std::pair<std::int32_t, int>;  // (context, world rank)
+  static StatusKey keyOf(const mpi::Comm& comm);
+
+  void onPut(mpi::Comm& comm, void* value);
+  /// `generation` is captured at put time: a later re-put supersedes this
+  /// request even if it is still establishing flows.
+  sim::Task<> applyQos(mpi::Comm comm, QosAttribute attr,
+                       std::uint64_t generation);
+  std::string resourceFor(const net::FlowKey& flow) const;
+
+  mpi::World& world_;
+  gara::Gara& gara_;
+  Config config_;
+  mpi::Keyval keyval_;
+  std::map<StatusKey, QosStatus> statuses_;
+  std::map<StatusKey, std::unique_ptr<sim::Condition>> settled_;
+  std::map<StatusKey, std::uint64_t> generations_;
+};
+
+}  // namespace mgq::gq

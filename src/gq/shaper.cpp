@@ -1,0 +1,50 @@
+#include "gq/shaper.hpp"
+
+#include <algorithm>
+
+namespace mgq::gq {
+
+ShapedSocket::ShapedSocket(tcp::TcpSocket& socket, double rate_bps,
+                           std::int64_t burst_bytes)
+    : socket_(socket), bucket_(socket.simulator(), rate_bps, burst_bytes) {}
+
+void ShapedSocket::configure(double rate_bps, std::int64_t burst_bytes) {
+  bucket_.configure(rate_bps, burst_bytes);
+}
+
+sim::Task<> ShapedSocket::conform(std::int64_t bytes) {
+  for (;;) {
+    const auto wait = bucket_.timeUntilConformant(bytes);
+    if (wait <= sim::Duration::zero()) break;
+    co_await socket_.simulator().delay(wait);
+  }
+  bucket_.forceConsume(bytes);
+}
+
+sim::Task<> ShapedSocket::send(std::span<const std::uint8_t> data) {
+  // Pace in MSS-sized chunks so the stream leaves the host smoothly
+  // rather than conforming one huge write at once.
+  const auto chunk_size =
+      static_cast<std::size_t>(std::max(socket_.config().mss, 512));
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const auto chunk = std::min(chunk_size, data.size() - offset);
+    co_await conform(static_cast<std::int64_t>(chunk));
+    co_await socket_.send(data.subspan(offset, chunk));
+    offset += chunk;
+  }
+}
+
+sim::Task<> ShapedSocket::sendBulk(std::int64_t bytes) {
+  const auto chunk_size =
+      static_cast<std::int64_t>(std::max(socket_.config().mss, 512));
+  std::int64_t remaining = bytes;
+  while (remaining > 0) {
+    const auto chunk = std::min(chunk_size, remaining);
+    co_await conform(chunk);
+    co_await socket_.sendBulk(chunk);
+    remaining -= chunk;
+  }
+}
+
+}  // namespace mgq::gq

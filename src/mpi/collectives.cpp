@@ -1,0 +1,210 @@
+// Collective operations over point-to-point messaging (binomial trees and
+// dissemination patterns, as in MPICH's TCP device). All collective
+// traffic uses the communicator's internal (shadow) context, so user
+// wildcard receives can never intercept it; per-pair TCP FIFO plus exact
+// (source, tag) matching makes consecutive collectives safe without
+// sequence numbers.
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "mpi/comm.hpp"
+#include "mpi/world.hpp"
+
+namespace mgq::mpi {
+
+namespace {
+// Tag layout for internal traffic: op * 64 + round.
+constexpr int kTagBarrier = 1 * 64;
+constexpr int kTagBcast = 2 * 64;
+constexpr int kTagReduce = 3 * 64;
+constexpr int kTagGather = 4 * 64;
+constexpr int kTagAlltoall = 5 * 64;
+constexpr int kTagScan = 6 * 64;
+}  // namespace
+
+void Comm::applyOp(std::vector<double>& acc, std::span<const double> in,
+                   ReduceOp op) {
+  assert(acc.size() == in.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum:
+        acc[i] += in[i];
+        break;
+      case ReduceOp::kMin:
+        acc[i] = std::min(acc[i], in[i]);
+        break;
+      case ReduceOp::kMax:
+        acc[i] = std::max(acc[i], in[i]);
+        break;
+      case ReduceOp::kProd:
+        acc[i] *= in[i];
+        break;
+    }
+  }
+}
+
+sim::Task<> Comm::barrier() {
+  assert(valid());
+  // Dissemination barrier: log2(size) rounds of shifted exchanges.
+  const std::vector<std::uint8_t> empty;
+  int round = 0;
+  for (int dist = 1; dist < size(); dist <<= 1, ++round) {
+    const int to = (my_rank_ + dist) % size();
+    const int from = (my_rank_ - dist + size()) % size();
+    const int tag = kTagBarrier + round;
+    auto req = isendInternal(to, tag, empty);
+    (void)co_await recvOnContext(internalContext(), from, tag);
+    co_await wait(std::move(req));
+  }
+}
+
+sim::Task<> Comm::bcast(std::vector<std::uint8_t>& data, int root) {
+  assert(valid());
+  assert(root >= 0 && root < size());
+  const int vrank = (my_rank_ - root + size()) % size();
+  // Receive from the parent (the lowest set bit determines it).
+  int mask = 1;
+  while (mask < size()) {
+    if (vrank & mask) {
+      const int vsrc = vrank - mask;
+      const int src = (vsrc + root) % size();
+      Message m = co_await recvOnContext(internalContext(), src, kTagBcast);
+      data = std::move(m.data);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children: all offsets below my lowest set bit (for the
+  // root, below the first power of two >= size).
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size()) {
+      const int vdst = vrank + mask;
+      const int dst = (vdst + root) % size();
+      co_await sendOnContext(internalContext(), dst, kTagBcast, data);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<std::vector<double>> Comm::reduce(
+    std::span<const double> contribution, ReduceOp op, int root) {
+  assert(valid());
+  std::vector<double> acc(contribution.begin(), contribution.end());
+  const int vrank = (my_rank_ - root + size()) % size();
+  for (int mask = 1; mask < size(); mask <<= 1) {
+    if (vrank & mask) {
+      const int vdst = vrank - mask;
+      const int dst = (vdst + root) % size();
+      co_await sendOnContext(internalContext(), dst, kTagReduce,
+                             packDoubles(acc));
+      break;
+    }
+    if (vrank + mask < size()) {
+      const int vsrc = vrank + mask;
+      const int src = (vsrc + root) % size();
+      Message m = co_await recvOnContext(internalContext(), src, kTagReduce);
+      const auto in = unpackDoubles(m.data);
+      if (in.size() != acc.size()) {
+        throw std::runtime_error("reduce: contribution size mismatch");
+      }
+      applyOp(acc, in, op);
+    }
+  }
+  if (my_rank_ != root) acc.clear();
+  co_return acc;
+}
+
+sim::Task<std::vector<double>> Comm::allreduce(
+    std::span<const double> contribution, ReduceOp op) {
+  auto result = co_await reduce(contribution, op, 0);
+  auto bytes = packDoubles(result);
+  co_await bcast(bytes, 0);
+  co_return unpackDoubles(bytes);
+}
+
+sim::Task<std::vector<std::uint8_t>> Comm::gather(
+    std::span<const std::uint8_t> contribution, int root) {
+  assert(valid());
+  if (my_rank_ != root) {
+    co_await sendOnContext(internalContext(), root, kTagGather, contribution);
+    co_return std::vector<std::uint8_t>{};
+  }
+  std::vector<std::uint8_t> out;
+  for (int r = 0; r < size(); ++r) {
+    if (r == my_rank_) {
+      out.insert(out.end(), contribution.begin(), contribution.end());
+    } else {
+      Message m = co_await recvOnContext(internalContext(), r, kTagGather);
+      out.insert(out.end(), m.data.begin(), m.data.end());
+    }
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<std::uint8_t>> Comm::allgather(
+    std::span<const std::uint8_t> contribution) {
+  auto gathered = co_await gather(contribution, 0);
+  co_await bcast(gathered, 0);
+  co_return gathered;
+}
+
+sim::Task<std::vector<std::uint8_t>> Comm::alltoall(
+    std::span<const std::uint8_t> contribution, std::size_t block) {
+  assert(valid());
+  if (contribution.size() != block * static_cast<std::size_t>(size())) {
+    throw std::runtime_error("alltoall: contribution must be size()*block");
+  }
+  // Post all receives, then send all blocks, then collect.
+  std::vector<Request> recvs;
+  for (int r = 0; r < size(); ++r) {
+    if (r == my_rank_) continue;
+    recvs.push_back(irecvInternal(r, kTagAlltoall));
+  }
+  std::vector<Request> sends;
+  for (int r = 0; r < size(); ++r) {
+    if (r == my_rank_) continue;
+    const auto* begin = contribution.data() + block * static_cast<std::size_t>(r);
+    sends.push_back(isendInternal(
+        r, kTagAlltoall, std::vector<std::uint8_t>(begin, begin + block)));
+  }
+  std::vector<std::uint8_t> out(block * static_cast<std::size_t>(size()));
+  // My own block.
+  std::copy_n(contribution.data() + block * static_cast<std::size_t>(my_rank_),
+              block, out.data() + block * static_cast<std::size_t>(my_rank_));
+  std::size_t idx = 0;
+  for (int r = 0; r < size(); ++r) {
+    if (r == my_rank_) continue;
+    Message m = co_await wait(recvs[idx++]);
+    if (m.data.size() != block) {
+      throw std::runtime_error("alltoall: block size mismatch");
+    }
+    std::copy_n(m.data.data(), block,
+                out.data() + block * static_cast<std::size_t>(m.source));
+  }
+  for (auto& s : sends) co_await wait(std::move(s));
+  co_return out;
+}
+
+sim::Task<std::vector<double>> Comm::scan(std::span<const double> contribution,
+                                          ReduceOp op) {
+  assert(valid());
+  std::vector<double> acc(contribution.begin(), contribution.end());
+  if (my_rank_ > 0) {
+    Message m =
+        co_await recvOnContext(internalContext(), my_rank_ - 1, kTagScan);
+    const auto prefix = unpackDoubles(m.data);
+    if (prefix.size() != acc.size()) {
+      throw std::runtime_error("scan: contribution size mismatch");
+    }
+    applyOp(acc, prefix, op);
+  }
+  if (my_rank_ + 1 < size()) {
+    co_await sendOnContext(internalContext(), my_rank_ + 1, kTagScan,
+                           packDoubles(acc));
+  }
+  co_return acc;
+}
+
+}  // namespace mgq::mpi

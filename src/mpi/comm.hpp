@@ -1,0 +1,161 @@
+// Communicators: process groups with an isolating context id, point-to-
+// point messaging, nonblocking requests, collectives, attribute storage,
+// and the communicator-derivation operations (dup, split, pair
+// intercommunicators) the paper's QoS targeting relies on ("by careful
+// creation of appropriate communicators, [one can] target both queries
+// and requests to specific links or sets of links").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/attributes.hpp"
+#include "mpi/message.hpp"
+#include "net/packet.hpp"
+#include "sim/condition.hpp"
+#include "sim/task.hpp"
+
+namespace mgq::net {
+class Host;
+}
+
+namespace mgq::mpi {
+
+class World;
+
+/// Nonblocking operation state (MPI_Request).
+struct RequestState {
+  bool done = false;
+  Message message;  // filled for receives
+  std::unique_ptr<sim::Condition> cond;
+};
+using Request = std::shared_ptr<RequestState>;
+
+/// Reduction operators for the typed collectives.
+enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+class Comm {
+ public:
+  Comm() = default;  // invalid communicator (size 0)
+
+  bool valid() const { return world_ != nullptr; }
+  int rank() const { return my_rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  std::int32_t context() const { return context_; }
+  World& world() const { return *world_; }
+  /// World rank of communicator rank `r`.
+  int worldRank(int r) const { return members_.at(static_cast<size_t>(r)); }
+  /// Host on which communicator rank `r` runs.
+  net::Host& hostOfRank(int r) const;
+
+  // --- point-to-point ----------------------------------------------------
+  sim::Task<> send(int dst, int tag, std::span<const std::uint8_t> data);
+  sim::Task<> send(int dst, int tag, const std::vector<std::uint8_t>& data) {
+    return send(dst, tag, std::span<const std::uint8_t>(data));
+  }
+  /// Sends `bytes` of zero payload (bulk benchmark traffic).
+  sim::Task<> sendZeros(int dst, int tag, std::int64_t bytes);
+  sim::Task<Message> recv(int src, int tag);
+  /// Convenience: receive and require an exact payload size.
+  sim::Task<Message> recvExpect(int src, int tag, std::size_t bytes);
+  /// Combined send+recv (deadlock-free pairwise exchange).
+  sim::Task<Message> sendrecv(int dst, int send_tag,
+                              std::span<const std::uint8_t> data, int src,
+                              int recv_tag);
+
+  Request isend(int dst, int tag, std::vector<std::uint8_t> data);
+  Request irecv(int src, int tag);
+  sim::Task<Message> wait(Request request);
+  bool test(const Request& request) const { return request->done; }
+  /// Non-blocking probe for a matching queued message.
+  bool iprobe(int src, int tag) const;
+
+  // --- collectives ---------------------------------------------------------
+  sim::Task<> barrier();
+  /// Root's `data` is distributed; non-roots receive into `data`.
+  sim::Task<> bcast(std::vector<std::uint8_t>& data, int root);
+  sim::Task<std::vector<double>> reduce(std::span<const double> contribution,
+                                        ReduceOp op, int root);
+  sim::Task<std::vector<double>> allreduce(
+      std::span<const double> contribution, ReduceOp op);
+  /// Root receives all contributions concatenated in rank order; others
+  /// get an empty vector.
+  sim::Task<std::vector<std::uint8_t>> gather(
+      std::span<const std::uint8_t> contribution, int root);
+  sim::Task<std::vector<std::uint8_t>> allgather(
+      std::span<const std::uint8_t> contribution);
+  /// contribution.size() == size() blocks of `block` bytes; returns my
+  /// received blocks concatenated in rank order.
+  sim::Task<std::vector<std::uint8_t>> alltoall(
+      std::span<const std::uint8_t> contribution, std::size_t block);
+  /// Inclusive prefix reduction.
+  sim::Task<std::vector<double>> scan(std::span<const double> contribution,
+                                      ReduceOp op);
+
+  // --- topology-aware collectives (extension) ------------------------------
+  // The MPICH-G project's hierarchy-exploiting collectives (paper's
+  // reference [23]): ranks co-located on a host form a group with a
+  // leader; wide-area links are crossed once per remote host instead of
+  // O(log P) times with arbitrary rank placement.
+  sim::Task<> bcastTopologyAware(std::vector<std::uint8_t>& data, int root);
+  sim::Task<std::vector<double>> reduceTopologyAware(
+      std::span<const double> contribution, ReduceOp op, int root);
+
+  // --- attributes ----------------------------------------------------------
+  /// Stores `value` under `k` and fires the keyval's put hook (the
+  /// MPICH-GQ trigger). Returns false for unknown keyvals.
+  bool attrPut(Keyval k, void* value);
+  /// Retrieves the attribute; `flag` semantics of MPI_Attr_get.
+  bool attrGet(Keyval k, void** value) const;
+  bool attrDelete(Keyval k);
+
+  // --- derivation ------------------------------------------------------------
+  /// Collective: duplicate this communicator (attributes propagate through
+  /// their copy callbacks).
+  sim::Task<Comm> dup();
+  /// Collective: partition by color (color < 0 yields an invalid comm for
+  /// that rank); ranks ordered by (key, parent rank).
+  sim::Task<Comm> split(int color, int key);
+  /// Collective between `rank()` and `other`: a two-party communicator
+  /// (the paper's QoS unit). Both parties call it with each other's rank.
+  sim::Task<Comm> createPair(int other);
+
+  // --- QoS support -------------------------------------------------------
+  /// Ensures TCP connections from this rank to every other member exist
+  /// and returns their flow keys (my outgoing directions). This is the
+  /// paper's "extract the necessary information (basically port and
+  /// machine names) from a communicator".
+  sim::Task<std::vector<net::FlowKey>> establishOutgoingFlows();
+
+ private:
+  friend class World;
+  Comm(World& world, std::int32_t context, std::vector<int> members,
+       int my_rank)
+      : world_(&world),
+        context_(context),
+        members_(std::move(members)),
+        my_rank_(my_rank) {}
+
+  /// Collectives and derivation traffic run on a shadow context so user
+  /// wildcard receives can never match them.
+  std::int32_t internalContext() const { return context_ | 0x40000000; }
+
+  sim::Task<> sendOnContext(std::int32_t ctx, int dst, int tag,
+                            std::span<const std::uint8_t> data);
+  sim::Task<Message> recvOnContext(std::int32_t ctx, int src, int tag);
+  Request isendInternal(int dst, int tag, std::vector<std::uint8_t> data);
+  Request irecvInternal(int src, int tag);
+  static void applyOp(std::vector<double>& acc, std::span<const double> in,
+                      ReduceOp op);
+
+  World* world_ = nullptr;
+  std::int32_t context_ = 0;
+  std::vector<int> members_;  // world ranks, index = comm rank
+  int my_rank_ = -1;
+  std::map<Keyval, void*> attrs_;
+};
+
+}  // namespace mgq::mpi

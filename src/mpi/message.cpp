@@ -1,0 +1,41 @@
+#include "mpi/message.hpp"
+
+#include <cassert>
+
+namespace mgq::mpi {
+
+namespace {
+
+template <typename T>
+void put(std::span<std::uint8_t> out, std::size_t offset, T value) {
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::uint8_t> in, std::size_t offset) {
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void WireHeader::encode(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kBytes);
+  put(out, 0, context);
+  put(out, 4, source);
+  put(out, 8, tag);
+  put(out, 12, length);
+}
+
+WireHeader WireHeader::decode(std::span<const std::uint8_t> in) {
+  assert(in.size() >= kBytes);
+  WireHeader h;
+  h.context = get<std::int32_t>(in, 0);
+  h.source = get<std::int32_t>(in, 4);
+  h.tag = get<std::int32_t>(in, 8);
+  h.length = get<std::int64_t>(in, 12);
+  return h;
+}
+
+}  // namespace mgq::mpi

@@ -1,0 +1,146 @@
+// Topology-aware collectives: two-level trees grouping ranks by host.
+//
+// Grouping is computed identically on every rank from the world's
+// rank-to-host binding, so no extra communication is needed to agree on
+// leaders. The root's own group is led by the root; every other group is
+// led by its lowest rank.
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "mpi/comm.hpp"
+#include "mpi/world.hpp"
+
+namespace mgq::mpi {
+
+namespace {
+constexpr int kTagBcastTopo = 7 * 64;
+constexpr int kTagReduceTopo = 8 * 64;
+
+/// Host groups in deterministic order (by lowest member rank), with the
+/// root promoted to leader of its own group.
+struct Grouping {
+  std::vector<std::vector<int>> groups;  // comm ranks, leader first
+  int my_group = -1;
+  int root_group = -1;
+};
+
+Grouping groupByHost(const Comm& comm, int root) {
+  std::map<const net::Host*, std::vector<int>> by_host;
+  for (int r = 0; r < comm.size(); ++r) {
+    by_host[&comm.hostOfRank(r)].push_back(r);
+  }
+  Grouping g;
+  for (auto& [host, members] : by_host) {
+    // Leader first: the root if present, else the lowest rank (members
+    // are already sorted ascending).
+    auto leader_it = std::find(members.begin(), members.end(), root);
+    if (leader_it != members.end()) {
+      std::iter_swap(members.begin(), leader_it);
+    }
+    g.groups.push_back(members);
+  }
+  // Deterministic group order: by lowest world rank of the group's host
+  // binding — use the smallest member rank for ordering.
+  std::sort(g.groups.begin(), g.groups.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return *std::min_element(a.begin(), a.end()) <
+                     *std::min_element(b.begin(), b.end());
+            });
+  for (std::size_t i = 0; i < g.groups.size(); ++i) {
+    for (int member : g.groups[i]) {
+      if (member == comm.rank()) g.my_group = static_cast<int>(i);
+      if (member == root) g.root_group = static_cast<int>(i);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+sim::Task<> Comm::bcastTopologyAware(std::vector<std::uint8_t>& data,
+                                     int root) {
+  assert(valid());
+  const auto grouping = groupByHost(*this, root);
+  const auto& my_group =
+      grouping.groups[static_cast<std::size_t>(grouping.my_group)];
+  const int my_leader = my_group.front();
+
+  if (my_rank_ == root) {
+    // Stage 1: one wide-area send per remote host group.
+    for (const auto& group : grouping.groups) {
+      const int leader = group.front();
+      if (leader == root) continue;
+      co_await sendOnContext(internalContext(), leader, kTagBcastTopo, data);
+    }
+  } else if (my_rank_ == my_leader) {
+    Message m =
+        co_await recvOnContext(internalContext(), root, kTagBcastTopo);
+    data = std::move(m.data);
+  }
+
+  // Stage 2: leaders relay within their (loopback-cheap) host group.
+  if (my_rank_ == my_leader) {
+    for (int member : my_group) {
+      if (member == my_leader) continue;
+      co_await sendOnContext(internalContext(), member, kTagBcastTopo, data);
+    }
+  } else {
+    Message m = co_await recvOnContext(internalContext(), my_leader,
+                                       kTagBcastTopo);
+    data = std::move(m.data);
+  }
+}
+
+sim::Task<std::vector<double>> Comm::reduceTopologyAware(
+    std::span<const double> contribution, ReduceOp op, int root) {
+  assert(valid());
+  const auto grouping = groupByHost(*this, root);
+  const auto& my_group =
+      grouping.groups[static_cast<std::size_t>(grouping.my_group)];
+  const int my_leader = my_group.front();
+
+  std::vector<double> acc(contribution.begin(), contribution.end());
+
+  if (my_rank_ != my_leader) {
+    // Stage 1: members push to their local leader.
+    co_await sendOnContext(internalContext(), my_leader, kTagReduceTopo,
+                           packDoubles(acc));
+    co_return std::vector<double>{};
+  }
+
+  // Leaders combine their local group's contributions in rank order.
+  for (int member : my_group) {
+    if (member == my_leader) continue;
+    Message m = co_await recvOnContext(internalContext(), member,
+                                       kTagReduceTopo);
+    const auto in = unpackDoubles(m.data);
+    if (in.size() != acc.size()) {
+      throw std::runtime_error("reduceTopologyAware: size mismatch");
+    }
+    applyOp(acc, in, op);
+  }
+
+  if (my_rank_ == root) {
+    // Stage 2: the root combines the remote leaders' partials, in group
+    // order (deterministic on every rank).
+    for (const auto& group : grouping.groups) {
+      const int leader = group.front();
+      if (leader == root) continue;
+      Message m = co_await recvOnContext(internalContext(), leader,
+                                         kTagReduceTopo);
+      const auto in = unpackDoubles(m.data);
+      if (in.size() != acc.size()) {
+        throw std::runtime_error("reduceTopologyAware: size mismatch");
+      }
+      applyOp(acc, in, op);
+    }
+    co_return acc;
+  }
+
+  co_await sendOnContext(internalContext(), root, kTagReduceTopo,
+                         packDoubles(acc));
+  co_return std::vector<double>{};
+}
+
+}  // namespace mgq::mpi

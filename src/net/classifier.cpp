@@ -1,0 +1,45 @@
+#include "net/classifier.hpp"
+
+#include <algorithm>
+
+namespace mgq::net {
+
+std::uint64_t DsPolicy::addRule(MarkingRule rule) {
+  rule.rule_id = next_rule_id_++;
+  rules_.push_back(std::move(rule));
+  return rules_.back().rule_id;
+}
+
+bool DsPolicy::removeRule(std::uint64_t rule_id) {
+  const auto before = rules_.size();
+  std::erase_if(rules_,
+                [rule_id](const MarkingRule& r) { return r.rule_id == rule_id; });
+  return rules_.size() != before;
+}
+
+void DsPolicy::clear() { rules_.clear(); }
+
+std::optional<Packet> DsPolicy::process(Packet p) {
+  ++stats_.classified;
+  for (auto& rule : rules_) {
+    if (!rule.match.matches(p.flow)) continue;
+    if (!rule.bucket || rule.bucket->tryConsume(p.size_bytes)) {
+      p.dscp = rule.mark;
+      ++stats_.marked;
+      return p;
+    }
+    // Out of profile.
+    if (rule.out_action == OutOfProfileAction::kDemote) {
+      p.dscp = Dscp::kBestEffort;
+      ++stats_.demoted;
+      return p;
+    }
+    ++stats_.policed_drops;
+    return std::nullopt;
+  }
+  // No rule: leave marking untouched (interior routers trust edges; hosts
+  // send best-effort unless their own policy marks).
+  return p;
+}
+
+}  // namespace mgq::net

@@ -1,0 +1,76 @@
+#include "net/node.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mgq::net {
+
+Interface::Interface(sim::Simulator& sim, Node& owner, std::string name,
+                     const QdiscConfig& qdisc)
+    : sim_(sim),
+      owner_(owner),
+      name_(std::move(name)),
+      qdisc_(qdisc.ef_capacity_bytes, qdisc.ll_capacity_bytes,
+             qdisc.be_capacity_bytes) {}
+
+void Interface::connect(Interface& peer, double rate_bps,
+                        sim::Duration delay) {
+  assert(peer_ == nullptr && "interface already connected");
+  peer_ = &peer;
+  rate_bps_ = rate_bps;
+  delay_ = delay;
+}
+
+void Interface::send(Packet p) {
+  assert(connected() && "sending on an unconnected interface");
+  p.enqueued_at = sim_.now();
+  if (!qdisc_.enqueue(std::move(p))) {
+    ++stats_.drops_overflow;
+    return;
+  }
+  if (!transmitting_) {
+    transmitting_ = true;
+    transmitNext();
+  }
+}
+
+void Interface::transmitNext() {
+  auto next = qdisc_.dequeue();
+  if (!next) {
+    transmitting_ = false;
+    return;
+  }
+  const Packet& p = *next;
+  const auto tx_time = sim::transmissionTime(p.size_bytes, rate_bps_);
+  ++stats_.tx_packets;
+  stats_.tx_bytes += p.size_bytes;
+  // After serialization completes, the packet propagates to the peer and
+  // the transmitter moves on to the next queued packet.
+  sim_.schedule(tx_time,
+                [this, pkt = std::move(*next)]() mutable {
+                  sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
+                    peer_->receive(std::move(pkt));
+                  });
+                  transmitNext();
+                });
+}
+
+void Interface::receive(Packet p) {
+  ++stats_.rx_packets;
+  stats_.rx_bytes += p.size_bytes;
+  auto processed = ingress_policy_.process(std::move(p));
+  if (!processed) {
+    ++stats_.drops_policed;
+    return;
+  }
+  owner_.deliver(std::move(*processed), *this);
+}
+
+Interface& Node::addInterface(const QdiscConfig& qdisc) {
+  const auto index = interfaces_.size();
+  interfaces_.push_back(std::make_unique<Interface>(
+      sim_, *this, name_ + "/if" + std::to_string(index), qdisc));
+  return *interfaces_.back();
+}
+
+}  // namespace mgq::net

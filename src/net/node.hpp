@@ -1,0 +1,108 @@
+// Nodes (hosts and routers) and their network interfaces.
+//
+// An Interface owns the egress side of a point-to-point attachment: a
+// diffserv qdisc (strict priority EF > LL > BE) drained by a transmitter
+// at the link rate, plus an ingress DS policy (classify/mark/police)
+// applied to packets arriving *into* the node — that is where the paper's
+// edge routers police premium flows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/classifier.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgq::net {
+
+class Node;
+
+struct InterfaceStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_packets = 0;
+  std::int64_t tx_bytes = 0;
+  std::int64_t rx_bytes = 0;
+  std::uint64_t drops_overflow = 0;
+  std::uint64_t drops_policed = 0;
+};
+
+struct QdiscConfig {
+  std::int64_t ef_capacity_bytes = 256 * 1024;
+  std::int64_t ll_capacity_bytes = 64 * 1024;
+  std::int64_t be_capacity_bytes = 64 * 1024;
+};
+
+class Interface {
+ public:
+  Interface(sim::Simulator& sim, Node& owner, std::string name,
+            const QdiscConfig& qdisc);
+
+  /// Wires this interface to `peer` with the given egress rate and one-way
+  /// propagation delay. Each direction is configured on its own interface.
+  void connect(Interface& peer, double rate_bps, sim::Duration delay);
+
+  /// Enqueues a packet for transmission (egress path).
+  void send(Packet p);
+
+  /// Entry point for packets arriving from the wire (ingress path):
+  /// applies the ingress DS policy, then hands the packet to the node.
+  void receive(Packet p);
+
+  Node& owner() { return owner_; }
+  Interface* peer() { return peer_; }
+  const std::string& name() const { return name_; }
+  double rateBps() const { return rate_bps_; }
+  sim::Duration propagationDelay() const { return delay_; }
+  bool connected() const { return peer_ != nullptr; }
+
+  DsPolicy& ingressPolicy() { return ingress_policy_; }
+  const DsQdisc& qdisc() const { return qdisc_; }
+  const InterfaceStats& stats() const { return stats_; }
+
+ private:
+  void transmitNext();
+
+  sim::Simulator& sim_;
+  Node& owner_;
+  std::string name_;
+  Interface* peer_ = nullptr;
+  double rate_bps_ = 0.0;
+  sim::Duration delay_ = sim::Duration::zero();
+  DsQdisc qdisc_;
+  DsPolicy ingress_policy_;
+  bool transmitting_ = false;
+  InterfaceStats stats_;
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  /// Called by an interface once an arriving packet passed ingress policy.
+  virtual void deliver(Packet p, Interface& in) = 0;
+
+  Interface& addInterface(const QdiscConfig& qdisc = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::vector<std::unique_ptr<Interface>>& interfaces() {
+    return interfaces_;
+  }
+
+ protected:
+  sim::Simulator& sim_;
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Interface>> interfaces_;
+};
+
+}  // namespace mgq::net

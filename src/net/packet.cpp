@@ -1,0 +1,31 @@
+#include "net/packet.hpp"
+
+namespace mgq::net {
+
+const char* dscpName(Dscp d) {
+  switch (d) {
+    case Dscp::kBestEffort:
+      return "BE";
+    case Dscp::kLowLatency:
+      return "LL";
+    case Dscp::kExpedited:
+      return "EF";
+  }
+  return "?";
+}
+
+const char* dropReasonName(DropReason r) {
+  switch (r) {
+    case DropReason::kQueueOverflow:
+      return "queue-overflow";
+    case DropReason::kPoliced:
+      return "policed";
+    case DropReason::kNoRoute:
+      return "no-route";
+    case DropReason::kNoListener:
+      return "no-listener";
+  }
+  return "?";
+}
+
+}  // namespace mgq::net

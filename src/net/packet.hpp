@@ -1,0 +1,105 @@
+// Packet model. A packet carries a flow key (simulated 5-tuple), a DSCP
+// code point, its wire size, and a protocol-specific header. Payload bytes
+// are carried by value for TCP so transports can verify end-to-end stream
+// integrity under loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mgq::net {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// Differentiated-services code points used in this library. kExpedited is
+/// the EF PHB (premium service); kLowLatency is a second elevated class the
+/// paper proposes for small-message MPI traffic; kBestEffort is default.
+enum class Dscp : std::uint8_t {
+  kBestEffort = 0,
+  kLowLatency = 1,
+  kExpedited = 2,
+};
+
+const char* dscpName(Dscp d);
+
+enum class Protocol : std::uint8_t { kTcp = 0, kUdp = 1 };
+
+/// Simulated 5-tuple identifying a transport flow.
+struct FlowKey {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PortId src_port = 0;
+  PortId dst_port = 0;
+  Protocol proto = Protocol::kTcp;
+
+  bool operator==(const FlowKey&) const = default;
+
+  /// The same flow viewed from the other endpoint.
+  FlowKey reversed() const {
+    return FlowKey{dst, src, dst_port, src_port, proto};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::size_t h = k.src;
+    h = h * 1000003u ^ k.dst;
+    h = h * 1000003u ^ k.src_port;
+    h = h * 1000003u ^ k.dst_port;
+    h = h * 1000003u ^ static_cast<std::size_t>(k.proto);
+    return h;
+  }
+};
+
+/// TCP segment metadata. `seq` is the stream offset of the first payload
+/// byte; `payload` carries the actual bytes (possibly empty for pure ACKs).
+struct TcpHeader {
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint32_t window = 0;  // advertised receive window, bytes
+  bool syn = false;
+  bool fin = false;
+  bool is_ack = false;
+  std::vector<std::uint8_t> payload;
+};
+
+/// UDP datagram metadata; payload is size-only (contention traffic).
+struct UdpHeader {
+  std::uint64_t datagram_id = 0;
+};
+
+inline constexpr std::int32_t kIpHeaderBytes = 20;
+inline constexpr std::int32_t kTcpHeaderBytes = 20;
+inline constexpr std::int32_t kUdpHeaderBytes = 8;
+
+struct Packet {
+  FlowKey flow;
+  Dscp dscp = Dscp::kBestEffort;
+  std::int32_t size_bytes = 0;  // on-the-wire size including headers
+  std::uint64_t id = 0;         // unique per simulation, for tracing
+  sim::TimePoint enqueued_at;   // stamped when first transmitted
+  std::variant<std::monostate, TcpHeader, UdpHeader> header;
+
+  const TcpHeader* tcp() const { return std::get_if<TcpHeader>(&header); }
+  TcpHeader* tcp() { return std::get_if<TcpHeader>(&header); }
+  const UdpHeader* udp() const { return std::get_if<UdpHeader>(&header); }
+};
+
+/// Why a packet was dropped — used by counters and tests.
+enum class DropReason {
+  kQueueOverflow,
+  kPoliced,        // out-of-profile premium traffic at an edge policer
+  kNoRoute,
+  kNoListener,
+};
+
+const char* dropReasonName(DropReason r);
+
+}  // namespace mgq::net

@@ -1,0 +1,72 @@
+#include "net/queue.hpp"
+
+#include <utility>
+
+namespace mgq::net {
+
+bool DropTailQueue::enqueue(Packet p) {
+  if (bytes_ + p.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_overflow;
+    stats_.bytes_dropped += p.size_bytes;
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.size_bytes;
+  items_.push_back(std::move(p));
+  return true;
+}
+
+// GCC 12 reports a spurious -Wmaybe-uninitialized deep inside the variant
+// move when the dequeued packet is wrapped into the optional return value
+// (GCC bug 105593); the packet is always fully formed here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (items_.empty()) return std::nullopt;
+  Packet p = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= p.size_bytes;
+  ++stats_.dequeued;
+  return p;
+}
+#pragma GCC diagnostic pop
+
+DsQdisc::DsQdisc(std::int64_t ef_capacity, std::int64_t ll_capacity,
+                 std::int64_t be_capacity)
+    : queues_{DropTailQueue(be_capacity), DropTailQueue(ll_capacity),
+              DropTailQueue(ef_capacity)} {}
+
+DropTailQueue& DsQdisc::classQueueMutable(Dscp d) {
+  return queues_[static_cast<std::size_t>(d)];
+}
+
+const DropTailQueue& DsQdisc::classQueue(Dscp d) const {
+  return queues_[static_cast<std::size_t>(d)];
+}
+
+bool DsQdisc::enqueue(Packet p) {
+  return classQueueMutable(p.dscp).enqueue(std::move(p));
+}
+
+std::optional<Packet> DsQdisc::dequeue() {
+  // Strict priority: EF, then LL, then BE.
+  for (Dscp d : {Dscp::kExpedited, Dscp::kLowLatency, Dscp::kBestEffort}) {
+    if (auto p = classQueueMutable(d).dequeue()) return p;
+  }
+  return std::nullopt;
+}
+
+bool DsQdisc::empty() const {
+  return classQueue(Dscp::kExpedited).empty() &&
+         classQueue(Dscp::kLowLatency).empty() &&
+         classQueue(Dscp::kBestEffort).empty();
+}
+
+std::int64_t DsQdisc::bytes() const {
+  return classQueue(Dscp::kExpedited).bytes() +
+         classQueue(Dscp::kLowLatency).bytes() +
+         classQueue(Dscp::kBestEffort).bytes();
+}
+
+}  // namespace mgq::net

@@ -1,0 +1,16 @@
+#include "net/router.hpp"
+
+namespace mgq::net {
+
+void Router::deliver(Packet p, Interface& in) {
+  (void)in;
+  const auto it = routes_.find(p.flow.dst);
+  if (it == routes_.end()) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  ++stats_.forwarded;
+  it->second->send(std::move(p));
+}
+
+}  // namespace mgq::net

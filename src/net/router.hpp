@@ -1,0 +1,35 @@
+// Router: forwards packets by destination node id through a static routing
+// table (filled in by Network::computeRoutes). Ingress DS policies live on
+// the interfaces; the router itself is diffserv-oblivious beyond the
+// priority qdisc on its egress ports — interior routers treat marked
+// aggregates, as in the DS architecture.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/node.hpp"
+
+namespace mgq::net {
+
+struct RouterStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route_drops = 0;
+};
+
+class Router : public Node {
+ public:
+  using Node::Node;
+
+  void addRoute(NodeId dst, Interface& out) { routes_[dst] = &out; }
+  void clearRoutes() { routes_.clear(); }
+
+  void deliver(Packet p, Interface& in) override;
+
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<NodeId, Interface*> routes_;
+  RouterStats stats_;
+};
+
+}  // namespace mgq::net

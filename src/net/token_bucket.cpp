@@ -1,0 +1,70 @@
+#include "net/token_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mgq::net {
+
+TokenBucket::TokenBucket(sim::Simulator& sim, double rate_bps,
+                         std::int64_t depth_bytes)
+    : sim_(sim),
+      rate_bps_(rate_bps),
+      depth_bytes_(depth_bytes),
+      tokens_(static_cast<double>(depth_bytes)),
+      last_refill_(sim.now()) {
+  assert(rate_bps > 0.0);
+  assert(depth_bytes > 0);
+}
+
+void TokenBucket::refill() {
+  const auto now = sim_.now();
+  const double elapsed = (now - last_refill_).toSeconds();
+  if (elapsed > 0.0) {
+    tokens_ = std::min(static_cast<double>(depth_bytes_),
+                       tokens_ + elapsed * rate_bps_ / 8.0);
+    last_refill_ = now;
+  }
+}
+
+bool TokenBucket::tryConsume(std::int64_t bytes) {
+  refill();
+  if (tokens_ + 1e-9 < static_cast<double>(bytes)) return false;
+  tokens_ -= static_cast<double>(bytes);
+  return true;
+}
+
+sim::Duration TokenBucket::timeUntilConformant(std::int64_t bytes) {
+  refill();
+  const double deficit = static_cast<double>(bytes) - tokens_;
+  if (deficit <= 0.0) return sim::Duration::zero();
+  return sim::Duration::seconds(deficit * 8.0 / rate_bps_);
+}
+
+void TokenBucket::forceConsume(std::int64_t bytes) {
+  refill();
+  tokens_ -= static_cast<double>(bytes);
+}
+
+double TokenBucket::tokens() {
+  refill();
+  return tokens_;
+}
+
+void TokenBucket::configure(double rate_bps, std::int64_t depth_bytes) {
+  assert(rate_bps > 0.0);
+  assert(depth_bytes > 0);
+  refill();
+  rate_bps_ = rate_bps;
+  depth_bytes_ = depth_bytes;
+  tokens_ = std::min(tokens_, static_cast<double>(depth_bytes));
+}
+
+std::int64_t TokenBucket::depthForRate(double rate_bps, double divisor) {
+  assert(divisor > 0.0);
+  const auto depth = static_cast<std::int64_t>(std::llround(rate_bps / divisor));
+  // Never smaller than one MTU-sized packet, or nothing would ever conform.
+  return std::max<std::int64_t>(depth, 1600);
+}
+
+}  // namespace mgq::net

@@ -1,0 +1,62 @@
+// Token bucket used for policing, marking, and shaping (paper §2, §4.3).
+//
+// Tokens are bytes; they accrue at `rate_bps / 8` bytes per second up to
+// `depth_bytes`. The refill is computed lazily from the simulated clock,
+// so no periodic events are needed.
+//
+// The paper's GARA DS module sizes the bucket as depth = bandwidth / D
+// with divisor D = 40 ("normal") or 4 ("large", Table 1); helpers below
+// encode that rule.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mgq::net {
+
+class TokenBucket {
+ public:
+  /// Creates a bucket refilling at `rate_bps` (bits/second) with capacity
+  /// `depth_bytes`. The bucket starts full.
+  TokenBucket(sim::Simulator& sim, double rate_bps, std::int64_t depth_bytes);
+
+  /// Consumes `bytes` tokens if available; returns false (consuming
+  /// nothing) when the packet is out of profile.
+  bool tryConsume(std::int64_t bytes);
+
+  /// Time until `bytes` tokens will be available (zero if already
+  /// conformant) — used by shapers that delay rather than drop.
+  sim::Duration timeUntilConformant(std::int64_t bytes);
+
+  /// Unconditionally removes `bytes` tokens (may go negative); used by
+  /// shapers that have already committed to sending.
+  void forceConsume(std::int64_t bytes);
+
+  double rateBps() const { return rate_bps_; }
+  std::int64_t depthBytes() const { return depth_bytes_; }
+  /// Current token count after lazy refill.
+  double tokens();
+
+  /// Reconfigures the bucket (e.g. when a reservation is modified). The
+  /// current fill level is clamped to the new depth.
+  void configure(double rate_bps, std::int64_t depth_bytes);
+
+  /// The paper's bucket-depth rule: depth = bandwidth / divisor, with the
+  /// "normal" divisor 40 and "large" divisor 4 used in Table 1.
+  static std::int64_t depthForRate(double rate_bps, double divisor);
+  static constexpr double kNormalDivisor = 40.0;
+  static constexpr double kLargeDivisor = 4.0;
+
+ private:
+  void refill();
+
+  sim::Simulator& sim_;
+  double rate_bps_;
+  std::int64_t depth_bytes_;
+  double tokens_;  // bytes; fractional to avoid rounding drift
+  sim::TimePoint last_refill_;
+};
+
+}  // namespace mgq::net

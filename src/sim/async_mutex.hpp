@@ -1,0 +1,59 @@
+// Cooperative mutex for simulated processes: serializes critical sections
+// across coroutines (e.g. interleaving-free writes to a shared TCP
+// connection). FIFO handoff via Condition.
+#pragma once
+
+#include "sim/condition.hpp"
+#include "sim/task.hpp"
+
+namespace mgq::sim {
+
+class AsyncMutex {
+ public:
+  explicit AsyncMutex(Simulator& sim) : cond_(sim) {}
+
+  Task<> lock() {
+    while (locked_) co_await cond_.wait();
+    locked_ = true;
+  }
+
+  void unlock() {
+    locked_ = false;
+    cond_.notifyOne();
+  }
+
+  bool locked() const { return locked_; }
+
+  /// RAII-ish scope: co_await mutex.scoped() then keep the Guard alive.
+  struct Guard {
+    AsyncMutex* mutex = nullptr;
+    Guard() = default;
+    explicit Guard(AsyncMutex& m) : mutex(&m) {}
+    Guard(Guard&& o) noexcept : mutex(std::exchange(o.mutex, nullptr)) {}
+    Guard& operator=(Guard&& o) noexcept {
+      release();
+      mutex = std::exchange(o.mutex, nullptr);
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+    void release() {
+      if (mutex != nullptr) {
+        mutex->unlock();
+        mutex = nullptr;
+      }
+    }
+  };
+
+  Task<Guard> scoped() {
+    co_await lock();
+    co_return Guard(*this);
+  }
+
+ private:
+  Condition cond_;
+  bool locked_ = false;
+};
+
+}  // namespace mgq::sim

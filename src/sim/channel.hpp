@@ -1,0 +1,47 @@
+// Unbounded awaitable FIFO channel between simulated processes.
+// push() never blocks; pop() suspends the caller until a value arrives.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "sim/condition.hpp"
+#include "sim/task.hpp"
+
+namespace mgq::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : cond_(sim) {}
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    cond_.notifyOne();
+  }
+
+  /// Suspends until an item is available, then removes and returns it.
+  Task<T> pop() {
+    while (items_.empty()) co_await cond_.wait();
+    T value = std::move(items_.front());
+    items_.pop_front();
+    co_return value;
+  }
+
+  /// Non-blocking variant; returns true and fills `out` if available.
+  bool tryPop(T& out) {
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  Condition cond_;
+  std::deque<T> items_;
+};
+
+}  // namespace mgq::sim

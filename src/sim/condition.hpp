@@ -1,0 +1,68 @@
+// Awaitable condition variable for simulated processes.
+//
+// A coroutine co_awaits Condition::wait() and is parked; notifyOne/
+// notifyAll schedule the wakeups *through the event queue at the current
+// simulated time* rather than resuming inline, which avoids re-entrancy
+// and keeps wakeup order deterministic (FIFO by wait order).
+//
+// Lifetime note: a parked coroutine must not be destroyed while it waits;
+// in this library processes live for the duration of the simulation, and
+// Simulator teardown destroys processes before draining the queue.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace mgq::sim {
+
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) : sim_(sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Awaitable that parks the caller until the next notify.
+  auto wait() {
+    struct Awaiter {
+      Condition& cond;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        cond.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Wakes the longest-waiting coroutine (if any).
+  void notifyOne() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule(Duration::zero(), [h] { h.resume(); });
+  }
+
+  /// Wakes all currently parked coroutines, in wait order.
+  void notifyAll() {
+    while (!waiters_.empty()) notifyOne();
+  }
+
+  std::size_t waiterCount() const { return waiters_.size(); }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Parks the caller until `pred()` becomes true, re-checking after every
+/// notification of `cond`. The classic condition-variable loop.
+template <typename Pred>
+Task<> awaitUntil(Condition& cond, Pred pred) {
+  while (!pred()) co_await cond.wait();
+}
+
+}  // namespace mgq::sim

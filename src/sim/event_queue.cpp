@@ -1,0 +1,78 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mgq::sim {
+
+EventId EventQueue::push(TimePoint at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  queued_.insert(id);
+  siftUp(heap_.size() - 1);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (queued_.count(id) == 0) return false;
+  return cancelled_.insert(id).second;
+}
+
+TimePoint EventQueue::nextTime() {
+  dropCancelledTop();
+  assert(!heap_.empty());
+  return heap_.front().at;
+}
+
+std::function<void()> EventQueue::pop(TimePoint* at) {
+  dropCancelledTop();
+  assert(!heap_.empty());
+  if (at != nullptr) *at = heap_.front().at;
+  std::function<void()> fn = std::move(heap_.front().fn);
+  queued_.erase(heap_.front().id);
+  std::swap(heap_.front(), heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
+  return fn;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  queued_.clear();
+  cancelled_.clear();
+}
+
+void EventQueue::siftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void EventQueue::dropCancelledTop() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
+    cancelled_.erase(heap_.front().id);
+    queued_.erase(heap_.front().id);
+    std::swap(heap_.front(), heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
+  }
+}
+
+}  // namespace mgq::sim

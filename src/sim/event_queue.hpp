@@ -1,0 +1,65 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary min-heap ordered by (time, insertion sequence); the sequence
+// tie-break makes same-timestamp events fire in FIFO order, which is what
+// keeps coroutine wakeups deterministic. Cancellation is lazy: cancelled
+// ids are remembered and the event is skipped when it surfaces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mgq::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` to run at `at`. Returns an id usable with cancel().
+  EventId push(TimePoint at, std::function<void()> fn);
+
+  /// Marks a still-queued event as cancelled; it is dropped when it
+  /// surfaces. Returns false if the event already fired or was cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return liveCount() == 0; }
+  std::size_t size() const { return liveCount(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  TimePoint nextTime();
+
+  /// Removes and returns the earliest live event's action, advancing past
+  /// cancelled entries. Requires !empty().
+  std::function<void()> pop(TimePoint* at = nullptr);
+
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  // Min-heap predicate: true when a fires *after* b.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.id > b.id;
+  }
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  void dropCancelledTop();
+  std::size_t liveCount() const { return heap_.size() - cancelled_.size(); }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> queued_;     // ids currently in heap_
+  std::unordered_set<EventId> cancelled_;  // subset of queued_
+  EventId next_id_ = 1;
+};
+
+}  // namespace mgq::sim

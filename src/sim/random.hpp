@@ -1,0 +1,42 @@
+// Deterministic pseudo-random stream for the simulation. One instance per
+// Simulator, seeded explicitly, so runs are exactly reproducible.
+//
+// Implementation: xoshiro256** (public-domain algorithm by Blackman &
+// Vigna), which is fast and passes BigCrush — good enough for traffic
+// generation and jitter models.
+#pragma once
+
+#include <cstdint>
+
+namespace mgq::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t nextU64();
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mgq::sim

@@ -1,0 +1,68 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace mgq::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() {
+  // Destroy still-suspended processes before the queue so no dangling
+  // wakeup can fire during teardown.
+  processes_.clear();
+  queue_.clear();
+}
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= Duration::zero());
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::scheduleAt(TimePoint at, std::function<void()> fn) {
+  assert(at >= now_);
+  return queue_.push(at, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+void Simulator::spawn(Task<> task) {
+  auto handle = task.handle();
+  processes_.push_back(std::move(task));
+  schedule(Duration::zero(), [handle] { handle.resume(); });
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    TimePoint at;
+    auto fn = queue_.pop(&at);
+    assert(at >= now_);
+    now_ = at;
+    fn();
+    ++events_executed_;
+    if ((events_executed_ & 0x3ff) == 0) pruneFinishedProcesses();
+  }
+  pruneFinishedProcesses();
+}
+
+void Simulator::runUntil(TimePoint t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.nextTime() <= t) {
+    TimePoint at;
+    auto fn = queue_.pop(&at);
+    now_ = at;
+    fn();
+    ++events_executed_;
+    if ((events_executed_ & 0x3ff) == 0) pruneFinishedProcesses();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  pruneFinishedProcesses();
+}
+
+void Simulator::runFor(Duration d) { runUntil(now_ + d); }
+
+void Simulator::pruneFinishedProcesses() {
+  std::erase_if(processes_, [](const Task<>& t) { return t.done(); });
+}
+
+}  // namespace mgq::sim

@@ -1,0 +1,108 @@
+// Strongly-typed simulated time. The simulation clock is a 64-bit count of
+// nanoseconds since the start of the run; Duration is a difference of two
+// TimePoints. Nothing in the library ever reads the wall clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace mgq::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t n) {
+    return Duration(n * 1'000);
+  }
+  static constexpr Duration millis(std::int64_t n) {
+    return Duration(n * 1'000'000);
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  /// A duration larger than any realistic simulation horizon.
+  static constexpr Duration infinite() { return Duration(INT64_MAX / 4); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double toSeconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double toMillis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(ns_ + o.ns_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(ns_ - o.ns_);
+  }
+  constexpr Duration operator*(double f) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * f));
+  }
+  constexpr Duration operator/(double f) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) / f));
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint zero() { return TimePoint(); }
+  static constexpr TimePoint fromSeconds(double s) {
+    return TimePoint() + Duration::seconds(s);
+  }
+
+  constexpr Duration sinceEpoch() const { return Duration::nanos(ns_); }
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double toSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    TimePoint t;
+    t.ns_ = ns_ + d.ns();
+    return t;
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    TimePoint t;
+    t.ns_ = ns_ - d.ns();
+    return t;
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanos(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Time to serialize `bytes` onto a link of `bits_per_second` capacity.
+constexpr Duration transmissionTime(std::int64_t bytes,
+                                    double bits_per_second) {
+  return Duration::seconds(static_cast<double>(bytes) * 8.0 /
+                           bits_per_second);
+}
+
+}  // namespace mgq::sim

@@ -1,0 +1,143 @@
+#include "storage/dpss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mgq::storage {
+
+DpssServer::DpssServer(sim::Simulator& sim, double total_bandwidth_Bps,
+                       std::string name)
+    : sim_(sim),
+      total_Bps_(total_bandwidth_Bps),
+      name_(std::move(name)),
+      last_settle_(sim.now()) {
+  assert(total_bandwidth_Bps > 0.0);
+}
+
+DpssServer::~DpssServer() {
+  if (completion_armed_) sim_.cancel(completion_event_);
+}
+
+SessionId DpssServer::openSession(std::string client_name) {
+  const SessionId id = next_id_++;
+  Session session;
+  session.client = std::move(client_name);
+  session.done = std::make_unique<sim::Condition>(sim_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void DpssServer::closeSession(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  assert(!it->second.reading && "closing a session with a pending read");
+  reserved_Bps_ -= it->second.reserved_Bps;
+  sessions_.erase(it);
+}
+
+double DpssServer::rateOf(const Session& s) const {
+  if (s.reserved_Bps > 0.0) return s.reserved_Bps;
+  double reserved_active = 0.0;
+  std::size_t unreserved_active = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.reading) continue;
+    if (session.reserved_Bps > 0.0) {
+      reserved_active += session.reserved_Bps;
+    } else {
+      ++unreserved_active;
+    }
+  }
+  if (unreserved_active == 0) return 0.0;
+  const double leftover = std::max(0.0, total_Bps_ - reserved_active);
+  // Unreserved readers always make some progress (the server schedules
+  // them into reservation slack).
+  return std::max(total_Bps_ * 0.01,
+                  leftover / static_cast<double>(unreserved_active));
+}
+
+double DpssServer::currentRateBps(SessionId id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0.0 : rateOf(it->second) * 8.0;
+}
+
+void DpssServer::settleAndReschedule() {
+  const auto now = sim_.now();
+  const double elapsed = (now - last_settle_).toSeconds();
+  if (elapsed > 0.0) {
+    for (auto& [id, session] : sessions_) {
+      if (!session.reading) continue;
+      session.remaining_bytes -= elapsed * rateOf(session);
+    }
+  }
+  last_settle_ = now;
+
+  for (auto& [id, session] : sessions_) {
+    if (session.reading && session.remaining_bytes <= 1.0) {
+      session.reading = false;
+      --active_count_;
+      session.remaining_bytes = 0.0;
+      session.done->notifyAll();
+    }
+  }
+
+  if (completion_armed_) {
+    sim_.cancel(completion_event_);
+    completion_armed_ = false;
+  }
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, session] : sessions_) {
+    if (!session.reading) continue;
+    const double rate = rateOf(session);
+    assert(rate > 0.0);
+    soonest = std::min(soonest, session.remaining_bytes / rate);
+  }
+  if (soonest < std::numeric_limits<double>::infinity()) {
+    completion_armed_ = true;
+    completion_event_ = sim_.schedule(
+        sim::Duration::seconds(std::max(soonest, 0.0)) +
+            sim::Duration::nanos(1),
+        [this] {
+          completion_armed_ = false;
+          settleAndReschedule();
+        });
+  }
+}
+
+sim::Task<> DpssServer::read(SessionId id, std::int64_t bytes) {
+  const auto it = sessions_.find(id);
+  assert(it != sessions_.end() && "read on unknown session");
+  Session& session = it->second;
+  assert(!session.reading && "one read at a time per session");
+  if (bytes <= 0) co_return;
+
+  settleAndReschedule();
+  session.reading = true;
+  ++active_count_;
+  session.remaining_bytes = static_cast<double>(bytes);
+  settleAndReschedule();
+
+  co_await awaitUntil(*session.done, [&session] { return !session.reading; });
+}
+
+bool DpssServer::setReservation(SessionId id, double bytes_per_second) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || bytes_per_second < 0.0) return false;
+  const double new_total =
+      reserved_Bps_ - it->second.reserved_Bps + bytes_per_second;
+  if (new_total > maxReservableFraction() * total_Bps_ + 1e-9) return false;
+  settleAndReschedule();
+  reserved_Bps_ = new_total;
+  it->second.reserved_Bps = bytes_per_second;
+  settleAndReschedule();
+  return true;
+}
+
+void DpssServer::clearReservation(SessionId id) { setReservation(id, 0.0); }
+
+double DpssServer::reservation(SessionId id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0.0 : it->second.reserved_Bps;
+}
+
+}  // namespace mgq::storage

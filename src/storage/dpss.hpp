@@ -1,0 +1,86 @@
+// DPSS-like network storage substrate (paper §4.2: GARA "resource
+// managers for ... the Distributed Parallel Storage System (DPSS), a
+// network storage system").
+//
+// A DpssServer models a striped disk cache with a fixed aggregate read
+// bandwidth. Concurrent client sessions share that bandwidth with a
+// fluid proportional-share model — identical in spirit to the DSRT CPU
+// scheduler — and a GARA reservation pins a session's rate so bulk
+// competitors cannot starve it. Reads complete in simulated time
+// according to the session's instantaneous share.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sim/condition.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace mgq::storage {
+
+using SessionId = std::uint32_t;
+
+class DpssServer {
+ public:
+  /// `total_bandwidth_Bps` is the aggregate read bandwidth in bytes/s.
+  DpssServer(sim::Simulator& sim, double total_bandwidth_Bps,
+             std::string name = "dpss");
+  DpssServer(const DpssServer&) = delete;
+  DpssServer& operator=(const DpssServer&) = delete;
+  ~DpssServer();
+
+  /// Opens a client session.
+  SessionId openSession(std::string client_name);
+  void closeSession(SessionId id);
+
+  /// Reads `bytes` from the store; completes when the session's share of
+  /// the server bandwidth has transferred them. One read at a time per
+  /// session.
+  sim::Task<> read(SessionId id, std::int64_t bytes);
+
+  /// Pins a session's bandwidth (bytes/s). Admission: total reserved must
+  /// not exceed maxReservableFraction() of the server bandwidth. Returns
+  /// false without change on failure.
+  bool setReservation(SessionId id, double bytes_per_second);
+  void clearReservation(SessionId id);
+  double reservation(SessionId id) const;
+
+  /// Instantaneous transfer rate the session would get right now.
+  double currentRateBps(SessionId id) const;  // bits/s, for symmetry
+
+  double totalBandwidthBps() const { return total_Bps_ * 8.0; }
+  double totalReservedBps() const { return reserved_Bps_ * 8.0; }
+  static constexpr double maxReservableFraction() { return 0.9; }
+
+  std::size_t activeReads() const { return active_count_; }
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct Session {
+    std::string client;
+    double reserved_Bps = 0.0;
+    bool reading = false;
+    double remaining_bytes = 0.0;
+    std::unique_ptr<sim::Condition> done;
+  };
+
+  void settleAndReschedule();
+  double rateOf(const Session& s) const;  // bytes/s
+
+  sim::Simulator& sim_;
+  double total_Bps_;
+  std::string name_;
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_id_ = 1;
+  double reserved_Bps_ = 0.0;
+  std::size_t active_count_ = 0;
+  sim::TimePoint last_settle_;
+  sim::EventId completion_event_ = 0;
+  bool completion_armed_ = false;
+};
+
+}  // namespace mgq::storage

@@ -1,0 +1,47 @@
+// GARA resource manager for DPSS storage bandwidth (paper §4.2). The
+// request's `amount` is bits/second (uniform with network managers);
+// `storage_session` selects the client session to pin.
+#pragma once
+
+#include "gara/resource_manager.hpp"
+#include "storage/dpss.hpp"
+
+namespace mgq::storage {
+
+class StorageResourceManager : public gara::ResourceManager {
+ public:
+  explicit StorageResourceManager(DpssServer& server)
+      : gara::ResourceManager(server.totalBandwidthBps() *
+                              DpssServer::maxReservableFraction()),
+        server_(&server) {}
+
+  std::string type() const override { return "storage"; }
+
+  std::string validate(
+      const gara::ReservationRequest& request) const override {
+    if (request.amount <= 0.0) return "storage reservation needs amount > 0";
+    if (request.storage_session == 0) {
+      return "storage reservation needs a session id";
+    }
+    return {};
+  }
+
+  void enforce(gara::Reservation& reservation) override {
+    const auto& req = reservation.request();
+    const bool ok =
+        server_->setReservation(req.storage_session, req.amount / 8.0);
+    assert(ok && "DPSS rejected an admitted reservation");
+    (void)ok;
+  }
+
+  void release(gara::Reservation& reservation) override {
+    server_->clearReservation(reservation.request().storage_session);
+  }
+
+  DpssServer& server() { return *server_; }
+
+ private:
+  DpssServer* server_;
+};
+
+}  // namespace mgq::storage

@@ -1,0 +1,31 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mgq::tcp {
+
+void RttEstimator::addSample(sim::Duration rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2.0;
+    has_sample_ = true;
+  } else {
+    const auto err = sim::Duration::nanos(std::llabs((rtt - srtt_).ns()));
+    rttvar_ = rttvar_ * 0.75 + err * 0.25;       // beta = 1/4
+    srtt_ = srtt_ * 0.875 + rtt * 0.125;         // alpha = 1/8
+  }
+  rto_ = srtt_ + rttvar_ * 4.0;
+  clampRto();
+}
+
+void RttEstimator::backoff() {
+  rto_ = rto_ * 2.0;
+  clampRto();
+}
+
+void RttEstimator::clampRto() {
+  rto_ = std::max(min_rto_, std::min(rto_, max_rto_));
+}
+
+}  // namespace mgq::tcp

@@ -1,0 +1,41 @@
+// Jacobson/Karels round-trip-time estimation (RFC 6298): srtt/rttvar with
+// the standard gains, RTO = srtt + 4 * rttvar clamped to [min_rto,
+// max_rto]. Karn's algorithm (never sample retransmitted segments) is
+// enforced by the caller.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace mgq::tcp {
+
+class RttEstimator {
+ public:
+  RttEstimator(sim::Duration initial_rto, sim::Duration min_rto,
+               sim::Duration max_rto)
+      : rto_(initial_rto), min_rto_(min_rto), max_rto_(max_rto) {}
+
+  /// Feeds one RTT measurement from a non-retransmitted segment.
+  void addSample(sim::Duration rtt);
+
+  /// Current retransmission timeout (after backoff, if any).
+  sim::Duration rto() const { return rto_; }
+
+  /// Doubles the RTO (exponential backoff on timeout), capped at max.
+  void backoff();
+
+  bool hasSample() const { return has_sample_; }
+  sim::Duration srtt() const { return srtt_; }
+  sim::Duration rttvar() const { return rttvar_; }
+
+ private:
+  void clampRto();
+
+  bool has_sample_ = false;
+  sim::Duration srtt_ = sim::Duration::zero();
+  sim::Duration rttvar_ = sim::Duration::zero();
+  sim::Duration rto_;
+  sim::Duration min_rto_;
+  sim::Duration max_rto_;
+};
+
+}  // namespace mgq::tcp

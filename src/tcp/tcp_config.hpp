@@ -1,0 +1,45 @@
+// TCP tuning knobs and counters.
+//
+// Defaults model a paper-era well-tuned stack: 1460-byte MSS, 64 KB socket
+// buffers (the paper notes 8 KB buffers cripple high-bandwidth flows —
+// tests cover that), Reno/NewReno congestion control.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mgq::tcp {
+
+struct TcpConfig {
+  std::int32_t mss = 1460;
+  std::int64_t send_buffer_bytes = 64 * 1024;
+  std::int64_t recv_buffer_bytes = 64 * 1024;
+  /// Initial congestion window, in segments (RFC 2581 allowed 2).
+  std::int32_t initial_cwnd_segments = 2;
+  /// Initial slow-start threshold, bytes ("infinite" by default).
+  std::int64_t initial_ssthresh = INT64_MAX / 4;
+  sim::Duration initial_rto = sim::Duration::millis(1000);
+  sim::Duration min_rto = sim::Duration::millis(200);
+  sim::Duration max_rto = sim::Duration::seconds(60.0);
+  /// Delayed ACKs (one ACK per two segments, 40 ms cap). Off by default:
+  /// the experiments use immediate ACKs.
+  bool delayed_ack = false;
+  /// Persist-probe interval when the peer advertises a zero window.
+  sim::Duration persist_interval = sim::Duration::millis(500);
+};
+
+struct TcpStats {
+  std::int64_t bytes_sent_app = 0;    // accepted from the application
+  std::int64_t bytes_acked = 0;       // cumulatively acknowledged
+  std::int64_t bytes_delivered = 0;   // handed to the receiving app
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t retransmits = 0;       // total retransmitted segments
+  std::uint64_t fast_retransmits = 0;  // triple-dupack recoveries entered
+  std::uint64_t timeouts = 0;          // RTO expirations
+  std::uint64_t dup_acks_received = 0;
+};
+
+}  // namespace mgq::tcp

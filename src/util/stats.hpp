@@ -1,0 +1,48 @@
+// Summary statistics helpers used by the benchmark harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mgq::util {
+
+/// Online accumulator for count/mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0..100) by linear interpolation between
+/// closest ranks. An empty input yields 0.
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Coefficient of variation (stddev/mean); 0 when mean is 0.
+double coefficientOfVariation(std::span<const double> values);
+
+/// Simple fixed-width moving average; the first (window-1) outputs average
+/// over the prefix seen so far. Returns a series the same length as input.
+std::vector<double> movingAverage(std::span<const double> values,
+                                  std::size_t window);
+
+}  // namespace mgq::util

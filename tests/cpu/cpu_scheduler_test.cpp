@@ -1,0 +1,219 @@
+#include "cpu/cpu_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgq::cpu {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+
+TEST(CpuSchedulerTest, SoloJobRunsAtFullSpeed) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto job = cpu.registerJob("solo");
+  double finish = -1;
+  auto proc = [](CpuScheduler& c, JobId j, sim::Simulator& s,
+                 double& out) -> Task<> {
+    co_await c.compute(j, Duration::seconds(2.0));
+    out = s.now().toSeconds();
+  };
+  sim.spawn(proc(cpu, job, sim, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 2.0, 1e-6);
+}
+
+TEST(CpuSchedulerTest, TwoJobsShareEvenly) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto j1 = cpu.registerJob("a");
+  const auto j2 = cpu.registerJob("b");
+  std::vector<double> finishes;
+  auto proc = [](CpuScheduler& c, JobId j, sim::Simulator& s,
+                 std::vector<double>& out) -> Task<> {
+    co_await c.compute(j, Duration::seconds(1.0));
+    out.push_back(s.now().toSeconds());
+  };
+  sim.spawn(proc(cpu, j1, sim, finishes));
+  sim.spawn(proc(cpu, j2, sim, finishes));
+  sim.run();
+  ASSERT_EQ(finishes.size(), 2u);
+  // Both need 1 CPU-second at share 1/2 -> both finish at t=2.
+  EXPECT_NEAR(finishes[0], 2.0, 1e-6);
+  EXPECT_NEAR(finishes[1], 2.0, 1e-6);
+}
+
+TEST(CpuSchedulerTest, UnequalWorkFinishesShorterFirstThenSpeedsUp) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto j1 = cpu.registerJob("short");
+  const auto j2 = cpu.registerJob("long");
+  double short_finish = -1, long_finish = -1;
+  auto proc = [](CpuScheduler& c, JobId j, sim::Simulator& s, double work,
+                 double& out) -> Task<> {
+    co_await c.compute(j, Duration::seconds(work));
+    out = s.now().toSeconds();
+  };
+  sim.spawn(proc(cpu, j1, sim, 0.5, short_finish));
+  sim.spawn(proc(cpu, j2, sim, 1.0, long_finish));
+  sim.run();
+  // Short: 0.5 work at share 1/2 -> finishes at t=1.
+  EXPECT_NEAR(short_finish, 1.0, 1e-6);
+  // Long: 0.5 work done by t=1 (share 1/2), remaining 0.5 at full speed.
+  EXPECT_NEAR(long_finish, 1.5, 1e-6);
+}
+
+TEST(CpuSchedulerTest, ReservationPinsShareUnderContention) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto app = cpu.registerJob("app");
+  const auto hog = cpu.registerJob("hog");
+  ASSERT_TRUE(cpu.setReservation(app, 0.9));
+  double app_finish = -1;
+  auto app_proc = [](CpuScheduler& c, JobId j, sim::Simulator& s,
+                     double& out) -> Task<> {
+    co_await c.compute(j, Duration::seconds(0.9));
+    out = s.now().toSeconds();
+  };
+  auto hog_proc = [](CpuScheduler& c, JobId j) -> Task<> {
+    co_await c.compute(j, Duration::seconds(100.0));
+  };
+  sim.spawn(app_proc(cpu, app, sim, app_finish));
+  sim.spawn(hog_proc(cpu, hog));
+  sim.runUntil(sim::TimePoint::fromSeconds(5));
+  // 0.9 CPU-seconds at share 0.9 -> 1 s wall, despite the hog.
+  EXPECT_NEAR(app_finish, 1.0, 1e-6);
+}
+
+TEST(CpuSchedulerTest, AdmissionControlRejectsOverSubscription) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto a = cpu.registerJob("a");
+  const auto b = cpu.registerJob("b");
+  EXPECT_TRUE(cpu.setReservation(a, 0.6));
+  EXPECT_FALSE(cpu.setReservation(b, 0.5));  // 1.1 > 0.95
+  EXPECT_TRUE(cpu.setReservation(b, 0.35));
+  EXPECT_NEAR(cpu.totalReserved(), 0.95, 1e-12);
+  // Re-reserving `a` frees its old amount first.
+  EXPECT_TRUE(cpu.setReservation(a, 0.2));
+  EXPECT_NEAR(cpu.totalReserved(), 0.55, 1e-12);
+}
+
+TEST(CpuSchedulerTest, ClearReservationRestoresFairShare) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto a = cpu.registerJob("a");
+  const auto b = cpu.registerJob("b");
+  ASSERT_TRUE(cpu.setReservation(a, 0.8));
+  auto busy = [](CpuScheduler& c, JobId j) -> Task<> {
+    co_await c.compute(j, Duration::seconds(100.0));
+  };
+  sim.spawn(busy(cpu, a));
+  sim.spawn(busy(cpu, b));
+  sim.runFor(Duration::millis(10));
+  EXPECT_NEAR(cpu.currentShare(a), 0.8, 1e-9);
+  EXPECT_NEAR(cpu.currentShare(b), 0.2, 1e-9);
+  cpu.clearReservation(a);
+  EXPECT_NEAR(cpu.currentShare(a), 0.5, 1e-9);
+  EXPECT_NEAR(cpu.currentShare(b), 0.5, 1e-9);
+}
+
+TEST(CpuSchedulerTest, ArrivalMidComputeSlowsProgress) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto a = cpu.registerJob("a");
+  const auto b = cpu.registerJob("b");
+  double a_finish = -1;
+  auto proc_a = [](CpuScheduler& c, JobId j, sim::Simulator& s,
+                   double& out) -> Task<> {
+    co_await c.compute(j, Duration::seconds(1.0));
+    out = s.now().toSeconds();
+  };
+  auto proc_b = [](CpuScheduler& c, JobId j, sim::Simulator& s) -> Task<> {
+    co_await s.delay(Duration::seconds(0.5));
+    co_await c.compute(j, Duration::seconds(10.0));
+  };
+  sim.spawn(proc_a(cpu, a, sim, a_finish));
+  sim.spawn(proc_b(cpu, b, sim));
+  sim.runUntil(sim::TimePoint::fromSeconds(3));
+  // First 0.5 s at full speed (0.5 work), remaining 0.5 at share 1/2 -> 1 s.
+  EXPECT_NEAR(a_finish, 1.5, 1e-6);
+}
+
+TEST(CpuSchedulerTest, UnreservedFloorShareWhenFullyReserved) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto r = cpu.registerJob("reserved");
+  const auto u = cpu.registerJob("unreserved");
+  ASSERT_TRUE(cpu.setReservation(r, 0.95));
+  auto busy = [](CpuScheduler& c, JobId j) -> Task<> {
+    co_await c.compute(j, Duration::seconds(100.0));
+  };
+  sim.spawn(busy(cpu, r));
+  sim.spawn(busy(cpu, u));
+  sim.runFor(Duration::millis(10));
+  EXPECT_GE(cpu.currentShare(u), CpuScheduler::minShare());
+}
+
+TEST(CpuSchedulerTest, ZeroWorkComputeReturnsImmediately) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto j = cpu.registerJob("j");
+  bool done = false;
+  auto proc = [](CpuScheduler& c, JobId job, bool& flag) -> Task<> {
+    co_await c.compute(job, sim::Duration::zero());
+    flag = true;
+  };
+  sim.spawn(proc(cpu, j, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 0.0);
+}
+
+TEST(CpuHogTest, HogHalvesAppThroughput) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto app = cpu.registerJob("app");
+  int iterations = 0;
+  auto app_proc = [](CpuScheduler& c, JobId j, int& count) -> Task<> {
+    for (;;) {
+      co_await c.compute(j, Duration::millis(10));
+      ++count;
+    }
+  };
+  sim.spawn(app_proc(cpu, app, iterations));
+  sim.runUntil(sim::TimePoint::fromSeconds(1));
+  const int solo_rate = iterations;
+
+  CpuHog hog(cpu);
+  hog.start();
+  iterations = 0;
+  sim.runUntil(sim::TimePoint::fromSeconds(2));
+  const int contended_rate = iterations;
+  hog.stop();
+
+  EXPECT_NEAR(static_cast<double>(contended_rate),
+              static_cast<double>(solo_rate) / 2.0, solo_rate * 0.1);
+}
+
+TEST(CpuSchedulerTest, SequentialComputesAccumulate) {
+  sim::Simulator sim;
+  CpuScheduler cpu(sim);
+  const auto j = cpu.registerJob("j");
+  double finish = -1;
+  auto proc = [](CpuScheduler& c, JobId job, sim::Simulator& s,
+                 double& out) -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await c.compute(job, Duration::millis(100));
+    }
+    out = s.now().toSeconds();
+  };
+  sim.spawn(proc(cpu, j, sim, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mgq::cpu

@@ -1,0 +1,139 @@
+#include "gara/bandwidth_broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace mgq::gara {
+namespace {
+
+/// A Y-shaped domain: two edges (A, B) feeding a shared core link C.
+/// Paths: "via-A" = edge-A + core, "via-B" = edge-B + core.
+struct DomainFixture {
+  DomainFixture()
+      : network(sim),
+        host_a(&network.addHost("a")),
+        host_b(&network.addHost("b")),
+        router(&network.addRouter("edge")),
+        gara(sim) {
+    network.connect(*host_a, *router, net::LinkConfig{});
+    network.connect(*host_b, *router, net::LinkConfig{});
+    network.computeRoutes();
+    edge_a = std::make_unique<NetworkResourceManager>(
+        100e6, *router->interfaces()[0]);
+    edge_b = std::make_unique<NetworkResourceManager>(
+        100e6, *router->interfaces()[1]);
+    core = std::make_unique<LinkAccountingManager>(40e6);
+    gara.registerManager("edge-a", *edge_a);
+    gara.registerManager("edge-b", *edge_b);
+    gara.registerManager("core", *core);
+    broker = std::make_unique<BandwidthBroker>(gara);
+    broker->definePath("via-a", {"edge-a", "core"});
+    broker->definePath("via-b", {"edge-b", "core"});
+  }
+
+  ReservationRequest request(double bps) {
+    ReservationRequest r;
+    r.start = sim.now();
+    r.amount = bps;
+    return r;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::Host* host_a;
+  net::Host* host_b;
+  net::Router* router;
+  Gara gara;
+  std::unique_ptr<NetworkResourceManager> edge_a;
+  std::unique_ptr<NetworkResourceManager> edge_b;
+  std::unique_ptr<LinkAccountingManager> core;
+  std::unique_ptr<BandwidthBroker> broker;
+};
+
+TEST(BandwidthBrokerTest, PathReservationClaimsEveryLink) {
+  DomainFixture f;
+  auto path = f.broker->requestPath("via-a", f.request(10e6));
+  ASSERT_TRUE(path) << path.error;
+  EXPECT_EQ(path.handles.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.edge_a->slots().usedAt(f.sim.now()), 10e6);
+  EXPECT_DOUBLE_EQ(f.core->slots().usedAt(f.sim.now()), 10e6);
+  // The enforcing edge installed exactly one rule; the accounting link
+  // installed none.
+  EXPECT_EQ(f.router->interfaces()[0]->ingressPolicy().ruleCount(), 1u);
+}
+
+TEST(BandwidthBrokerTest, SharedCoreLinkArbitratesBetweenEdges) {
+  DomainFixture f;
+  // Path A takes 30 of the 40 Mb/s core.
+  auto a = f.broker->requestPath("via-a", f.request(30e6));
+  ASSERT_TRUE(a);
+  // Path B has a free edge but the shared core is nearly full.
+  auto b = f.broker->requestPath("via-b", f.request(20e6));
+  EXPECT_FALSE(b);
+  EXPECT_NE(b.error.find("core"), std::string::npos);
+  // Nothing leaked on edge B by the failed co-reservation.
+  EXPECT_DOUBLE_EQ(f.edge_b->slots().usedAt(f.sim.now()), 0.0);
+  // A smaller request fits.
+  auto b2 = f.broker->requestPath("via-b", f.request(10e6));
+  EXPECT_TRUE(b2) << b2.error;
+}
+
+TEST(BandwidthBrokerTest, CancelFreesTheWholePath) {
+  DomainFixture f;
+  auto a = f.broker->requestPath("via-a", f.request(40e6));
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(f.broker->requestPath("via-b", f.request(10e6)));
+  f.broker->cancel(a);
+  EXPECT_TRUE(a.handles.empty());
+  EXPECT_DOUBLE_EQ(f.core->slots().usedAt(f.sim.now()), 0.0);
+  EXPECT_TRUE(f.broker->requestPath("via-b", f.request(10e6)));
+}
+
+TEST(BandwidthBrokerTest, ModifyGrowsAllLegsOrNone) {
+  DomainFixture f;
+  auto a = f.broker->requestPath("via-a", f.request(10e6));
+  ASSERT_TRUE(a);
+  auto b = f.broker->requestPath("via-b", f.request(25e6));
+  ASSERT_TRUE(b);
+  // Growing A to 20 Mb/s would oversubscribe the core (20+25 > 40).
+  EXPECT_FALSE(f.broker->modify(a, 20e6));
+  EXPECT_DOUBLE_EQ(f.core->slots().usedAt(f.sim.now()), 35e6);  // unchanged
+  // Growing to 15 fits everywhere.
+  EXPECT_TRUE(f.broker->modify(a, 15e6));
+  EXPECT_DOUBLE_EQ(f.core->slots().usedAt(f.sim.now()), 40e6);
+}
+
+TEST(BandwidthBrokerTest, UnknownPathRejected) {
+  DomainFixture f;
+  auto outcome = f.broker->requestPath("nope", f.request(1e6));
+  EXPECT_FALSE(outcome);
+  EXPECT_NE(outcome.error.find("unknown path"), std::string::npos);
+}
+
+TEST(BandwidthBrokerTest, PathNamesListed) {
+  DomainFixture f;
+  const auto names = f.broker->pathNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_TRUE(f.broker->hasPath("via-a"));
+  EXPECT_TRUE(f.broker->hasPath("via-b"));
+  EXPECT_FALSE(f.broker->hasPath("via-c"));
+}
+
+TEST(BandwidthBrokerTest, AdvancePathReservationsShareTimeline) {
+  DomainFixture f;
+  auto req1 = f.request(30e6);
+  req1.start = sim::TimePoint::fromSeconds(10);
+  req1.duration = sim::Duration::seconds(10);
+  ASSERT_TRUE(f.broker->requestPath("via-a", req1));
+
+  auto req2 = f.request(30e6);
+  req2.start = sim::TimePoint::fromSeconds(15);
+  req2.duration = sim::Duration::seconds(10);
+  EXPECT_FALSE(f.broker->requestPath("via-b", req2));  // overlaps on core
+  req2.start = sim::TimePoint::fromSeconds(20);
+  EXPECT_TRUE(f.broker->requestPath("via-b", req2));
+}
+
+}  // namespace
+}  // namespace mgq::gara

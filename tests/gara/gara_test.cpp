@@ -1,0 +1,238 @@
+#include "gara/gara.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/udp.hpp"
+
+namespace mgq::gara {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// GARNET plus managers: the standard GARA deployment for these tests.
+struct Fixture {
+  Fixture()
+      : sim(7),
+        garnet(sim),
+        cpu(sim, "sender-cpu"),
+        net_manager(40e6, *garnet.ingressEdgeInterface()),
+        cpu_manager(cpu),
+        gara(sim) {
+    gara.registerManager("net-forward", net_manager);
+    gara.registerManager("cpu-sender", cpu_manager);
+  }
+
+  ReservationRequest netRequest(double bps) {
+    ReservationRequest r;
+    r.start = sim.now();
+    r.amount = bps;
+    r.flow.dst = garnet.premium_dst->id();
+    return r;
+  }
+
+  ReservationRequest cpuRequest(cpu::JobId job, double fraction) {
+    ReservationRequest r;
+    r.start = sim.now();
+    r.amount = fraction;
+    r.cpu_job = job;
+    return r;
+  }
+
+  sim::Simulator sim;
+  net::GarnetTopology garnet;
+  cpu::CpuScheduler cpu;
+  NetworkResourceManager net_manager;
+  CpuResourceManager cpu_manager;
+  Gara gara;
+};
+
+TEST(GaraTest, ImmediateNetworkReservationInstallsRule) {
+  Fixture f;
+  auto& policy = f.garnet.ingressEdgeInterface()->ingressPolicy();
+  EXPECT_EQ(policy.ruleCount(), 0u);
+  auto outcome = f.gara.reserve("net-forward", f.netRequest(10e6));
+  ASSERT_TRUE(outcome) << outcome.error;
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kActive);
+  EXPECT_EQ(policy.ruleCount(), 1u);
+  EXPECT_NE(outcome.handle->bucket, nullptr);
+  EXPECT_DOUBLE_EQ(outcome.handle->bucket->rateBps(), 10e6);
+}
+
+TEST(GaraTest, UnknownResourceRejected) {
+  Fixture f;
+  auto outcome = f.gara.reserve("nope", f.netRequest(1e6));
+  EXPECT_FALSE(outcome);
+  EXPECT_NE(outcome.error.find("unknown resource"), std::string::npos);
+}
+
+TEST(GaraTest, AdmissionControlRejectsOversubscription) {
+  Fixture f;
+  ASSERT_TRUE(f.gara.reserve("net-forward", f.netRequest(30e6)));
+  auto second = f.gara.reserve("net-forward", f.netRequest(20e6));
+  EXPECT_FALSE(second);  // 50 > 40 Mb/s premium capacity
+  EXPECT_NE(second.error.find("admission"), std::string::npos);
+  EXPECT_TRUE(f.gara.reserve("net-forward", f.netRequest(10e6)));
+}
+
+TEST(GaraTest, CancelRemovesEnforcementAndFreesCapacity) {
+  Fixture f;
+  auto& policy = f.garnet.ingressEdgeInterface()->ingressPolicy();
+  auto outcome = f.gara.reserve("net-forward", f.netRequest(40e6));
+  ASSERT_TRUE(outcome);
+  f.gara.cancel(outcome.handle);
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kCancelled);
+  EXPECT_EQ(policy.ruleCount(), 0u);
+  EXPECT_TRUE(f.gara.reserve("net-forward", f.netRequest(40e6)));
+  f.gara.cancel(outcome.handle);  // idempotent
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kCancelled);
+}
+
+TEST(GaraTest, AdvanceReservationActivatesAtStartTime) {
+  Fixture f;
+  auto& policy = f.garnet.ingressEdgeInterface()->ingressPolicy();
+  auto request = f.netRequest(5e6);
+  request.start = TimePoint::fromSeconds(10);
+  request.duration = Duration::seconds(5);
+  auto outcome = f.gara.reserve("net-forward", request);
+  ASSERT_TRUE(outcome);
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kPending);
+  EXPECT_EQ(policy.ruleCount(), 0u);
+
+  f.sim.runUntil(TimePoint::fromSeconds(10.1));
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kActive);
+  EXPECT_EQ(policy.ruleCount(), 1u);
+
+  f.sim.runUntil(TimePoint::fromSeconds(15.1));
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kExpired);
+  EXPECT_EQ(policy.ruleCount(), 0u);
+}
+
+TEST(GaraTest, AdvanceReservationsShareTimelineCapacity) {
+  Fixture f;
+  // Two 25 Mb/s advance reservations overlap -> second rejected; moving it
+  // after the first's end succeeds.
+  auto r1 = f.netRequest(25e6);
+  r1.start = TimePoint::fromSeconds(10);
+  r1.duration = Duration::seconds(10);
+  ASSERT_TRUE(f.gara.reserve("net-forward", r1));
+
+  auto r2 = r1;
+  r2.start = TimePoint::fromSeconds(15);
+  EXPECT_FALSE(f.gara.reserve("net-forward", r2));
+  r2.start = TimePoint::fromSeconds(20);
+  EXPECT_TRUE(f.gara.reserve("net-forward", r2));
+}
+
+TEST(GaraTest, StateChangeCallbacksFire) {
+  Fixture f;
+  auto request = f.netRequest(5e6);
+  request.start = TimePoint::fromSeconds(1);
+  request.duration = Duration::seconds(1);
+  auto outcome = f.gara.reserve("net-forward", request);
+  ASSERT_TRUE(outcome);
+  std::vector<std::pair<ReservationState, ReservationState>> transitions;
+  outcome.handle->onStateChange(
+      [&](Reservation&, ReservationState from, ReservationState to) {
+        transitions.emplace_back(from, to);
+      });
+  f.sim.runUntil(TimePoint::fromSeconds(3));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].first, ReservationState::kPending);
+  EXPECT_EQ(transitions[0].second, ReservationState::kActive);
+  EXPECT_EQ(transitions[1].first, ReservationState::kActive);
+  EXPECT_EQ(transitions[1].second, ReservationState::kExpired);
+}
+
+TEST(GaraTest, ModifyActiveReservationReprograms) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net-forward", f.netRequest(10e6));
+  ASSERT_TRUE(outcome);
+  ASSERT_TRUE(f.gara.modify(outcome.handle, 20e6));
+  EXPECT_DOUBLE_EQ(outcome.handle->bucket->rateBps(), 20e6);
+  EXPECT_DOUBLE_EQ(outcome.handle->request().amount, 20e6);
+  // Modify beyond capacity fails and keeps the old configuration.
+  EXPECT_FALSE(f.gara.modify(outcome.handle, 45e6));
+  EXPECT_DOUBLE_EQ(outcome.handle->bucket->rateBps(), 20e6);
+}
+
+TEST(GaraTest, ModifyBucketDivisor) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net-forward", f.netRequest(8e6));
+  ASSERT_TRUE(outcome);
+  const auto normal_depth = outcome.handle->bucket->depthBytes();
+  ASSERT_TRUE(f.gara.modify(outcome.handle, 8e6,
+                            net::TokenBucket::kLargeDivisor));
+  EXPECT_EQ(outcome.handle->bucket->depthBytes(), normal_depth * 10);
+}
+
+TEST(GaraTest, CpuReservationAppliesToScheduler) {
+  Fixture f;
+  const auto job = f.cpu.registerJob("app");
+  auto outcome = f.gara.reserve("cpu-sender", f.cpuRequest(job, 0.9));
+  ASSERT_TRUE(outcome) << outcome.error;
+  EXPECT_DOUBLE_EQ(f.cpu.reservation(job), 0.9);
+  f.gara.cancel(outcome.handle);
+  EXPECT_DOUBLE_EQ(f.cpu.reservation(job), 0.0);
+}
+
+TEST(GaraTest, CpuValidationRejectsBadRequests) {
+  Fixture f;
+  const auto job = f.cpu.registerJob("app");
+  EXPECT_FALSE(f.gara.reserve("cpu-sender", f.cpuRequest(job, 1.5)));
+  EXPECT_FALSE(f.gara.reserve("cpu-sender", f.cpuRequest(0, 0.5)));
+  EXPECT_FALSE(f.gara.reserve("cpu-sender", f.cpuRequest(job, 0.0)));
+}
+
+TEST(GaraTest, CoReservationAllOrNothing) {
+  Fixture f;
+  const auto job = f.cpu.registerJob("app");
+  // First co-reservation succeeds.
+  auto ok = f.gara.coReserve({{"net-forward", f.netRequest(30e6)},
+                              {"cpu-sender", f.cpuRequest(job, 0.5)}});
+  ASSERT_TRUE(ok) << ok.error;
+  EXPECT_EQ(ok.handles.size(), 2u);
+
+  // Second fails on the network leg; the CPU leg must not be held.
+  const auto job2 = f.cpu.registerJob("app2");
+  auto fail = f.gara.coReserve({{"cpu-sender", f.cpuRequest(job2, 0.3)},
+                                {"net-forward", f.netRequest(20e6)}});
+  EXPECT_FALSE(fail);
+  EXPECT_TRUE(fail.handles.empty());
+  EXPECT_DOUBLE_EQ(f.cpu.reservation(job2), 0.0);
+  // Capacity for a 0.45 CPU reservation is still there (0.5 + 0.45 <= .95).
+  EXPECT_TRUE(f.gara.reserve("cpu-sender", f.cpuRequest(job2, 0.45)));
+}
+
+TEST(GaraTest, ReservedFlowSurvivesContentionEndToEnd) {
+  // Integration: premium UDP flow + saturating BE contention through the
+  // GARNET bottleneck; with a GARA reservation the flow keeps its rate.
+  Fixture f;
+  net::UdpSink contention_sink(*f.garnet.competitive_dst, 9);
+  net::UdpTrafficGenerator::Config blast;
+  blast.rate_bps = 100e6;
+  net::UdpTrafficGenerator contention(*f.garnet.competitive_src,
+                                      f.garnet.competitive_dst->id(), 9,
+                                      blast);
+  contention.start();
+
+  net::UdpSink premium_sink(*f.garnet.premium_dst, 7);
+  net::UdpTrafficGenerator::Config cfg;
+  cfg.rate_bps = 8e6;
+  net::UdpTrafficGenerator premium(*f.garnet.premium_src,
+                                   f.garnet.premium_dst->id(), 7, cfg);
+  premium.start();
+
+  auto request = f.netRequest(9e6);
+  request.flow.proto = net::Protocol::kUdp;
+  ASSERT_TRUE(f.gara.reserve("net-forward", request));
+
+  f.sim.runFor(Duration::seconds(3));
+  const double goodput =
+      static_cast<double>(premium_sink.bytesReceived()) * 8 / 3.0;
+  EXPECT_NEAR(goodput, 8e6, 0.6e6);
+}
+
+}  // namespace
+}  // namespace mgq::gara

@@ -1,0 +1,138 @@
+// Reservation lifecycle edge cases: cancellation before activation,
+// expiry freeing capacity, callback ordering, and modify interactions
+// with advance reservations.
+#include <gtest/gtest.h>
+
+#include "gara/gara.hpp"
+#include "net/network.hpp"
+
+namespace mgq::gara {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct Fixture {
+  Fixture() : network(sim), gara(sim) {
+    host = &network.addHost("h");
+    router = &network.addRouter("r");
+    network.connect(*host, *router, net::LinkConfig{});
+    network.computeRoutes();
+    manager = std::make_unique<NetworkResourceManager>(
+        40e6, *router->interfaces().front());
+    gara.registerManager("net", *manager);
+  }
+  ReservationRequest request(double bps, double start_s = 0,
+                             double duration_s = -1) {
+    ReservationRequest r;
+    r.start = TimePoint::fromSeconds(start_s);
+    if (duration_s > 0) r.duration = Duration::seconds(duration_s);
+    r.amount = bps;
+    return r;
+  }
+  net::DsPolicy& policy() {
+    return router->interfaces().front()->ingressPolicy();
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::Host* host;
+  net::Router* router;
+  Gara gara;
+  std::unique_ptr<NetworkResourceManager> manager;
+};
+
+TEST(ReservationLifecycleTest, CancelPendingNeverInstallsEnforcement) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6, 10, 10));
+  ASSERT_TRUE(outcome);
+  ASSERT_EQ(outcome.handle->state(), ReservationState::kPending);
+  f.gara.cancel(outcome.handle);
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kCancelled);
+  // Run past the would-be activation: no rule must appear.
+  f.sim.runUntil(TimePoint::fromSeconds(15));
+  EXPECT_EQ(f.policy().ruleCount(), 0u);
+  EXPECT_DOUBLE_EQ(f.manager->slots().usedAt(TimePoint::fromSeconds(12)),
+                   0.0);
+}
+
+TEST(ReservationLifecycleTest, ExpiredCapacityReusableImmediately) {
+  Fixture f;
+  ASSERT_TRUE(f.gara.reserve("net", f.request(40e6, 0, 5)));
+  EXPECT_FALSE(f.gara.reserve("net", f.request(10e6, 2, 10)));
+  // Starting exactly at the expiry instant is fine (half-open interval).
+  EXPECT_TRUE(f.gara.reserve("net", f.request(40e6, 5, 5)));
+}
+
+TEST(ReservationLifecycleTest, CallbackFiresOnCancel) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(5e6));
+  ASSERT_TRUE(outcome);
+  std::vector<ReservationState> to_states;
+  outcome.handle->onStateChange(
+      [&](Reservation&, ReservationState, ReservationState to) {
+        to_states.push_back(to);
+      });
+  f.gara.cancel(outcome.handle);
+  ASSERT_EQ(to_states.size(), 1u);
+  EXPECT_EQ(to_states[0], ReservationState::kCancelled);
+}
+
+TEST(ReservationLifecycleTest, ModifyPendingDoesNotTouchDevices) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6, 10, 10));
+  ASSERT_TRUE(outcome);
+  EXPECT_TRUE(f.gara.modify(outcome.handle, 20e6));
+  EXPECT_EQ(f.policy().ruleCount(), 0u);  // still pending
+  f.sim.runUntil(TimePoint::fromSeconds(11));
+  EXPECT_EQ(f.policy().ruleCount(), 1u);
+  EXPECT_DOUBLE_EQ(outcome.handle->bucket->rateBps(), 20e6);
+}
+
+TEST(ReservationLifecycleTest, ModifyAfterExpiryFails) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6, 0, 2));
+  ASSERT_TRUE(outcome);
+  f.sim.runUntil(TimePoint::fromSeconds(3));
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kExpired);
+  EXPECT_FALSE(f.gara.modify(outcome.handle, 5e6));
+  f.gara.cancel(outcome.handle);  // no-op, no crash
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kExpired);
+}
+
+TEST(ReservationLifecycleTest, InfiniteDurationNeverExpires) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6));
+  ASSERT_TRUE(outcome);
+  f.sim.runUntil(TimePoint::fromSeconds(10'000));
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kActive);
+  EXPECT_EQ(f.policy().ruleCount(), 1u);
+}
+
+TEST(ReservationLifecycleTest, PastStartIsClampedToNow) {
+  Fixture f;
+  f.sim.runUntil(TimePoint::fromSeconds(5));
+  auto request = f.request(10e6, 1 /* in the past */, 10);
+  auto outcome = f.gara.reserve("net", request);
+  ASSERT_TRUE(outcome);
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kActive);
+  // Duration counts from the clamped start.
+  EXPECT_EQ(outcome.handle->request().start, TimePoint::fromSeconds(5));
+}
+
+TEST(ReservationLifecycleTest, ManyConcurrentReservationsAccumulate) {
+  Fixture f;
+  std::vector<ReservationHandle> held;
+  for (int i = 0; i < 8; ++i) {
+    auto outcome = f.gara.reserve("net", f.request(5e6));
+    ASSERT_TRUE(outcome) << i;
+    held.push_back(outcome.handle);
+  }
+  EXPECT_FALSE(f.gara.reserve("net", f.request(5e6)));  // 45 > 40
+  EXPECT_EQ(f.policy().ruleCount(), 8u);
+  for (auto& h : held) f.gara.cancel(h);
+  EXPECT_EQ(f.policy().ruleCount(), 0u);
+}
+
+}  // namespace
+}  // namespace mgq::gara

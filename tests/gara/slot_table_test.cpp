@@ -1,0 +1,111 @@
+#include "gara/slot_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace mgq::gara {
+namespace {
+
+using sim::TimePoint;
+
+TimePoint t(double s) { return TimePoint::fromSeconds(s); }
+
+TEST(SlotTableTest, InsertWithinCapacity) {
+  SlotTable table(100.0);
+  EXPECT_NE(table.insert(t(0), t(10), 60.0), 0u);
+  EXPECT_NE(table.insert(t(0), t(10), 40.0), 0u);
+  EXPECT_EQ(table.insert(t(0), t(10), 1.0), 0u);  // full
+}
+
+TEST(SlotTableTest, NonOverlappingIntervalsDoNotCompete) {
+  SlotTable table(100.0);
+  EXPECT_NE(table.insert(t(0), t(10), 100.0), 0u);
+  EXPECT_NE(table.insert(t(10), t(20), 100.0), 0u);  // back-to-back OK
+}
+
+TEST(SlotTableTest, PartialOverlapDetected) {
+  SlotTable table(100.0);
+  ASSERT_NE(table.insert(t(5), t(15), 60.0), 0u);
+  // [0,10) overlaps [5,15): only 40 free in the overlap.
+  EXPECT_EQ(table.insert(t(0), t(10), 50.0), 0u);
+  EXPECT_NE(table.insert(t(0), t(10), 40.0), 0u);
+}
+
+TEST(SlotTableTest, UsedAtBoundariesHalfOpen) {
+  SlotTable table(100.0);
+  table.insert(t(1), t(2), 70.0);
+  EXPECT_DOUBLE_EQ(table.usedAt(t(0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(table.usedAt(t(1)), 70.0);
+  EXPECT_DOUBLE_EQ(table.usedAt(t(1.999)), 70.0);
+  EXPECT_DOUBLE_EQ(table.usedAt(t(2)), 0.0);  // end exclusive
+}
+
+TEST(SlotTableTest, RemoveFreesCapacity) {
+  SlotTable table(100.0);
+  const auto id = table.insert(t(0), t(10), 100.0);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(table.insert(t(0), t(10), 1.0), 0u);
+  EXPECT_TRUE(table.remove(id));
+  EXPECT_FALSE(table.remove(id));
+  EXPECT_NE(table.insert(t(0), t(10), 100.0), 0u);
+}
+
+TEST(SlotTableTest, ModifyGrowWithinCapacity) {
+  SlotTable table(100.0);
+  const auto id = table.insert(t(0), t(10), 50.0);
+  EXPECT_TRUE(table.modify(id, t(0), t(10), 90.0));
+  EXPECT_DOUBLE_EQ(table.usedAt(t(5)), 90.0);
+}
+
+TEST(SlotTableTest, ModifyFailureKeepsOriginal) {
+  SlotTable table(100.0);
+  const auto id = table.insert(t(0), t(10), 50.0);
+  table.insert(t(0), t(10), 40.0);
+  EXPECT_FALSE(table.modify(id, t(0), t(10), 70.0));  // 70+40 > 100
+  EXPECT_DOUBLE_EQ(table.usedAt(t(5)), 90.0);         // unchanged
+  EXPECT_TRUE(table.modify(id, t(0), t(10), 60.0));
+}
+
+TEST(SlotTableTest, ModifyCanMoveInTime) {
+  SlotTable table(100.0);
+  const auto id = table.insert(t(0), t(10), 100.0);
+  EXPECT_TRUE(table.modify(id, t(20), t(30), 100.0));
+  EXPECT_NE(table.insert(t(0), t(10), 100.0), 0u);
+}
+
+TEST(SlotTableTest, RejectsDegenerateIntervals) {
+  SlotTable table(100.0);
+  EXPECT_EQ(table.insert(t(5), t(5), 10.0), 0u);
+  EXPECT_EQ(table.insert(t(6), t(5), 10.0), 0u);
+  EXPECT_EQ(table.insert(t(0), t(1), -5.0), 0u);
+  EXPECT_EQ(table.insert(t(0), t(1), 101.0), 0u);
+}
+
+TEST(SlotTableTest, PropertyRandomScheduleNeverExceedsCapacity) {
+  // Property test: after many random inserts/removes, usage sampled on a
+  // fine grid never exceeds capacity.
+  sim::Rng rng(2024);
+  SlotTable table(50.0);
+  std::vector<SlotId> held;
+  for (int i = 0; i < 500; ++i) {
+    if (held.empty() || rng.bernoulli(0.6)) {
+      const double start = rng.uniform(0, 100);
+      const double len = rng.uniform(0.1, 30);
+      const double amount = rng.uniform(1, 30);
+      const auto id = table.insert(t(start), t(start + len), amount);
+      if (id != 0) held.push_back(id);
+    } else {
+      const auto pick =
+          static_cast<std::size_t>(rng.uniformInt(0, held.size() - 1));
+      table.remove(held[pick]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  for (double x = 0; x <= 130.0; x += 0.25) {
+    ASSERT_LE(table.usedAt(t(x)), 50.0 + 1e-6) << "at t=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace mgq::gara

@@ -1,0 +1,82 @@
+#include "gq/negotiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/garnet_rig.hpp"
+
+namespace mgq::gq {
+namespace {
+
+using apps::GarnetRig;
+using sim::Duration;
+using sim::Task;
+
+TEST(NegotiationTest, FirstAlternativeGrantedWhenItFits) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  std::vector<QosAttribute> alternatives(2);
+  alternatives[0].qosclass = QosClass::kPremium;
+  alternatives[0].bandwidth_kbps = 10'000;
+  alternatives[1].qosclass = QosClass::kPremium;
+  alternatives[1].bandwidth_kbps = 1'000;
+  int chosen = -2;
+  auto proc = [](QosAgent& agent, mpi::Comm& comm,
+                 std::vector<QosAttribute>& alts, int& out) -> Task<> {
+    out = co_await negotiateQos(agent, comm, alts);
+  };
+  rig.sim.spawn(proc(rig.agent, comm, alternatives, chosen));
+  rig.sim.runFor(Duration::seconds(5));
+  EXPECT_EQ(chosen, 0);
+  EXPECT_EQ(rig.agent.status(comm).state, QosRequestState::kGranted);
+}
+
+TEST(NegotiationTest, FallsBackToSmallerRequest) {
+  GarnetRig rig;  // premium capacity 44 Mb/s
+  auto& comm = rig.world.worldComm(0);
+  std::vector<QosAttribute> alternatives(3);
+  alternatives[0].qosclass = QosClass::kPremium;
+  alternatives[0].bandwidth_kbps = 60'000;  // too big
+  alternatives[1].qosclass = QosClass::kPremium;
+  alternatives[1].bandwidth_kbps = 50'000;  // still too big
+  alternatives[2].qosclass = QosClass::kPremium;
+  alternatives[2].bandwidth_kbps = 20'000;  // fits
+  int chosen = -2;
+  auto proc = [](QosAgent& agent, mpi::Comm& comm,
+                 std::vector<QosAttribute>& alts, int& out) -> Task<> {
+    out = co_await negotiateQos(agent, comm, alts);
+  };
+  rig.sim.spawn(proc(rig.agent, comm, alternatives, chosen));
+  rig.sim.runFor(Duration::seconds(5));
+  EXPECT_EQ(chosen, 2);
+  const auto status = rig.agent.status(comm);
+  ASSERT_EQ(status.reservations.size(), 1u);
+  EXPECT_NEAR(status.reservations[0]->request().amount, 20'000e3 * 1.06,
+              1.0);
+  // The denied attempts left nothing behind.
+  EXPECT_NEAR(rig.net_forward.slots().usedAt(rig.sim.now()),
+              20'000e3 * 1.06, 1.0);
+}
+
+TEST(NegotiationTest, AllDeniedFallsBackToBestEffort) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  std::vector<QosAttribute> alternatives(1);
+  alternatives[0].qosclass = QosClass::kPremium;
+  alternatives[0].bandwidth_kbps = 60'000;
+  int chosen = -2;
+  auto proc = [](QosAgent& agent, mpi::Comm& comm,
+                 std::vector<QosAttribute>& alts, int& out) -> Task<> {
+    out = co_await negotiateQos(agent, comm, alts);
+  };
+  rig.sim.spawn(proc(rig.agent, comm, alternatives, chosen));
+  rig.sim.runFor(Duration::seconds(5));
+  EXPECT_EQ(chosen, -1);
+  // Best effort is "granted" (trivially) with no reservations held.
+  const auto status = rig.agent.status(comm);
+  EXPECT_EQ(status.state, QosRequestState::kGranted);
+  EXPECT_TRUE(status.reservations.empty());
+  EXPECT_DOUBLE_EQ(rig.net_forward.slots().usedAt(rig.sim.now()), 0.0);
+}
+
+}  // namespace
+}  // namespace mgq::gq

@@ -1,0 +1,172 @@
+#include "gq/qos_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/garnet_rig.hpp"
+
+namespace mgq::gq {
+namespace {
+
+using apps::GarnetRig;
+using sim::Duration;
+using sim::Task;
+
+TEST(ProtocolOverheadTest, KnownValues) {
+  // Unknown message size: the paper's measured 1.06.
+  EXPECT_DOUBLE_EQ(protocolOverheadFactor(0), 1.06);
+  EXPECT_DOUBLE_EQ(protocolOverheadFactor(-5), 1.06);
+  // One-MSS messages: 20B MPI header + one 40B TCP/IP header per segment,
+  // floored at 1.03.
+  const double f1460 = protocolOverheadFactor(1460);
+  EXPECT_GT(f1460, 1.03);
+  EXPECT_LT(f1460, 1.10);
+  // Large messages approach the per-segment header ratio (~2.8%) and hit
+  // the 3% floor.
+  EXPECT_DOUBLE_EQ(protocolOverheadFactor(1'000'000), 1.03);
+  // Tiny messages have enormous relative overhead.
+  EXPECT_GT(protocolOverheadFactor(100), 1.5);
+}
+
+TEST(ProtocolOverheadTest, MonotoneDecreasingInMessageSize) {
+  double prev = protocolOverheadFactor(200);
+  for (int size : {500, 1000, 2000, 8000, 40'000, 120'000}) {
+    const double f = protocolOverheadFactor(size);
+    EXPECT_LE(f, prev + 1e-12) << size;
+    prev = f;
+  }
+}
+
+TEST(QosAgentTest, PremiumPutGrantsAndInstallsRules) {
+  GarnetRig rig;
+  auto& comm0 = rig.world.worldComm(0);
+  auto& comm1 = rig.world.worldComm(1);
+  bool granted0 = false, granted1 = false;
+  auto proc = [](GarnetRig& r, mpi::Comm& comm, bool& out) -> Task<> {
+    out = co_await r.requestPremium(comm, 5000.0, 40'000);
+  };
+  rig.sim.spawn(proc(rig, comm0, granted0));
+  rig.sim.spawn(proc(rig, comm1, granted1));
+  rig.sim.runFor(Duration::seconds(5));
+  EXPECT_TRUE(granted0);
+  EXPECT_TRUE(granted1);
+  // Each direction got a rule at its own edge.
+  EXPECT_EQ(rig.garnet.ingressEdgeInterface()->ingressPolicy().ruleCount(),
+            1u);
+  EXPECT_EQ(rig.garnet.egressEdgeInterface()->ingressPolicy().ruleCount(),
+            1u);
+  // Reservation amount includes protocol overhead.
+  const auto status = rig.agent.status(comm0);
+  ASSERT_EQ(status.reservations.size(), 1u);
+  const double expected =
+      5000.0 * 1000.0 * protocolOverheadFactor(40'000);
+  EXPECT_NEAR(status.reservations[0]->request().amount, expected, 1.0);
+}
+
+TEST(QosAgentTest, BestEffortPutIsGrantedWithoutReservations) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  QosAttribute attr;  // best effort default
+  EXPECT_TRUE(comm.attrPut(rig.agent.keyval(), &attr));
+  rig.sim.runFor(Duration::millis(100));
+  const auto status = rig.agent.status(comm);
+  EXPECT_EQ(status.state, QosRequestState::kGranted);
+  EXPECT_TRUE(status.reservations.empty());
+  EXPECT_EQ(rig.garnet.ingressEdgeInterface()->ingressPolicy().ruleCount(),
+            0u);
+}
+
+TEST(QosAgentTest, OversizedRequestDenied) {
+  GarnetRig rig;  // premium capacity = 0.8 * 55 Mb/s = 44 Mb/s
+  auto& comm = rig.world.worldComm(0);
+  bool granted = true;
+  auto proc = [](GarnetRig& r, mpi::Comm& comm, bool& out) -> Task<> {
+    out = co_await r.requestPremium(comm, 50'000.0, 0);  // 50 Mb/s × 1.06
+  };
+  rig.sim.spawn(proc(rig, comm, granted));
+  rig.sim.runFor(Duration::seconds(5));
+  EXPECT_FALSE(granted);
+  const auto status = rig.agent.status(comm);
+  EXPECT_EQ(status.state, QosRequestState::kDenied);
+  EXPECT_FALSE(status.error.empty());
+  // Nothing held after the denial.
+  EXPECT_EQ(rig.garnet.ingressEdgeInterface()->ingressPolicy().ruleCount(),
+            0u);
+  EXPECT_DOUBLE_EQ(rig.net_forward.slots().usedAt(rig.sim.now()), 0.0);
+}
+
+TEST(QosAgentTest, RePutReplacesReservation) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  auto proc = [](GarnetRig& r, mpi::Comm& comm) -> Task<> {
+    EXPECT_TRUE(co_await r.requestPremium(comm, 5000.0, 0));
+    EXPECT_TRUE(co_await r.requestPremium(comm, 9000.0, 0));
+  };
+  rig.sim.spawn(proc(rig, comm));
+  rig.sim.runFor(Duration::seconds(5));
+  const auto status = rig.agent.status(comm);
+  ASSERT_EQ(status.reservations.size(), 1u);
+  EXPECT_NEAR(status.reservations[0]->request().amount, 9000e3 * 1.06, 1.0);
+  // Only one rule (the old one was removed).
+  EXPECT_EQ(rig.garnet.ingressEdgeInterface()->ingressPolicy().ruleCount(),
+            1u);
+  EXPECT_NEAR(rig.net_forward.slots().usedAt(rig.sim.now()), 9000e3 * 1.06,
+              1.0);
+}
+
+TEST(QosAgentTest, ReleaseFreesEverything) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  auto proc = [](GarnetRig& r, mpi::Comm& comm) -> Task<> {
+    EXPECT_TRUE(co_await r.requestPremium(comm, 5000.0, 0));
+    r.agent.release(comm);
+  };
+  rig.sim.spawn(proc(rig, comm));
+  rig.sim.runFor(Duration::seconds(5));
+  EXPECT_EQ(rig.agent.status(comm).state, QosRequestState::kReleased);
+  EXPECT_EQ(rig.garnet.ingressEdgeInterface()->ingressPolicy().ruleCount(),
+            0u);
+  EXPECT_DOUBLE_EQ(rig.net_forward.slots().usedAt(rig.sim.now()), 0.0);
+}
+
+TEST(QosAgentTest, LowLatencyUsesDemoteNotDrop) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  QosAttribute attr;
+  attr.qosclass = QosClass::kLowLatency;
+  attr.bandwidth_kbps = 500.0;
+  comm.attrPut(rig.agent.keyval(), &attr);
+  auto proc = [](GarnetRig& r, mpi::Comm& comm) -> Task<> {
+    co_await r.agent.awaitSettled(comm);
+  };
+  rig.sim.spawn(proc(rig, comm));
+  rig.sim.runFor(Duration::seconds(5));
+  const auto status = rig.agent.status(comm);
+  ASSERT_EQ(status.state, QosRequestState::kGranted);
+  ASSERT_EQ(status.reservations.size(), 1u);
+  EXPECT_EQ(status.reservations[0]->request().mark, net::Dscp::kLowLatency);
+  EXPECT_EQ(status.reservations[0]->request().out_action,
+            net::OutOfProfileAction::kDemote);
+}
+
+TEST(QosAgentTest, AttrGetReturnsTheApplicationStruct) {
+  // Figure 3 semantics: MPI_Attr_get returns the pointer that was put.
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  QosAttribute attr;
+  attr.qosclass = QosClass::kPremium;
+  attr.bandwidth_kbps = 1000.0;
+  comm.attrPut(rig.agent.keyval(), &attr);
+  void* out = nullptr;
+  ASSERT_TRUE(comm.attrGet(rig.agent.keyval(), &out));
+  EXPECT_EQ(out, &attr);
+  rig.sim.runFor(Duration::seconds(2));
+}
+
+TEST(QosAgentTest, StatusOnUntouchedCommIsNone) {
+  GarnetRig rig;
+  auto& comm = rig.world.worldComm(0);
+  EXPECT_EQ(rig.agent.status(comm).state, QosRequestState::kNone);
+}
+
+}  // namespace
+}  // namespace mgq::gq

@@ -1,0 +1,117 @@
+#include "gq/shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/network.hpp"
+
+namespace mgq::gq {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+
+struct Pair {
+  explicit Pair(sim::Simulator& sim) : net(sim) {
+    a = &net.addHost("a");
+    b = &net.addHost("b");
+    net.connect(*a, *b, net::LinkConfig{});
+    net.computeRoutes();
+  }
+  net::Network net;
+  net::Host* a;
+  net::Host* b;
+};
+
+TEST(ShaperTest, SpanSendPreservesContent) {
+  sim::Simulator sim;
+  Pair pair(sim);
+  tcp::TcpListener listener(*pair.b, 5000);
+  std::vector<std::uint8_t> received;
+  auto server = [](tcp::TcpListener& l,
+                   std::vector<std::uint8_t>& out) -> Task<> {
+    auto s = co_await l.accept();
+    out.resize(10'000);
+    co_await s->recvExactly(out);
+  };
+  auto client = [](net::Host& h, net::NodeId dst) -> Task<> {
+    auto s = co_await tcp::TcpSocket::connect(h, dst, 5000);
+    std::vector<std::uint8_t> data(10'000);
+    std::iota(data.begin(), data.end(), 0);
+    ShapedSocket shaped(*s, 1e6, 4'000);
+    co_await shaped.send(data);
+  };
+  sim.spawn(server(listener, received));
+  sim.spawn(client(*pair.a, pair.b->id()));
+  sim.runFor(Duration::seconds(30));
+  ASSERT_EQ(received.size(), 10'000u);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    ASSERT_EQ(received[i], static_cast<std::uint8_t>(i & 0xff)) << i;
+  }
+}
+
+TEST(ShaperTest, SendTakesAtLeastTheShapedTime) {
+  sim::Simulator sim;
+  Pair pair(sim);
+  tcp::TcpListener listener(*pair.b, 5000);
+  double finish = -1;
+  auto server = [](tcp::TcpListener& l) -> Task<> {
+    auto s = co_await l.accept();
+    (void)co_await s->drain(INT64_MAX / 2, false);
+  };
+  auto client = [](sim::Simulator& sm, net::Host& h, net::NodeId dst,
+                   double& out) -> Task<> {
+    auto s = co_await tcp::TcpSocket::connect(h, dst, 5000);
+    ShapedSocket shaped(*s, 800e3, 2'000);  // 100 KB/s
+    co_await shaped.sendBulk(100'000);
+    out = sm.now().toSeconds();
+  };
+  sim.spawn(server(listener));
+  sim.spawn(client(sim, *pair.a, pair.b->id(), finish));
+  sim.runFor(Duration::seconds(30));
+  // 100 KB at 100 KB/s with a 2 KB initial burst: just under a second.
+  EXPECT_GT(finish, 0.9);
+  EXPECT_LT(finish, 1.2);
+}
+
+TEST(ShaperTest, ReconfigureChangesPace) {
+  sim::Simulator sim;
+  Pair pair(sim);
+  tcp::TcpListener listener(*pair.b, 5000);
+  tcp::TcpSocket* receiver = nullptr;
+  auto server = [](tcp::TcpListener& l, tcp::TcpSocket*& out) -> Task<> {
+    auto s = co_await l.accept();
+    out = s.get();
+    (void)co_await s->drain(INT64_MAX / 2, false);
+  };
+  auto client = [](sim::Simulator& sm, net::Host& h,
+                   net::NodeId dst) -> Task<> {
+    auto s = co_await tcp::TcpSocket::connect(h, dst, 5000);
+    ShapedSocket shaped(*s, 1e6, 2'000);
+    auto feeder = [](ShapedSocket& sock) -> Task<> {
+      for (;;) co_await sock.sendBulk(10'000);
+    };
+    sm.spawn(feeder(shaped));
+    co_await sm.delay(Duration::seconds(5));
+    shaped.configure(4e6, 2'000);  // 4x faster from t=5
+    co_await sm.delay(Duration::seconds(5));
+  };
+  sim.spawn(server(listener, receiver));
+  sim.spawn(client(sim, *pair.a, pair.b->id()));
+  sim.runUntil(sim::TimePoint::fromSeconds(4.5));
+  const auto before = receiver->bytesDelivered();
+  sim.runUntil(sim::TimePoint::fromSeconds(5.0));
+  const auto at5 = receiver->bytesDelivered();
+  sim.runUntil(sim::TimePoint::fromSeconds(9.5));
+  const auto later = receiver->bytesDelivered();
+  const double rate_before =
+      static_cast<double>(at5 - before) * 8 / 0.5;
+  const double rate_after =
+      static_cast<double>(later - at5) * 8 / 4.5;
+  EXPECT_NEAR(rate_before, 1e6, 0.2e6);
+  EXPECT_NEAR(rate_after, 4e6, 0.5e6);
+}
+
+}  // namespace
+}  // namespace mgq::gq

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi_test_util.hpp"
+
+namespace mgq::mpi {
+namespace {
+
+using sim::Task;
+using testing::Cluster;
+using testing::bytesVec;
+using testing::doublesVec;
+
+// Collective correctness across communicator sizes, including non-powers
+// of two (binomial-tree edge cases).
+class CollectiveSizeTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizeTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8));
+
+TEST_P(CollectiveSizeTest, BarrierSynchronizes) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  std::vector<double> after(static_cast<size_t>(n), -1);
+  cluster.run([&](Comm& comm) -> Task<> {
+    auto& sim = comm.world().simulator();
+    // Stagger arrival: rank r waits r*10ms before the barrier.
+    co_await sim.delay(sim::Duration::millis(10 * comm.rank()));
+    co_await comm.barrier();
+    after[static_cast<size_t>(comm.rank())] = sim.now().toSeconds();
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  // Nobody leaves the barrier before the last rank arrived.
+  const double last_arrival = 0.01 * (n - 1);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(after[static_cast<size_t>(r)], last_arrival) << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSizeTest, BcastDeliversFromEveryRoot) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<std::uint8_t> data;
+      if (comm.rank() == root) {
+        data = bytesVec(root + 1, 7, 9);
+      }
+      co_await comm.bcast(data, root);
+      if (data != bytesVec(root + 1, 7, 9)) {
+        ++failures;
+      }
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSizeTest, ReduceSumAtEveryRoot) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    for (int root = 0; root < comm.size(); ++root) {
+      const std::vector<double> mine = doublesVec(comm.rank(), 1.0);
+      auto out = co_await comm.reduce(mine, ReduceOp::kSum, root);
+      if (comm.rank() == root) {
+        const double expect_sum = n * (n - 1) / 2.0;
+        if (out.size() != 2 || out[0] != expect_sum || out[1] != n) {
+          ++failures;
+        }
+      } else if (!out.empty()) {
+        ++failures;
+      }
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSizeTest, AllreduceMinMax) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    const std::vector<double> mine = doublesVec(comm.rank());
+    auto mn = co_await comm.allreduce(mine, ReduceOp::kMin);
+    auto mx = co_await comm.allreduce(mine, ReduceOp::kMax);
+    if (mn[0] != 0.0 || mx[0] != n - 1) ++failures;
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSizeTest, GatherConcatenatesInRankOrder) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    const std::vector<std::uint8_t> mine = bytesVec(comm.rank() * 3);
+    auto out = co_await comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      if (out.size() != static_cast<std::size_t>(comm.size())) ++failures;
+      for (int r = 0; r < comm.size(); ++r) {
+        if (out[static_cast<size_t>(r)] != r * 3) ++failures;
+      }
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSizeTest, AllgatherEveryoneSeesAll) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    const std::vector<std::uint8_t> mine = bytesVec(comm.rank() + 1);
+    auto out = co_await comm.allgather(mine);
+    for (int r = 0; r < comm.size(); ++r) {
+      if (out[static_cast<size_t>(r)] != r + 1) ++failures;
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSizeTest, AlltoallTransposesBlocks) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    // Block for rank r = {my_rank, r}.
+    std::vector<std::uint8_t> contribution;
+    for (int r = 0; r < comm.size(); ++r) {
+      contribution.push_back(static_cast<std::uint8_t>(comm.rank()));
+      contribution.push_back(static_cast<std::uint8_t>(r));
+    }
+    auto out = co_await comm.alltoall(contribution, 2);
+    for (int r = 0; r < comm.size(); ++r) {
+      // Block from rank r must be {r, my_rank}.
+      if (out[static_cast<size_t>(2 * r)] != r ||
+          out[static_cast<size_t>(2 * r + 1)] != comm.rank()) {
+        ++failures;
+      }
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSizeTest, ScanComputesInclusivePrefix) {
+  const int n = GetParam();
+  Cluster cluster(n);
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    const std::vector<double> mine = doublesVec(comm.rank() + 1);
+    auto out = co_await comm.scan(mine, ReduceOp::kSum);
+    const double expect = (comm.rank() + 1) * (comm.rank() + 2) / 2.0;
+    if (out[0] != expect) ++failures;
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(CollectiveTest, ConsecutiveBarriersDoNotCrossTalk) {
+  Cluster cluster(4);
+  cluster.run([&](Comm& comm) -> Task<> {
+    for (int i = 0; i < 25; ++i) co_await comm.barrier();
+  });
+  EXPECT_TRUE(cluster.world->allFinished());
+}
+
+TEST(CollectiveTest, ReduceProd) {
+  Cluster cluster(3);
+  double result = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    const std::vector<double> mine = doublesVec(comm.rank() + 2);
+    auto out = co_await comm.reduce(mine, ReduceOp::kProd, 0);
+    if (comm.rank() == 0) result = out[0];
+  });
+  EXPECT_DOUBLE_EQ(result, 2.0 * 3.0 * 4.0);
+}
+
+TEST(CollectiveTest, CollectivesDoNotInterceptUserWildcards) {
+  // A rank posting recv(kAnySource, kAnyTag) must never receive internal
+  // collective traffic.
+  Cluster cluster(2);
+  bool got_user_message = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(kAnySource, kAnyTag);
+      co_await comm.barrier();
+      co_await comm.send(1, 1, bytesVec(9));
+      Message m = co_await comm.wait(std::move(req));
+      got_user_message = (m.data.size() == 1 && m.data[0] == 5);
+    } else {
+      co_await comm.barrier();
+      Message m = co_await comm.recv(0, 1);
+      (void)m;
+      co_await comm.send(0, 2, bytesVec(5));
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_TRUE(got_user_message);
+}
+
+}  // namespace
+}  // namespace mgq::mpi

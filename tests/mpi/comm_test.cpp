@@ -1,0 +1,271 @@
+// Communicator management: dup, split, pair intercommunicators, context
+// isolation, attributes and the MPICH-GQ put trigger, flow extraction.
+#include <gtest/gtest.h>
+
+#include "mpi_test_util.hpp"
+
+namespace mgq::mpi {
+namespace {
+
+using sim::Task;
+using testing::Cluster;
+using testing::bytesVec;
+
+TEST(CommTest, DupIsolatesContexts) {
+  Cluster cluster(2);
+  bool ok = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    Comm dup = co_await comm.dup();
+    EXPECT_NE(dup.context(), comm.context());
+    if (comm.rank() == 0) {
+      // Same tag on both comms; receiver distinguishes by communicator.
+      co_await comm.send(1, 1, bytesVec(1));
+      co_await dup.send(1, 1, bytesVec(2));
+    } else {
+      Message on_dup = co_await dup.recv(0, 1);
+      Message on_parent = co_await comm.recv(0, 1);
+      ok = on_dup.data[0] == 2 && on_parent.data[0] == 1;
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_TRUE(ok);
+}
+
+TEST(CommTest, RepeatedDupsGetDistinctContexts) {
+  Cluster cluster(2);
+  std::vector<std::int32_t> contexts;
+  cluster.run([&](Comm& comm) -> Task<> {
+    Comm a = co_await comm.dup();
+    Comm b = co_await comm.dup();
+    Comm c = co_await a.dup();  // dup of a dup
+    if (comm.rank() == 0) {
+      contexts = {comm.context(), a.context(), b.context(), c.context()};
+    }
+  });
+  ASSERT_EQ(contexts.size(), 4u);
+  std::sort(contexts.begin(), contexts.end());
+  EXPECT_EQ(std::unique(contexts.begin(), contexts.end()), contexts.end());
+}
+
+TEST(CommTest, SplitByParity) {
+  Cluster cluster(6);
+  std::vector<int> new_sizes(6, -1), new_ranks(6, -1);
+  cluster.run([&](Comm& comm) -> Task<> {
+    Comm sub = co_await comm.split(comm.rank() % 2, comm.rank());
+    new_sizes[static_cast<size_t>(comm.rank())] = sub.size();
+    new_ranks[static_cast<size_t>(comm.rank())] = sub.rank();
+    // The split communicator works: ring exchange inside the group.
+    if (sub.valid() && sub.size() > 1) {
+      co_await sub.barrier();
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(new_sizes[static_cast<size_t>(r)], 3) << r;
+    EXPECT_EQ(new_ranks[static_cast<size_t>(r)], r / 2) << r;
+  }
+}
+
+TEST(CommTest, SplitWithNegativeColorOptsOut) {
+  Cluster cluster(4);
+  std::vector<bool> valid(4, true);
+  cluster.run([&](Comm& comm) -> Task<> {
+    const int color = comm.rank() == 0 ? -1 : 1;
+    Comm sub = co_await comm.split(color, 0);
+    valid[static_cast<size_t>(comm.rank())] = sub.valid();
+    if (sub.valid()) co_await sub.barrier();
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_FALSE(valid[0]);
+  EXPECT_TRUE(valid[1] && valid[2] && valid[3]);
+}
+
+TEST(CommTest, SplitKeyOrdersRanks) {
+  Cluster cluster(3);
+  std::vector<int> new_rank(3, -1);
+  cluster.run([&](Comm& comm) -> Task<> {
+    // Reverse order via descending keys.
+    Comm sub = co_await comm.split(0, comm.size() - comm.rank());
+    new_rank[static_cast<size_t>(comm.rank())] = sub.rank();
+    co_await sub.barrier();
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(new_rank[0], 2);
+  EXPECT_EQ(new_rank[1], 1);
+  EXPECT_EQ(new_rank[2], 0);
+}
+
+TEST(CommTest, PairCommunicatorTwoParty) {
+  Cluster cluster(4);
+  bool exchanged = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    // Ranks 1 and 3 build a private pair communicator.
+    if (comm.rank() == 1 || comm.rank() == 3) {
+      const int other = comm.rank() == 1 ? 3 : 1;
+      Comm pair = co_await comm.createPair(other);
+      EXPECT_EQ(pair.size(), 2);
+      EXPECT_EQ(pair.rank(), comm.rank() == 1 ? 0 : 1);
+      if (pair.rank() == 0) {
+        co_await pair.send(1, 0, bytesVec(77));
+      } else {
+        Message m = co_await pair.recv(0, 0);
+        exchanged = m.data[0] == 77;
+      }
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_TRUE(exchanged);
+}
+
+TEST(CommTest, MultiplePairsBetweenSameRanksAreIsolated) {
+  Cluster cluster(2);
+  bool ok = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    const int other = 1 - comm.rank();
+    Comm p1 = co_await comm.createPair(other);
+    Comm p2 = co_await comm.createPair(other);
+    EXPECT_NE(p1.context(), p2.context());
+    if (comm.rank() == 0) {
+      co_await p2.send(1, 0, bytesVec(2));
+      co_await p1.send(1, 0, bytesVec(1));
+    } else {
+      Message m1 = co_await p1.recv(0, 0);
+      Message m2 = co_await p2.recv(0, 0);
+      ok = m1.data[0] == 1 && m2.data[0] == 2;
+    }
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_TRUE(ok);
+}
+
+TEST(CommTest, AttributesPutGetDelete) {
+  Cluster cluster(2);
+  int value = 42;
+  bool ok = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    auto& reg = comm.world().attributes();
+    static Keyval keyval = kInvalidKeyval;
+    if (comm.rank() == 0) keyval = reg.create();
+    co_await comm.barrier();  // rank 0 created it (registry is shared)
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(comm.attrPut(keyval, &value));
+      void* out = nullptr;
+      EXPECT_TRUE(comm.attrGet(keyval, &out));
+      EXPECT_EQ(out, &value);
+      EXPECT_TRUE(comm.attrDelete(keyval));
+      EXPECT_FALSE(comm.attrGet(keyval, &out));
+      EXPECT_FALSE(comm.attrDelete(keyval));
+      ok = true;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(CommTest, UnknownKeyvalRejected) {
+  Cluster cluster(2);
+  bool checked = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    if (comm.rank() == 0) {
+      int v = 0;
+      EXPECT_FALSE(comm.attrPut(9999, &v));
+      checked = true;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(checked);
+}
+
+TEST(CommTest, PutHookFires) {
+  // The MPICH-GQ mechanism: putting the attribute triggers the action.
+  Cluster cluster(2);
+  int fired = 0;
+  void* seen_value = nullptr;
+  cluster.run([&](Comm& comm) -> Task<> {
+    auto& reg = comm.world().attributes();
+    static Keyval keyval = kInvalidKeyval;
+    if (comm.rank() == 0) {
+      keyval = reg.create();
+      reg.setPutHook(keyval, [&](Comm& c, Keyval k, void* v) {
+        (void)c;
+        (void)k;
+        ++fired;
+        seen_value = v;
+      });
+      static int value = 7;
+      comm.attrPut(keyval, &value);
+      comm.attrPut(keyval, &value);  // every put triggers
+      EXPECT_EQ(seen_value, &value);
+    }
+    co_return;
+  });
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(CommTest, DupCopiesAttributesViaCallback) {
+  Cluster cluster(2);
+  int value = 5;
+  bool copied_ok = false, blocked_ok = false;
+  cluster.run([&](Comm& comm) -> Task<> {
+    auto& reg = comm.world().attributes();
+    static Keyval copyable = kInvalidKeyval;
+    static Keyval blocked = kInvalidKeyval;
+    if (comm.rank() == 0) {
+      copyable = reg.create();  // default copy: propagate pointer
+      blocked = reg.create(
+          [](Comm&, Keyval, void*, void**) { return false; });  // no copy
+      comm.attrPut(copyable, &value);
+      comm.attrPut(blocked, &value);
+    }
+    Comm dup = co_await comm.dup();
+    if (comm.rank() == 0) {
+      void* out = nullptr;
+      copied_ok = dup.attrGet(copyable, &out) && out == &value;
+      blocked_ok = !dup.attrGet(blocked, &out);
+    }
+  });
+  EXPECT_TRUE(copied_ok);
+  EXPECT_TRUE(blocked_ok);
+}
+
+TEST(CommTest, EstablishOutgoingFlowsReturnsPerPeerKeys) {
+  Cluster cluster(3);
+  std::vector<net::FlowKey> flows;
+  cluster.run([&](Comm& comm) -> Task<> {
+    if (comm.rank() == 0) {
+      flows = co_await comm.establishOutgoingFlows();
+    }
+    co_return;
+  });
+  ASSERT_EQ(flows.size(), 2u);
+  for (const auto& flow : flows) {
+    EXPECT_EQ(flow.proto, net::Protocol::kTcp);
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_GE(flow.src_port, 49152);  // ephemeral client side
+  }
+  EXPECT_NE(flows[0].dst, flows[1].dst);
+}
+
+TEST(CommTest, SameHostRanksProduceNoFlows) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& host = net.addHost("smp");
+  auto& other = net.addHost("other");
+  net.connect(host, other, net::LinkConfig{});
+  net.computeRoutes();
+  World::Config config;
+  config.hosts = {&host, &host};
+  World world(sim, config);
+  std::size_t flow_count = 99;
+  world.launch([&](Comm& comm) -> Task<> {
+    if (comm.rank() == 0) {
+      auto flows = co_await comm.establishOutgoingFlows();
+      flow_count = flows.size();
+    }
+  });
+  sim.runFor(sim::Duration::seconds(5));
+  EXPECT_EQ(flow_count, 0u);
+}
+
+}  // namespace
+}  // namespace mgq::mpi

@@ -1,0 +1,67 @@
+// Shared fixture for MPI tests: N hosts in a star around one router, plus
+// a World binding one rank to each host.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgq::mpi::testing {
+
+// GCC 12 cannot place initializer_list backing arrays in coroutine frames
+// ("array used as initializer"); these variadic helpers build vectors
+// without brace-init temporaries inside coroutines.
+template <typename... T>
+std::vector<std::uint8_t> bytesVec(T... v) {
+  std::vector<std::uint8_t> out;
+  (out.push_back(static_cast<std::uint8_t>(v)), ...);
+  return out;
+}
+
+template <typename... T>
+std::vector<double> doublesVec(T... v) {
+  std::vector<double> out;
+  (out.push_back(static_cast<double>(v)), ...);
+  return out;
+}
+
+struct Cluster {
+  explicit Cluster(int ranks, std::uint64_t seed = 1,
+                   double link_rate_bps = 1e9)
+      : sim(seed), net(sim) {
+    auto& router = net.addRouter("switch");
+    net::LinkConfig link;
+    link.rate_bps = link_rate_bps;
+    link.delay = sim::Duration::micros(50);
+    std::vector<net::Host*> hosts;
+    for (int r = 0; r < ranks; ++r) {
+      auto& host = net.addHost("node" + std::to_string(r));
+      net.connect(host, router, link);
+      hosts.push_back(&host);
+    }
+    net.computeRoutes();
+    World::Config config;
+    config.hosts = hosts;
+    world = std::make_unique<World>(sim, config);
+  }
+
+  /// Launches the rank main and runs until all ranks finish (with a time
+  /// cap so a deadlock fails the test instead of hanging it).
+  void run(std::function<sim::Task<>(Comm&)> rank_main,
+           sim::Duration limit = sim::Duration::seconds(600)) {
+    world->launch(std::move(rank_main));
+    const auto deadline = sim.now() + limit;
+    while (!world->allFinished() && sim.now() < deadline) {
+      sim.runFor(sim::Duration::millis(100));
+    }
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<World> world;
+};
+
+}  // namespace mgq::mpi::testing

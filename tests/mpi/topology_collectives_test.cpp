@@ -1,0 +1,180 @@
+// Topology-aware collective correctness and wide-area traffic savings.
+#include <gtest/gtest.h>
+
+#include "mpi_test_util.hpp"
+#include "net/network.hpp"
+
+namespace mgq::mpi {
+namespace {
+
+using sim::Task;
+using testing::bytesVec;
+using testing::Cluster;
+using testing::doublesVec;
+
+/// Two SMP hosts with `per_host` ranks each, joined by one WAN link whose
+/// traffic we can count.
+struct TwoSmpCluster {
+  explicit TwoSmpCluster(int per_host, bool interleaved = false)
+      : net(sim) {
+    smp_a = &net.addHost("smp-a");
+    smp_b = &net.addHost("smp-b");
+    wan_a = &net.addRouter("wan-a");
+    wan_b = &net.addRouter("wan-b");
+    net::LinkConfig lan;
+    lan.rate_bps = 1e9;
+    net::LinkConfig wan;
+    wan.rate_bps = 100e6;
+    wan.delay = sim::Duration::millis(10);
+    net.connect(*smp_a, *wan_a, lan);
+    net.connect(*wan_a, *wan_b, wan);
+    net.connect(*wan_b, *smp_b, lan);
+    net.computeRoutes();
+    mpi::World::Config config;
+    if (interleaved) {
+      // Arbitrary placement: ranks alternate hosts, so naive binomial
+      // trees cross the WAN many times.
+      for (int r = 0; r < 2 * per_host; ++r) {
+        config.hosts.push_back(r % 2 == 0 ? smp_a : smp_b);
+      }
+    } else {
+      for (int r = 0; r < per_host; ++r) config.hosts.push_back(smp_a);
+      for (int r = 0; r < per_host; ++r) config.hosts.push_back(smp_b);
+    }
+    world = std::make_unique<World>(sim, config);
+  }
+
+  std::int64_t wanBytes() const {
+    // wan_a's second interface faces the WAN link (connect order).
+    return wan_a->interfaces()[1]->stats().tx_bytes;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  net::Host* smp_a;
+  net::Host* smp_b;
+  net::Router* wan_a;
+  net::Router* wan_b;
+  std::unique_ptr<World> world;
+};
+
+class TopoBcastRootTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Roots, TopoBcastRootTest, ::testing::Values(0, 3, 5));
+
+TEST_P(TopoBcastRootTest, DeliversFromAnyRoot) {
+  const int root = GetParam();
+  TwoSmpCluster cluster(4);  // ranks 0-3 on A, 4-7 on B
+  int failures = 0;
+  cluster.world->launch([&](Comm& comm) -> Task<> {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == root) data = bytesVec(9, 8, 7);
+    co_await comm.bcastTopologyAware(data, root);
+    if (data != bytesVec(9, 8, 7)) ++failures;
+  });
+  cluster.sim.runFor(sim::Duration::seconds(60));
+  EXPECT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(TopologyCollectivesTest, BcastCrossesWanExactlyOncePerRemoteHost) {
+  TwoSmpCluster cluster(8);
+  const std::size_t payload = 100'000;
+  cluster.world->launch([&](Comm& comm) -> Task<> {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == 0) data.assign(payload, 0x7e);
+    co_await comm.bcastTopologyAware(data, 0);
+  });
+  cluster.sim.runFor(sim::Duration::seconds(60));
+  ASSERT_TRUE(cluster.world->allFinished());
+  // One 100 KB payload crossing (plus TCP/MPI overhead and ACKs).
+  EXPECT_LT(cluster.wanBytes(), static_cast<std::int64_t>(payload * 1.3));
+}
+
+TEST(TopologyCollectivesTest, FlatBcastCrossesWanMoreThanTopoAware) {
+  // Interleaved rank placement: the flat binomial tree's mask-1 stage
+  // alone crosses the WAN 8 times; the topology-aware tree crosses once.
+  auto wanCost = [](bool topo) {
+    TwoSmpCluster cluster(8, /*interleaved=*/true);
+    const std::size_t payload = 100'000;
+    cluster.world->launch([&, topo](Comm& comm) -> Task<> {
+      std::vector<std::uint8_t> data;
+      if (comm.rank() == 0) data.assign(payload, 0x7e);
+      if (topo) {
+        co_await comm.bcastTopologyAware(data, 0);
+      } else {
+        co_await comm.bcast(data, 0);
+      }
+    });
+    cluster.sim.runFor(sim::Duration::seconds(60));
+    EXPECT_TRUE(cluster.world->allFinished());
+    return cluster.wanBytes();
+  };
+  const auto flat = wanCost(false);
+  const auto topo = wanCost(true);
+  EXPECT_GT(flat, 2 * topo);
+}
+
+TEST(TopologyCollectivesTest, ReduceMatchesFlatReduce) {
+  TwoSmpCluster cluster(4);
+  double topo_result = -1, flat_result = -2;
+  cluster.world->launch([&](Comm& comm) -> Task<> {
+    const std::vector<double> mine = doublesVec(comm.rank() + 1);
+    auto topo = co_await comm.reduceTopologyAware(mine, ReduceOp::kSum, 2);
+    auto flat = co_await comm.reduce(mine, ReduceOp::kSum, 2);
+    if (comm.rank() == 2) {
+      topo_result = topo[0];
+      flat_result = flat[0];
+    } else {
+      EXPECT_TRUE(topo.empty());
+    }
+  });
+  cluster.sim.runFor(sim::Duration::seconds(60));
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_DOUBLE_EQ(topo_result, 36.0);  // 1+..+8
+  EXPECT_DOUBLE_EQ(topo_result, flat_result);
+}
+
+TEST(TopologyCollectivesTest, SingleHostDegeneratesToLocalTree) {
+  // All ranks on one host: works and never needs the (nonexistent) WAN.
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& host = net.addHost("smp");
+  auto& other = net.addHost("peer");
+  net.connect(host, other, net::LinkConfig{});
+  net.computeRoutes();
+  World::Config config;
+  config.hosts = {&host, &host, &host};
+  World world(sim, config);
+  int failures = 0;
+  world.launch([&](Comm& comm) -> Task<> {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == 1) data = bytesVec(5);
+    co_await comm.bcastTopologyAware(data, 1);
+    if (data != bytesVec(5)) ++failures;
+    auto sum = co_await comm.reduceTopologyAware(
+        doublesVec(comm.rank()), ReduceOp::kSum, 1);
+    if (comm.rank() == 1 && sum[0] != 3.0) ++failures;
+  });
+  sim.runFor(sim::Duration::seconds(30));
+  EXPECT_TRUE(world.allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(TopologyCollectivesTest, EveryRankOnOwnHostMatchesFlatSemantics) {
+  Cluster cluster(5);  // star network, one rank per host
+  int failures = 0;
+  cluster.run([&](Comm& comm) -> Task<> {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == 4) data = bytesVec(1, 2);
+    co_await comm.bcastTopologyAware(data, 4);
+    if (data != bytesVec(1, 2)) ++failures;
+    auto sum = co_await comm.reduceTopologyAware(
+        doublesVec(1.0), ReduceOp::kSum, 0);
+    if (comm.rank() == 0 && sum[0] != 5.0) ++failures;
+  });
+  ASSERT_TRUE(cluster.world->allFinished());
+  EXPECT_EQ(failures, 0);
+}
+
+}  // namespace
+}  // namespace mgq::mpi

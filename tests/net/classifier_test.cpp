@@ -1,0 +1,148 @@
+#include "net/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace mgq::net {
+namespace {
+
+FlowKey makeFlow(NodeId src = 1, NodeId dst = 2, PortId sp = 100,
+                 PortId dp = 200, Protocol proto = Protocol::kTcp) {
+  return FlowKey{src, dst, sp, dp, proto};
+}
+
+Packet makePacket(const FlowKey& flow, std::int32_t size = 1000) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(FlowMatchTest, EmptyMatchIsWildcard) {
+  FlowMatch m;
+  EXPECT_TRUE(m.matches(makeFlow()));
+  EXPECT_TRUE(m.matches(makeFlow(9, 9, 9, 9, Protocol::kUdp)));
+}
+
+TEST(FlowMatchTest, ExactMatch) {
+  const auto flow = makeFlow();
+  const auto m = FlowMatch::exact(flow);
+  EXPECT_TRUE(m.matches(flow));
+  EXPECT_FALSE(m.matches(makeFlow(1, 2, 100, 201)));
+  EXPECT_FALSE(m.matches(makeFlow(1, 3, 100, 200)));
+}
+
+TEST(FlowMatchTest, PartialFields) {
+  FlowMatch m;
+  m.dst = 2;
+  m.proto = Protocol::kTcp;
+  EXPECT_TRUE(m.matches(makeFlow(1, 2)));
+  EXPECT_TRUE(m.matches(makeFlow(7, 2, 9, 9)));
+  EXPECT_FALSE(m.matches(makeFlow(1, 3)));
+  EXPECT_FALSE(m.matches(makeFlow(1, 2, 100, 200, Protocol::kUdp)));
+}
+
+TEST(FlowKeyTest, ReversedSwapsEndpoints) {
+  const auto f = makeFlow(1, 2, 10, 20);
+  const auto r = f.reversed();
+  EXPECT_EQ(r.src, 2u);
+  EXPECT_EQ(r.dst, 1u);
+  EXPECT_EQ(r.src_port, 20);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), f);
+}
+
+TEST(DsPolicyTest, NoRulesPassesThroughUnchanged) {
+  DsPolicy policy;
+  auto out = policy.process(makePacket(makeFlow()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dscp, Dscp::kBestEffort);
+}
+
+TEST(DsPolicyTest, MarksUnconditionallyWithoutBucket) {
+  DsPolicy policy;
+  policy.addRule(MarkingRule{FlowMatch{}, Dscp::kLowLatency, nullptr,
+                             OutOfProfileAction::kDrop});
+  auto out = policy.process(makePacket(makeFlow()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dscp, Dscp::kLowLatency);
+  EXPECT_EQ(policy.stats().marked, 1u);
+}
+
+TEST(DsPolicyTest, InProfileMarkedEf) {
+  sim::Simulator s;
+  DsPolicy policy;
+  auto bucket = std::make_shared<TokenBucket>(s, 8000.0, 2000);
+  policy.addRule(MarkingRule{FlowMatch::exact(makeFlow()), Dscp::kExpedited,
+                             bucket, OutOfProfileAction::kDrop});
+  auto out = policy.process(makePacket(makeFlow(), 1500));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dscp, Dscp::kExpedited);
+}
+
+TEST(DsPolicyTest, OutOfProfileDropped) {
+  sim::Simulator s;
+  DsPolicy policy;
+  auto bucket = std::make_shared<TokenBucket>(s, 8000.0, 2000);
+  policy.addRule(MarkingRule{FlowMatch::exact(makeFlow()), Dscp::kExpedited,
+                             bucket, OutOfProfileAction::kDrop});
+  EXPECT_TRUE(policy.process(makePacket(makeFlow(), 1500)).has_value());
+  EXPECT_FALSE(policy.process(makePacket(makeFlow(), 1500)).has_value());
+  EXPECT_EQ(policy.stats().policed_drops, 1u);
+}
+
+TEST(DsPolicyTest, OutOfProfileDemoted) {
+  sim::Simulator s;
+  DsPolicy policy;
+  auto bucket = std::make_shared<TokenBucket>(s, 8000.0, 2000);
+  policy.addRule(MarkingRule{FlowMatch::exact(makeFlow()), Dscp::kExpedited,
+                             bucket, OutOfProfileAction::kDemote});
+  policy.process(makePacket(makeFlow(), 1500));
+  auto out = policy.process(makePacket(makeFlow(), 1500));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dscp, Dscp::kBestEffort);
+  EXPECT_EQ(policy.stats().demoted, 1u);
+}
+
+TEST(DsPolicyTest, NonMatchingFlowUnaffectedByBucket) {
+  sim::Simulator s;
+  DsPolicy policy;
+  auto bucket = std::make_shared<TokenBucket>(s, 8000.0, 2000);
+  policy.addRule(MarkingRule{FlowMatch::exact(makeFlow()), Dscp::kExpedited,
+                             bucket, OutOfProfileAction::kDrop});
+  // Different flow: passes as best effort, bucket untouched.
+  auto out = policy.process(makePacket(makeFlow(5, 6), 1500));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dscp, Dscp::kBestEffort);
+  EXPECT_NEAR(bucket->tokens(), 2000.0, 1e-9);
+}
+
+TEST(DsPolicyTest, FirstMatchWins) {
+  DsPolicy policy;
+  FlowMatch narrow;
+  narrow.dst = 2;
+  policy.addRule(MarkingRule{narrow, Dscp::kExpedited, nullptr,
+                             OutOfProfileAction::kDrop});
+  policy.addRule(MarkingRule{FlowMatch{}, Dscp::kLowLatency, nullptr,
+                             OutOfProfileAction::kDrop});
+  EXPECT_EQ(policy.process(makePacket(makeFlow(1, 2)))->dscp,
+            Dscp::kExpedited);
+  EXPECT_EQ(policy.process(makePacket(makeFlow(1, 3)))->dscp,
+            Dscp::kLowLatency);
+}
+
+TEST(DsPolicyTest, RemoveRuleRestoresPassThrough) {
+  DsPolicy policy;
+  const auto id = policy.addRule(MarkingRule{FlowMatch{}, Dscp::kExpedited,
+                                             nullptr,
+                                             OutOfProfileAction::kDrop});
+  EXPECT_EQ(policy.ruleCount(), 1u);
+  EXPECT_TRUE(policy.removeRule(id));
+  EXPECT_FALSE(policy.removeRule(id));
+  EXPECT_EQ(policy.ruleCount(), 0u);
+  EXPECT_EQ(policy.process(makePacket(makeFlow()))->dscp, Dscp::kBestEffort);
+}
+
+}  // namespace
+}  // namespace mgq::net

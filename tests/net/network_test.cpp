@@ -1,0 +1,288 @@
+// Integration tests: packets traverse links, routers forward, priority
+// queuing protects EF traffic, and the GARNET topology behaves like the
+// paper's testbed.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/udp.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgq::net {
+namespace {
+
+using sim::Duration;
+
+TEST(NetworkTest, HostToHostDelivery) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  auto& r = net.addRouter("r");
+  net.connect(a, r, LinkConfig{});
+  net.connect(b, r, LinkConfig{});
+  net.computeRoutes();
+
+  UdpSink sink(b, 7);
+  UdpSocket sender(a);
+  sender.sendTo(b.id(), 7, 1000);
+  s.run();
+  EXPECT_EQ(sink.packetsReceived(), 1u);
+  EXPECT_EQ(sink.bytesReceived(), 1000);
+}
+
+TEST(NetworkTest, MultiHopForwarding) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  auto& r1 = net.addRouter("r1");
+  auto& r2 = net.addRouter("r2");
+  auto& r3 = net.addRouter("r3");
+  net.connect(a, r1, LinkConfig{});
+  net.connect(r1, r2, LinkConfig{});
+  net.connect(r2, r3, LinkConfig{});
+  net.connect(r3, b, LinkConfig{});
+  net.computeRoutes();
+
+  UdpSink sink(b, 7);
+  UdpSocket sender(a);
+  sender.sendTo(b.id(), 7, 500);
+  s.run();
+  EXPECT_EQ(sink.packetsReceived(), 1u);
+  EXPECT_EQ(r1.stats().forwarded, 1u);
+  EXPECT_EQ(r2.stats().forwarded, 1u);
+  EXPECT_EQ(r3.stats().forwarded, 1u);
+}
+
+TEST(NetworkTest, EndToEndLatencyMatchesLinkModel) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  LinkConfig link;
+  link.rate_bps = 8e6;  // 1 MB/s
+  link.delay = Duration::millis(10);
+  net.connect(a, b, link);
+  net.computeRoutes();
+
+  double arrival = -1;
+  UdpSocket rx(b, 7);
+  rx.onReceive([&](const Packet&) { arrival = s.now().toSeconds(); });
+  UdpSocket tx(a);
+  tx.sendTo(b.id(), 7, 972);  // 972 + 28 header = 1000 B on the wire
+  s.run();
+  // tx time = 1000 B / 1 MB/s = 1 ms, plus 10 ms propagation.
+  EXPECT_NEAR(arrival, 0.011, 1e-6);
+}
+
+TEST(NetworkTest, FragmentationSplitsLargeDatagrams) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, LinkConfig{});
+  net.computeRoutes();
+
+  UdpSink sink(b, 7);
+  UdpSocket tx(a);
+  tx.sendTo(b.id(), 7, 4000);  // > MTU payload 1472
+  s.run();
+  EXPECT_EQ(sink.packetsReceived(), 3u);
+  EXPECT_EQ(sink.bytesReceived(), 4000);
+}
+
+TEST(NetworkTest, UnknownDestinationCountsNoRouteDrop) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& r = net.addRouter("r");
+  net.connect(a, r, LinkConfig{});
+  net.computeRoutes();
+
+  UdpSocket tx(a);
+  tx.sendTo(999, 7, 100);
+  s.run();
+  EXPECT_EQ(r.stats().no_route_drops, 1u);
+}
+
+TEST(NetworkTest, UnboundPortCountsNoListenerDrop) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, LinkConfig{});
+  net.computeRoutes();
+
+  UdpSocket tx(a);
+  tx.sendTo(b.id(), 7, 100);
+  s.run();
+  EXPECT_EQ(b.stats().no_listener_drops, 1u);
+}
+
+TEST(NetworkTest, BottleneckLimitsThroughput) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  auto& r1 = net.addRouter("r1");
+  auto& r2 = net.addRouter("r2");
+  LinkConfig fast;
+  fast.rate_bps = 100e6;
+  LinkConfig slow;
+  slow.rate_bps = 10e6;
+  net.connect(a, r1, fast);
+  net.connect(r1, r2, slow);
+  net.connect(r2, b, fast);
+  net.computeRoutes();
+
+  UdpSink sink(b, 7);
+  UdpTrafficGenerator::Config cfg;
+  cfg.rate_bps = 50e6;  // 5x the bottleneck
+  UdpTrafficGenerator gen(a, b.id(), 7, cfg);
+  gen.start();
+  s.runFor(Duration::seconds(2));
+  gen.stop();
+  const double goodput_bps = static_cast<double>(sink.bytesReceived()) * 8 / 2.0;
+  // Receives at most the bottleneck rate (payload share of it).
+  EXPECT_LT(goodput_bps, 10.5e6);
+  EXPECT_GT(goodput_bps, 8.5e6);
+}
+
+TEST(NetworkTest, CbrGeneratorHitsTargetRate) {
+  sim::Simulator s;
+  Network net(s);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  LinkConfig link;
+  link.rate_bps = 100e6;
+  net.connect(a, b, link);
+  net.computeRoutes();
+
+  UdpSink sink(b, 7);
+  UdpTrafficGenerator::Config cfg;
+  cfg.rate_bps = 5e6;
+  UdpTrafficGenerator gen(a, b.id(), 7, cfg);
+  gen.start();
+  s.runFor(Duration::seconds(5));
+  gen.stop();
+  const double goodput_bps = static_cast<double>(sink.bytesReceived()) * 8 / 5.0;
+  EXPECT_NEAR(goodput_bps, 5e6, 0.25e6);
+}
+
+TEST(NetworkTest, EfTrafficSurvivesBeCongestion) {
+  // The core of the diffserv claim: with the bottleneck saturated by
+  // best-effort UDP, EF-marked traffic still gets through at its rate.
+  sim::Simulator s;
+  GarnetTopology garnet(s);
+  auto& net = garnet.network;
+
+  // Saturating best-effort contention.
+  UdpSink contention_sink(*garnet.competitive_dst, 9);
+  UdpTrafficGenerator::Config blast;
+  blast.rate_bps = garnet.network.simulator().now() == sim::TimePoint::zero()
+                       ? 80e6
+                       : 80e6;  // well above the 55 Mb/s core
+  UdpTrafficGenerator contention(*garnet.competitive_src,
+                                 garnet.competitive_dst->id(), 9, blast);
+  contention.start();
+
+  // Premium flow at 5 Mb/s, marked EF at the host egress.
+  UdpSink premium_sink(*garnet.premium_dst, 7);
+  UdpTrafficGenerator::Config premium_cfg;
+  premium_cfg.rate_bps = 5e6;
+  UdpTrafficGenerator premium(*garnet.premium_src, garnet.premium_dst->id(),
+                              7, premium_cfg);
+  MarkingRule rule;
+  rule.match.proto = Protocol::kUdp;
+  rule.match.dst = garnet.premium_dst->id();
+  rule.mark = Dscp::kExpedited;
+  garnet.premium_src->egressPolicy().addRule(rule);
+  premium.start();
+
+  s.runFor(Duration::seconds(3));
+  premium.stop();
+  contention.stop();
+
+  const double premium_goodput =
+      static_cast<double>(premium_sink.bytesReceived()) * 8 / 3.0;
+  EXPECT_NEAR(premium_goodput, 5e6, 0.3e6);
+  (void)net;
+}
+
+TEST(NetworkTest, WithoutMarkingContentionStarvesTheFlow) {
+  sim::Simulator s;
+  GarnetTopology garnet(s);
+
+  UdpSink contention_sink(*garnet.competitive_dst, 9);
+  UdpTrafficGenerator::Config blast;
+  blast.rate_bps = 110e6;
+  UdpTrafficGenerator contention(*garnet.competitive_src,
+                                 garnet.competitive_dst->id(), 9, blast);
+  contention.start();
+
+  UdpSink victim_sink(*garnet.premium_dst, 7);
+  UdpTrafficGenerator::Config victim_cfg;
+  victim_cfg.rate_bps = 5e6;
+  UdpTrafficGenerator victim(*garnet.premium_src, garnet.premium_dst->id(),
+                             7, victim_cfg);
+  victim.start();
+
+  s.runFor(Duration::seconds(3));
+  victim.stop();
+  contention.stop();
+
+  const double victim_goodput =
+      static_cast<double>(victim_sink.bytesReceived()) * 8 / 3.0;
+  // Heavily squeezed: loses most packets to the saturated BE queue.
+  EXPECT_LT(victim_goodput, 4e6);
+}
+
+TEST(GarnetTopologyTest, AllPartsPresentAndRouted) {
+  sim::Simulator s;
+  GarnetTopology garnet(s);
+  EXPECT_NE(garnet.premium_src, nullptr);
+  EXPECT_NE(garnet.ingressEdgeInterface(), nullptr);
+
+  UdpSink sink(*garnet.premium_dst, 7);
+  UdpSocket tx(*garnet.premium_src);
+  tx.sendTo(garnet.premium_dst->id(), 7, 100);
+  s.run();
+  EXPECT_EQ(sink.packetsReceived(), 1u);
+  EXPECT_EQ(garnet.ingress_router->stats().forwarded, 1u);
+  EXPECT_EQ(garnet.core_router->stats().forwarded, 1u);
+  EXPECT_EQ(garnet.egress_router->stats().forwarded, 1u);
+}
+
+TEST(NetworkTest, PolicedPremiumFlowIsLimitedAtIngress) {
+  // Put an EF rule with a policer on the GARNET ingress edge interface; a
+  // 20 Mb/s UDP flow with a 5 Mb/s profile gets ~5 Mb/s through.
+  sim::Simulator s;
+  GarnetTopology garnet(s);
+
+  auto bucket = std::make_shared<TokenBucket>(
+      s, 5e6, TokenBucket::depthForRate(5e6, TokenBucket::kNormalDivisor));
+  MarkingRule rule;
+  rule.match.dst = garnet.premium_dst->id();
+  rule.match.proto = Protocol::kUdp;
+  rule.mark = Dscp::kExpedited;
+  rule.bucket = bucket;
+  garnet.ingressEdgeInterface()->ingressPolicy().addRule(rule);
+
+  UdpSink sink(*garnet.premium_dst, 7);
+  UdpTrafficGenerator::Config cfg;
+  cfg.rate_bps = 20e6;
+  UdpTrafficGenerator gen(*garnet.premium_src, garnet.premium_dst->id(), 7,
+                          cfg);
+  gen.start();
+  s.runFor(Duration::seconds(2));
+  gen.stop();
+
+  const double goodput = static_cast<double>(sink.bytesReceived()) * 8 / 2.0;
+  EXPECT_LT(goodput, 6.5e6);
+  EXPECT_GT(goodput, 4.5e6);
+  EXPECT_GT(garnet.ingressEdgeInterface()->stats().drops_policed, 0u);
+}
+
+}  // namespace
+}  // namespace mgq::net

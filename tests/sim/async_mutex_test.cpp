@@ -1,0 +1,125 @@
+#include "sim/async_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mgq::sim {
+namespace {
+
+TEST(AsyncMutexTest, UncontendedLockIsImmediate) {
+  Simulator sim;
+  AsyncMutex mutex(sim);
+  bool done = false;
+  auto proc = [](AsyncMutex& m, bool& flag) -> Task<> {
+    co_await m.lock();
+    flag = true;
+    m.unlock();
+  };
+  sim.spawn(proc(mutex, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(AsyncMutexTest, MutualExclusion) {
+  Simulator sim;
+  AsyncMutex mutex(sim);
+  int inside = 0;
+  int max_inside = 0;
+  auto proc = [](Simulator& s, AsyncMutex& m, int& in, int& peak) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await m.lock();
+      ++in;
+      peak = std::max(peak, in);
+      co_await s.delay(Duration::millis(3));
+      --in;
+      m.unlock();
+    }
+  };
+  for (int p = 0; p < 4; ++p) sim.spawn(proc(sim, mutex, inside, max_inside));
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(inside, 0);
+}
+
+TEST(AsyncMutexTest, FifoHandoff) {
+  Simulator sim;
+  AsyncMutex mutex(sim);
+  std::vector<int> order;
+  auto holder = [](Simulator& s, AsyncMutex& m) -> Task<> {
+    co_await m.lock();
+    co_await s.delay(Duration::millis(10));
+    m.unlock();
+  };
+  auto waiter = [](AsyncMutex& m, std::vector<int>& log, int id) -> Task<> {
+    co_await m.lock();
+    log.push_back(id);
+    m.unlock();
+  };
+  sim.spawn(holder(sim, mutex));
+  sim.runFor(Duration::millis(1));
+  sim.spawn(waiter(mutex, order, 1));
+  sim.runFor(Duration::millis(1));
+  sim.spawn(waiter(mutex, order, 2));
+  sim.runFor(Duration::millis(1));
+  sim.spawn(waiter(mutex, order, 3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AsyncMutexTest, ScopedGuardReleasesOnDestruction) {
+  Simulator sim;
+  AsyncMutex mutex(sim);
+  bool second_ran = false;
+  auto first = [](Simulator& s, AsyncMutex& m) -> Task<> {
+    {
+      auto guard = co_await m.scoped();
+      co_await s.delay(Duration::millis(5));
+    }  // guard released here
+    co_return;
+  };
+  auto second = [](AsyncMutex& m, bool& flag) -> Task<> {
+    co_await m.lock();
+    flag = true;
+    m.unlock();
+  };
+  sim.spawn(first(sim, mutex));
+  sim.runFor(Duration::millis(1));
+  sim.spawn(second(mutex, second_ran));
+  sim.run();
+  EXPECT_TRUE(second_ran);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(AsyncMutexTest, GuardMoveTransfersOwnership) {
+  Simulator sim;
+  AsyncMutex mutex(sim);
+  auto proc = [](AsyncMutex& m) -> Task<> {
+    auto g1 = co_await m.scoped();
+    AsyncMutex::Guard g2 = std::move(g1);
+    EXPECT_TRUE(m.locked());
+    g2.release();
+    EXPECT_FALSE(m.locked());
+  };
+  sim.spawn(proc(mutex));
+  sim.run();
+}
+
+TEST(AsyncMutexTest, ManualReleaseThenDestructionIsSafe) {
+  Simulator sim;
+  AsyncMutex mutex(sim);
+  auto proc = [](AsyncMutex& m) -> Task<> {
+    auto guard = co_await m.scoped();
+    guard.release();
+    guard.release();  // idempotent
+    EXPECT_FALSE(m.locked());
+  };
+  sim.spawn(proc(mutex));
+  sim.run();
+}
+
+}  // namespace
+}  // namespace mgq::sim

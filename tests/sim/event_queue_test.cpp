@@ -1,0 +1,127 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgq::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint::fromSeconds(3), [&] { order.push_back(3); });
+  q.push(TimePoint::fromSeconds(1), [&] { order.push_back(1); });
+  q.push(TimePoint::fromSeconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = TimePoint::fromSeconds(1);
+  for (int i = 0; i < 10; ++i) {
+    q.push(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ReportsPopTime) {
+  EventQueue q;
+  q.push(TimePoint::fromSeconds(5), [] {});
+  TimePoint at;
+  q.pop(&at);
+  EXPECT_EQ(at, TimePoint::fromSeconds(5));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto id = q.push(TimePoint::fromSeconds(1), [] {});
+  q.push(TimePoint::fromSeconds(2), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.nextTime(), TimePoint::fromSeconds(2));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelledEventDoesNotRun) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.push(TimePoint::fromSeconds(1), [&] { ran = true; });
+  q.push(TimePoint::fromSeconds(2), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop()();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const auto id = q.push(TimePoint::fromSeconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue q;
+  const auto id = q.push(TimePoint::fromSeconds(1), [] {});
+  q.pop()();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueueTest, SizeExcludesCancelled) {
+  EventQueue q;
+  const auto a = q.push(TimePoint::fromSeconds(1), [] {});
+  q.push(TimePoint::fromSeconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueueTest, AllCancelledMeansEmpty) {
+  EventQueue q;
+  const auto a = q.push(TimePoint::fromSeconds(1), [] {});
+  q.cancel(a);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  q.push(TimePoint::fromSeconds(1), [] {});
+  q.push(TimePoint::fromSeconds(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ManyRandomOrderInsertionsPopSorted) {
+  EventQueue q;
+  // Deterministic pseudo-random insert order.
+  std::uint64_t x = 88172645463325252ULL;
+  std::vector<std::int64_t> times;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    times.push_back(static_cast<std::int64_t>(x % 10'000));
+  }
+  for (auto t : times) {
+    q.push(TimePoint::zero() + Duration::nanos(t), [] {});
+  }
+  TimePoint prev = TimePoint::zero();
+  while (!q.empty()) {
+    TimePoint at;
+    q.pop(&at);
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+}
+
+}  // namespace
+}  // namespace mgq::sim

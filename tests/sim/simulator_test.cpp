@@ -1,0 +1,151 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgq::sim {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.schedule(Duration::seconds(1.0), [&] { seen.push_back(sim.now().toSeconds()); });
+  sim.schedule(Duration::seconds(0.5), [&] { seen.push_back(sim.now().toSeconds()); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.5);
+  EXPECT_DOUBLE_EQ(seen[1], 1.0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) sim.schedule(Duration::millis(10), tick);
+  };
+  sim.schedule(Duration::millis(10), tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 0.05);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule(Duration::seconds(3), [&] { ++fired; });
+  sim.runUntil(TimePoint::fromSeconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.runFor(Duration::seconds(1));
+  sim.runFor(Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 2.0);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(Duration::seconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule(Duration::seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(Duration::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.eventsExecuted(), 7u);
+}
+
+TEST(SimulatorTest, SpawnRunsProcessAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  auto proc = [](Simulator& s, bool& flag) -> Task<> {
+    co_await s.delay(Duration::seconds(2));
+    flag = true;
+  };
+  sim.spawn(proc(sim, ran));
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 2.0);
+}
+
+TEST(SimulatorTest, DelayZeroDoesNotSuspendForever) {
+  Simulator sim;
+  int steps = 0;
+  auto proc = [](Simulator& s, int& n) -> Task<> {
+    co_await s.delay(Duration::zero());
+    ++n;
+    co_await s.delay(Duration::nanos(-5));  // negative treated as ready
+    ++n;
+  };
+  sim.spawn(proc(sim, steps));
+  sim.run();
+  EXPECT_EQ(steps, 2);
+}
+
+TEST(SimulatorTest, DelayUntilPastIsNoop) {
+  Simulator sim;
+  sim.runFor(Duration::seconds(5));
+  bool done = false;
+  auto proc = [](Simulator& s, bool& flag) -> Task<> {
+    co_await s.delayUntil(TimePoint::fromSeconds(1));  // already past
+    flag = true;
+  };
+  sim.spawn(proc(sim, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 5.0);
+}
+
+TEST(SimulatorTest, MultipleProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& s, std::vector<int>& log, int id) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(Duration::millis(10));
+      log.push_back(id);
+    }
+  };
+  sim.spawn(proc(sim, order, 1));
+  sim.spawn(proc(sim, order, 2));
+  sim.run();
+  // Spawn order is preserved at every 10ms boundary.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(SimulatorTest, DetachedProcessExceptionPropagatesFromRun) {
+  Simulator sim;
+  auto proc = [](Simulator& s) -> Task<> {
+    co_await s.delay(Duration::millis(1));
+    throw std::runtime_error("boom");
+  };
+  sim.spawn(proc(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mgq::sim

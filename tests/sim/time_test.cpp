@@ -1,0 +1,64 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgq::sim {
+namespace {
+
+TEST(DurationTest, ConstructorsAndConversions) {
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(3).ns(), 3'000);
+  EXPECT_EQ(Duration::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.25).toSeconds(), 2.25);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).toMillis(), 250.0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const auto a = Duration::millis(10);
+  const auto b = Duration::millis(4);
+  EXPECT_EQ((a + b).ns(), Duration::millis(14).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(6).ns());
+  EXPECT_EQ((a * 2.0).ns(), Duration::millis(20).ns());
+  EXPECT_EQ((a / 2.0).ns(), Duration::millis(5).ns());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  auto d = Duration::millis(1);
+  d += Duration::millis(2);
+  EXPECT_EQ(d, Duration::millis(3));
+  d -= Duration::millis(1);
+  EXPECT_EQ(d, Duration::millis(2));
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::zero(), Duration::nanos(0));
+  EXPECT_GT(Duration::infinite(), Duration::seconds(1e9));
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const auto t0 = TimePoint::zero();
+  const auto t1 = t0 + Duration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(t1.toSeconds(), 2.0);
+  EXPECT_EQ(t1 - t0, Duration::seconds(2.0));
+  EXPECT_EQ(t1 - Duration::seconds(1.0), t0 + Duration::seconds(1.0));
+  auto t2 = t1;
+  t2 += Duration::millis(500);
+  EXPECT_DOUBLE_EQ(t2.toSeconds(), 2.5);
+}
+
+TEST(TimePointTest, FromSeconds) {
+  EXPECT_EQ(TimePoint::fromSeconds(3.0).sinceEpoch(), Duration::seconds(3.0));
+}
+
+TEST(TransmissionTimeTest, BasicRates) {
+  // 1500 bytes at 100 Mb/s = 120 microseconds.
+  EXPECT_EQ(transmissionTime(1500, 100e6), Duration::micros(120));
+  // 1 byte at 8 bit/s = 1 second.
+  EXPECT_EQ(transmissionTime(1, 8.0), Duration::seconds(1.0));
+}
+
+}  // namespace
+}  // namespace mgq::sim

@@ -1,0 +1,205 @@
+#include "storage/dpss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gara/gara.hpp"
+#include "net/network.hpp"
+#include "storage/storage_rm.hpp"
+
+namespace mgq::storage {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+
+TEST(DpssServerTest, SoloReadAtFullBandwidth) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);  // 10 MB/s
+  const auto session = dpss.openSession("client");
+  double finish = -1;
+  auto proc = [](DpssServer& d, SessionId s, sim::Simulator& sm,
+                 double& out) -> Task<> {
+    co_await d.read(s, 20'000'000);  // 20 MB -> 2 s
+    out = sm.now().toSeconds();
+  };
+  sim.spawn(proc(dpss, session, sim, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 2.0, 1e-6);
+}
+
+TEST(DpssServerTest, ConcurrentReadersShareBandwidth) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);
+  const auto s1 = dpss.openSession("a");
+  const auto s2 = dpss.openSession("b");
+  std::vector<double> finishes;
+  auto proc = [](DpssServer& d, SessionId s, sim::Simulator& sm,
+                 std::vector<double>& out) -> Task<> {
+    co_await d.read(s, 10'000'000);
+    out.push_back(sm.now().toSeconds());
+  };
+  sim.spawn(proc(dpss, s1, sim, finishes));
+  sim.spawn(proc(dpss, s2, sim, finishes));
+  sim.run();
+  ASSERT_EQ(finishes.size(), 2u);
+  EXPECT_NEAR(finishes[0], 2.0, 1e-6);  // both at half rate
+  EXPECT_NEAR(finishes[1], 2.0, 1e-6);
+}
+
+TEST(DpssServerTest, ReservationPinsRateUnderContention) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);
+  const auto premium = dpss.openSession("premium");
+  const auto bulk = dpss.openSession("bulk");
+  ASSERT_TRUE(dpss.setReservation(premium, 8e6));
+  double premium_finish = -1;
+  auto reader = [](DpssServer& d, SessionId s, std::int64_t n,
+                   sim::Simulator& sm, double* out) -> Task<> {
+    co_await d.read(s, n);
+    if (out != nullptr) *out = sm.now().toSeconds();
+  };
+  sim.spawn(reader(dpss, premium, 16'000'000, sim, &premium_finish));
+  sim.spawn(reader(dpss, bulk, 100'000'000, sim, nullptr));
+  sim.runUntil(sim::TimePoint::fromSeconds(60));
+  // 16 MB at the pinned 8 MB/s: 2 s despite the bulk competitor.
+  EXPECT_NEAR(premium_finish, 2.0, 1e-6);
+}
+
+TEST(DpssServerTest, AdmissionControlLimitsReservations) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);
+  const auto a = dpss.openSession("a");
+  const auto b = dpss.openSession("b");
+  EXPECT_TRUE(dpss.setReservation(a, 6e6));
+  EXPECT_FALSE(dpss.setReservation(b, 4e6));  // 10 > 9 (90% cap)
+  EXPECT_TRUE(dpss.setReservation(b, 3e6));
+  EXPECT_DOUBLE_EQ(dpss.totalReservedBps(), 9e6 * 8);
+  dpss.clearReservation(a);
+  EXPECT_DOUBLE_EQ(dpss.reservation(a), 0.0);
+  EXPECT_TRUE(dpss.setReservation(b, 9e6));
+}
+
+TEST(DpssServerTest, UnreservedReaderNeverFullyStarves) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);
+  const auto premium = dpss.openSession("premium");
+  const auto poor = dpss.openSession("poor");
+  ASSERT_TRUE(dpss.setReservation(premium, 9e6));
+  auto reader = [](DpssServer& d, SessionId s, std::int64_t n) -> Task<> {
+    co_await d.read(s, n);
+  };
+  sim.spawn(reader(dpss, premium, 1'000'000'000));
+  sim.spawn(reader(dpss, poor, 1'000'000));
+  sim.runFor(Duration::millis(10));
+  EXPECT_GT(dpss.currentRateBps(poor), 0.0);
+}
+
+TEST(DpssServerTest, ZeroByteReadCompletesImmediately) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);
+  const auto s = dpss.openSession("a");
+  bool done = false;
+  auto proc = [](DpssServer& d, SessionId id, bool& flag) -> Task<> {
+    co_await d.read(id, 0);
+    flag = true;
+  };
+  sim.spawn(proc(dpss, s, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 0.0);
+}
+
+TEST(StorageResourceManagerTest, GaraLifecycle) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);
+  StorageResourceManager manager(dpss);
+  gara::Gara gara(sim);
+  gara.registerManager("dpss", manager);
+
+  const auto session = dpss.openSession("app");
+  gara::ReservationRequest request;
+  request.start = sim.now();
+  request.amount = 40e6;  // 40 Mb/s = 5 MB/s
+  request.storage_session = session;
+  auto outcome = gara.reserve("dpss", request);
+  ASSERT_TRUE(outcome) << outcome.error;
+  EXPECT_DOUBLE_EQ(dpss.reservation(session), 5e6);
+
+  // Modify and cancel through the uniform GARA interface.
+  EXPECT_TRUE(gara.modify(outcome.handle, 16e6));
+  EXPECT_DOUBLE_EQ(dpss.reservation(session), 2e6);
+  gara.cancel(outcome.handle);
+  EXPECT_DOUBLE_EQ(dpss.reservation(session), 0.0);
+}
+
+TEST(StorageResourceManagerTest, ValidationAndAdmission) {
+  sim::Simulator sim;
+  DpssServer dpss(sim, 10e6);  // reservable: 72 Mb/s (90% of 80)
+  StorageResourceManager manager(dpss);
+  gara::Gara gara(sim);
+  gara.registerManager("dpss", manager);
+  const auto session = dpss.openSession("app");
+
+  gara::ReservationRequest bad;
+  bad.start = sim.now();
+  bad.amount = 1e6;
+  EXPECT_FALSE(gara.reserve("dpss", bad));  // no session
+
+  gara::ReservationRequest big;
+  big.start = sim.now();
+  big.amount = 80e6;  // over the 72 Mb/s reservable share
+  big.storage_session = session;
+  EXPECT_FALSE(gara.reserve("dpss", big));
+}
+
+TEST(StorageResourceManagerTest, CoReservationWithNetworkAndCpu) {
+  // The paper's uniform-API claim: one coReserve spanning three resource
+  // types, all-or-nothing.
+  sim::Simulator sim;
+  net::Network network(sim);
+  auto& a = network.addHost("a");
+  auto& r = network.addRouter("r");
+  network.connect(a, r, net::LinkConfig{});
+  network.computeRoutes();
+
+  DpssServer dpss(sim, 10e6);
+  cpu::CpuScheduler cpu(sim);
+  StorageResourceManager storage_rm(dpss);
+  gara::CpuResourceManager cpu_rm(cpu);
+  gara::NetworkResourceManager net_rm(50e6, *r.interfaces().front());
+  gara::Gara gara(sim);
+  gara.registerManager("dpss", storage_rm);
+  gara.registerManager("cpu", cpu_rm);
+  gara.registerManager("net", net_rm);
+
+  const auto session = dpss.openSession("app");
+  const auto job = cpu.registerJob("app");
+
+  gara::ReservationRequest net_req;
+  net_req.start = sim.now();
+  net_req.amount = 10e6;
+  gara::ReservationRequest cpu_req;
+  cpu_req.start = sim.now();
+  cpu_req.amount = 0.5;
+  cpu_req.cpu_job = job;
+  gara::ReservationRequest storage_req;
+  storage_req.start = sim.now();
+  storage_req.amount = 40e6;
+  storage_req.storage_session = session;
+
+  auto ok = gara.coReserve(
+      {{"net", net_req}, {"cpu", cpu_req}, {"dpss", storage_req}});
+  ASSERT_TRUE(ok) << ok.error;
+  EXPECT_EQ(ok.handles.size(), 3u);
+  EXPECT_DOUBLE_EQ(cpu.reservation(job), 0.5);
+  EXPECT_DOUBLE_EQ(dpss.reservation(session), 5e6);
+
+  // A failing leg rolls everything back.
+  cpu_req.amount = 0.6;  // 0.5 + 0.6 > 0.95
+  auto fail = gara.coReserve({{"dpss", storage_req}, {"cpu", cpu_req}});
+  EXPECT_FALSE(fail);
+  EXPECT_DOUBLE_EQ(dpss.reservation(session), 5e6);  // original intact
+}
+
+}  // namespace
+}  // namespace mgq::storage

@@ -1,0 +1,64 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgq::tcp {
+namespace {
+
+using sim::Duration;
+
+RttEstimator makeEstimator() {
+  return RttEstimator(Duration::millis(1000), Duration::millis(200),
+                      Duration::seconds(60.0));
+}
+
+TEST(RttEstimatorTest, InitialRtoIsConfigured) {
+  auto e = makeEstimator();
+  EXPECT_EQ(e.rto(), Duration::millis(1000));
+  EXPECT_FALSE(e.hasSample());
+}
+
+TEST(RttEstimatorTest, FirstSampleSetsSrttAndVar) {
+  auto e = makeEstimator();
+  e.addSample(Duration::millis(100));
+  EXPECT_TRUE(e.hasSample());
+  EXPECT_EQ(e.srtt(), Duration::millis(100));
+  EXPECT_EQ(e.rttvar(), Duration::millis(50));
+  // RTO = srtt + 4*rttvar = 300 ms.
+  EXPECT_EQ(e.rto(), Duration::millis(300));
+}
+
+TEST(RttEstimatorTest, SmoothsTowardsStableRtt) {
+  auto e = makeEstimator();
+  for (int i = 0; i < 100; ++i) e.addSample(Duration::millis(80));
+  EXPECT_NEAR(e.srtt().toMillis(), 80.0, 1.0);
+  EXPECT_NEAR(e.rttvar().toMillis(), 0.0, 2.0);
+  // Converged variance -> RTO clamps at min_rto.
+  EXPECT_EQ(e.rto(), Duration::millis(200));
+}
+
+TEST(RttEstimatorTest, SpikeRaisesRto) {
+  auto e = makeEstimator();
+  for (int i = 0; i < 50; ++i) e.addSample(Duration::millis(50));
+  const auto before = e.rto();
+  e.addSample(Duration::millis(500));
+  EXPECT_GT(e.rto(), before);
+}
+
+TEST(RttEstimatorTest, BackoffDoublesAndCaps) {
+  auto e = makeEstimator();
+  e.addSample(Duration::millis(100));  // RTO 300 ms
+  e.backoff();
+  EXPECT_EQ(e.rto(), Duration::millis(600));
+  for (int i = 0; i < 20; ++i) e.backoff();
+  EXPECT_EQ(e.rto(), Duration::seconds(60.0));  // capped
+}
+
+TEST(RttEstimatorTest, MinRtoEnforced) {
+  auto e = makeEstimator();
+  for (int i = 0; i < 10; ++i) e.addSample(Duration::millis(1));
+  EXPECT_GE(e.rto(), Duration::millis(200));
+}
+
+}  // namespace
+}  // namespace mgq::tcp

@@ -1,0 +1,299 @@
+// TCP robustness under adversarial network behaviour: reordering,
+// duplication, ACK-only loss, bidirectional transfers, and a seed-swept
+// random-loss property suite.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "net/network.hpp"
+#include "tcp/tcp_socket.hpp"
+#include "tcp_test_util.hpp"
+
+namespace mgq::tcp {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+using testing::LossyForwarder;
+using testing::LossyPair;
+
+/// Forwarder that delays a random subset of packets by a few ms,
+/// reordering them relative to later traffic.
+class ReorderingForwarder : public net::Node {
+ public:
+  using net::Node::Node;
+  double reorder_probability = 0.1;
+  sim::Duration extra_delay = sim::Duration::millis(3);
+
+  void deliver(net::Packet p, net::Interface& in) override {
+    auto& out = (interfaces()[0].get() == &in) ? *interfaces()[1]
+                                               : *interfaces()[0];
+    if (sim_.rng().bernoulli(reorder_probability)) {
+      sim_.schedule(extra_delay, [&out, pkt = std::move(p)]() mutable {
+        out.send(std::move(pkt));
+      });
+      return;
+    }
+    out.send(std::move(p));
+  }
+};
+
+struct ReorderingPair {
+  explicit ReorderingPair(sim::Simulator& sim) : net(sim) {
+    a = &net.addHost("a");
+    b = &net.addHost("b");
+    gate = std::make_unique<ReorderingForwarder>(sim, 901, "reorder");
+    auto& fa = gate->addInterface();
+    auto& fb = gate->addInterface();
+    const double rate = 100e6;
+    const auto delay = sim::Duration::micros(500);
+    a->nic().connect(fa, rate, delay);
+    fa.connect(a->nic(), rate, delay);
+    b->nic().connect(fb, rate, delay);
+    fb.connect(b->nic(), rate, delay);
+  }
+  net::Network net;
+  net::Host* a;
+  net::Host* b;
+  std::unique_ptr<ReorderingForwarder> gate;
+};
+
+std::int64_t transfer(sim::Simulator& sim, net::Host& from, net::Host& to,
+                      std::int64_t total,
+                      Duration limit = Duration::seconds(300)) {
+  TcpListener listener(to, 5000);
+  std::int64_t drained = -1;
+  auto server = [](TcpListener& l, std::int64_t n, std::int64_t& out)
+      -> Task<> {
+    auto s = co_await l.accept();
+    out = co_await s->drain(n, /*verify_pattern=*/true);
+  };
+  auto client = [](net::Host& h, net::NodeId dst, std::int64_t n) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5000);
+    co_await s->sendBulk(n);
+    co_await s->flush();
+  };
+  sim.spawn(server(listener, total, drained));
+  sim.spawn(client(from, to.id(), total));
+  sim.runFor(limit);
+  return drained;
+}
+
+TEST(TcpRobustnessTest, SurvivesHeavyReordering) {
+  sim::Simulator sim(5);
+  ReorderingPair pair(sim);
+  pair.gate->reorder_probability = 0.25;
+  const auto got = transfer(sim, *pair.a, *pair.b, 500'000);
+  EXPECT_EQ(got, 500'000);
+}
+
+TEST(TcpRobustnessTest, ReorderingDoesNotCorruptButMayRetransmit) {
+  // Spurious fast retransmits from reordering are allowed; corruption and
+  // deadlock are not.
+  sim::Simulator sim(7);
+  ReorderingPair pair(sim);
+  pair.gate->reorder_probability = 0.5;
+  pair.gate->extra_delay = sim::Duration::millis(1);
+  const auto got = transfer(sim, *pair.a, *pair.b, 300'000);
+  EXPECT_EQ(got, 300'000);
+}
+
+TEST(TcpRobustnessTest, DuplicatedPacketsAreHarmless) {
+  sim::Simulator sim(11);
+  LossyPair pair(sim);
+  // "should_drop" abused as a tap: duplicate 10% of packets by re-sending
+  // a copy through the other interface.
+  pair.forwarder->should_drop = [&](const net::Packet& p) {
+    if (sim.rng().bernoulli(0.1)) {
+      auto copy = p;
+      // Deliver the duplicate slightly later.
+      auto* fwd = pair.forwarder.get();
+      sim.schedule(Duration::micros(100), [fwd, copy]() mutable {
+        // Route the copy out of the interface towards its destination.
+        auto& out = copy.flow.dst == 2 ? *fwd->interfaces()[1]
+                                       : *fwd->interfaces()[0];
+        out.send(std::move(copy));
+      });
+    }
+    return false;  // never actually drop
+  };
+  const auto got = transfer(sim, *pair.a, *pair.b, 400'000);
+  EXPECT_EQ(got, 400'000);
+}
+
+TEST(TcpRobustnessTest, PureAckLossOnlySlowsNeverCorrupts) {
+  sim::Simulator sim(13);
+  LossyPair pair(sim);
+  pair.forwarder->should_drop = [&](const net::Packet& p) {
+    const auto* h = p.tcp();
+    // Drop 20% of pure ACKs (cumulative ACKs make most redundant).
+    return h != nullptr && h->payload.empty() && h->is_ack && !h->syn &&
+           !h->fin && sim.rng().bernoulli(0.2);
+  };
+  const auto got = transfer(sim, *pair.a, *pair.b, 400'000);
+  EXPECT_EQ(got, 400'000);
+}
+
+TEST(TcpRobustnessTest, SimultaneousBidirectionalTransfers) {
+  sim::Simulator sim(17);
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  const std::int64_t total = 300'000;
+  std::int64_t got_at_b = -1, got_at_a = -1;
+  TcpListener listener_b(b, 5000);
+  TcpListener listener_a(a, 5001);
+  auto server = [](TcpListener& l, std::int64_t n, std::int64_t& out)
+      -> Task<> {
+    auto s = co_await l.accept();
+    out = co_await s->drain(n, true);
+  };
+  auto client = [](net::Host& h, net::NodeId dst, net::PortId port,
+                   std::int64_t n) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, port);
+    co_await s->sendBulk(n);
+    co_await s->flush();
+  };
+  sim.spawn(server(listener_b, total, got_at_b));
+  sim.spawn(server(listener_a, total, got_at_a));
+  sim.spawn(client(a, b.id(), 5000, total));
+  sim.spawn(client(b, a.id(), 5001, total));
+  sim.runFor(Duration::seconds(120));
+  EXPECT_EQ(got_at_b, total);
+  EXPECT_EQ(got_at_a, total);
+}
+
+TEST(TcpRobustnessTest, SingleSocketFullDuplex) {
+  // One connection carrying data both ways at once.
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  const std::int64_t total = 200'000;
+  std::int64_t server_got = -1;
+  bool client_got = false;
+  TcpListener listener(b, 5000);
+  auto server = [](TcpListener& l, std::int64_t n, std::int64_t& out)
+      -> Task<> {
+    auto s = co_await l.accept();
+    auto send_side = [](TcpSocket& sock, std::int64_t bytes) -> Task<> {
+      co_await sock.sendBulk(bytes);
+      co_await sock.flush();
+    };
+    // Send and receive concurrently on the same socket.
+    auto& sim_ref = s->simulator();
+    sim_ref.spawn(send_side(*s, n));
+    out = co_await s->drain(n, true);
+    // Keep the socket alive until our own send flushes.
+    co_await sim_ref.delay(Duration::seconds(5));
+  };
+  auto client = [](net::Host& h, net::NodeId dst, std::int64_t n,
+                   bool& ok) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5000);
+    auto send_side = [](TcpSocket& sock, std::int64_t bytes) -> Task<> {
+      co_await sock.sendBulk(bytes);
+    };
+    s->simulator().spawn(send_side(*s, n));
+    const auto got = co_await s->drain(n, true);
+    ok = got == n;
+    co_await s->simulator().delay(Duration::seconds(5));
+  };
+  sim.spawn(server(listener, total, server_got));
+  sim.spawn(client(a, b.id(), total, client_got));
+  sim.runFor(Duration::seconds(60));
+  EXPECT_EQ(server_got, total);
+  EXPECT_TRUE(client_got);
+}
+
+class TcpLossSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    LossAndSeed, TcpLossSweepTest,
+    ::testing::Combine(::testing::Values(0.002, 0.02, 0.08),
+                       ::testing::Values(1, 2, 3)));
+
+TEST_P(TcpLossSweepTest, StreamIntegrityProperty) {
+  const auto [loss, seed] = GetParam();
+  sim::Simulator sim(static_cast<std::uint64_t>(seed) * 7919);
+  LossyPair pair(sim);
+  pair.forwarder->should_drop = [&sim, loss = loss](const net::Packet&) {
+    return sim.rng().bernoulli(loss);
+  };
+  const auto got =
+      transfer(sim, *pair.a, *pair.b, 200'000, Duration::seconds(600));
+  EXPECT_EQ(got, 200'000) << "loss=" << loss << " seed=" << seed;
+}
+
+TEST(TcpConfigTest, TinyMssStillCorrect) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+  TcpConfig cfg;
+  cfg.mss = 100;
+  TcpListener listener(b, 5000, cfg);
+  std::int64_t drained = -1;
+  auto server = [](TcpListener& l, std::int64_t& out) -> Task<> {
+    auto s = co_await l.accept();
+    out = co_await s->drain(50'000, true);
+  };
+  auto client = [](net::Host& h, net::NodeId dst, TcpConfig c) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5000, c);
+    co_await s->sendBulk(50'000);
+    co_await s->flush();
+  };
+  sim.spawn(server(listener, drained));
+  sim.spawn(client(a, b.id(), cfg));
+  sim.runFor(Duration::seconds(120));
+  EXPECT_EQ(drained, 50'000);
+}
+
+TEST(TcpConfigTest, FlightNeverExceedsReceiverWindow) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+  TcpConfig cfg;
+  cfg.recv_buffer_bytes = 16 * 1024;
+  cfg.send_buffer_bytes = 256 * 1024;
+  TcpListener listener(b, 5000, cfg);
+  TcpSocket* sender = nullptr;
+  std::int64_t max_flight = 0;
+  auto server = [](TcpListener& l) -> Task<> {
+    auto s = co_await l.accept();
+    (void)co_await s->drain(INT64_MAX / 2, false);
+  };
+  auto client = [](net::Host& h, net::NodeId dst, TcpConfig c,
+                   TcpSocket*& out) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5000, c);
+    out = s.get();
+    co_await s->sendBulk(INT64_MAX / 4);
+  };
+  auto monitor = [](sim::Simulator& s, TcpSocket*& sock,
+                    std::int64_t& peak) -> Task<> {
+    for (int i = 0; i < 1000; ++i) {
+      co_await s.delay(Duration::millis(1));
+      if (sock != nullptr) peak = std::max(peak, sock->bytesInFlight());
+    }
+  };
+  sim.spawn(server(listener));
+  sim.spawn(client(a, b.id(), cfg, sender));
+  sim.spawn(monitor(sim, sender, max_flight));
+  sim.runFor(Duration::seconds(2));
+  EXPECT_GT(max_flight, 0);
+  EXPECT_LE(max_flight, 16 * 1024 + cfg.mss);  // window plus one probe
+}
+
+}  // namespace
+}  // namespace mgq::tcp

@@ -1,0 +1,532 @@
+#include "tcp/tcp_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "net/network.hpp"
+#include "tcp_test_util.hpp"
+
+namespace mgq::tcp {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+using testing::LossyPair;
+
+// Runs a client/server pair: server accepts one connection and executes
+// `server_fn`; client connects and executes `client_fn`.
+template <typename ServerFn, typename ClientFn>
+void runPair(sim::Simulator& sim, net::Host& server_host,
+             net::Host& client_host, ServerFn server_fn, ClientFn client_fn,
+             TcpConfig config = {}, Duration limit = Duration::seconds(300)) {
+  auto listener = std::make_unique<TcpListener>(server_host, 5000, config);
+  auto server = [](TcpListener& l, ServerFn fn) -> Task<> {
+    auto socket = co_await l.accept();
+    co_await fn(*socket);
+  };
+  auto client = [](net::Host& h, net::NodeId dst, TcpConfig cfg,
+                   ClientFn fn) -> Task<> {
+    auto socket = co_await TcpSocket::connect(h, dst, 5000, cfg);
+    co_await fn(*socket);
+  };
+  sim.spawn(server(*listener, server_fn));
+  sim.spawn(client(client_host, server_host.id(), config, client_fn));
+  sim.runUntil(sim::TimePoint::zero() + limit);
+}
+
+TEST(TcpHandshakeTest, EstablishesAndExchangesData) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  std::vector<std::uint8_t> received;
+  bool server_done = false;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        received.resize(5);
+        co_await s.recvExactly(received);
+        server_done = true;
+      },
+      [&](TcpSocket& s) -> Task<> {
+        const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+        co_await s.send(msg);
+        co_await s.flush();
+      });
+  EXPECT_TRUE(server_done);
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(TcpHandshakeTest, ConnectFailsWithoutListener) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpConfig cfg;
+  cfg.initial_rto = Duration::millis(50);  // fast retries for the test
+  bool threw = false;
+  auto client = [&]() -> Task<> {
+    try {
+      auto s = co_await TcpSocket::connect(a, b.id(), 4242, cfg);
+    } catch (const ConnectError&) {
+      threw = true;
+    }
+  };
+  sim.spawn(client());
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(TcpHandshakeTest, SynLossIsRetransmitted) {
+  sim::Simulator sim;
+  LossyPair pair(sim);
+  int syn_seen = 0;
+  pair.forwarder->should_drop = [&](const net::Packet& p) {
+    const auto* h = p.tcp();
+    if (h && h->syn && !h->is_ack && syn_seen++ == 0) return true;  // 1st SYN
+    return false;
+  };
+  TcpConfig cfg;
+  cfg.initial_rto = Duration::millis(100);
+  bool connected = false;
+  runPair(
+      sim, *pair.b, *pair.a,
+      [&](TcpSocket&) -> Task<> { co_return; },
+      [&](TcpSocket& s) -> Task<> {
+        connected = s.established();
+        co_return;
+      },
+      cfg, Duration::seconds(5));
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(syn_seen, 2);
+}
+
+TEST(TcpTransferTest, BulkTransferCleanLinkReachesLinkRate) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net::LinkConfig link;
+  link.rate_bps = 10e6;
+  link.delay = Duration::millis(1);
+  net.connect(a, b, link);
+  net.computeRoutes();
+
+  const std::int64_t total = 2'000'000;  // 2 MB
+  std::int64_t drained = 0;
+  double finish_time = 0;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        drained = co_await s.drain(total, /*verify_pattern=*/true);
+        finish_time = s.stats().bytes_delivered > 0
+                          ? sim.now().toSeconds()
+                          : 0;
+      },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(total);
+        co_await s.flush();
+        s.close();
+      });
+  EXPECT_EQ(drained, total);
+  // 2 MB at 10 Mb/s ~ 1.6 s of payload; with headers/slow start < 2.5 s.
+  EXPECT_GT(finish_time, 1.5);
+  EXPECT_LT(finish_time, 2.5);
+}
+
+TEST(TcpTransferTest, StreamIntegrityUnderRandomLoss) {
+  // Property: whatever the loss pattern, the delivered stream is exact.
+  for (const double loss : {0.01, 0.05}) {
+    for (const std::uint64_t seed : {7ull, 42ull}) {
+      sim::Simulator sim(seed);
+      LossyPair pair(sim);
+      pair.forwarder->should_drop = [&](const net::Packet&) {
+        return sim.rng().bernoulli(loss);
+      };
+      const std::int64_t total = 300'000;
+      std::int64_t drained = 0;
+      runPair(
+          sim, *pair.b, *pair.a,
+          [&](TcpSocket& s) -> Task<> {
+            drained = co_await s.drain(total, /*verify_pattern=*/true);
+          },
+          [&](TcpSocket& s) -> Task<> {
+            co_await s.sendBulk(total);
+            co_await s.flush();
+          },
+          TcpConfig{}, Duration::seconds(600));
+      EXPECT_EQ(drained, total) << "loss=" << loss << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TcpTransferTest, SingleDropTriggersFastRetransmitNotTimeout) {
+  sim::Simulator sim;
+  LossyPair pair(sim);
+  int data_segments = 0;
+  pair.forwarder->should_drop = [&](const net::Packet& p) {
+    const auto* h = p.tcp();
+    if (h && !h->payload.empty()) {
+      return ++data_segments == 20;  // drop exactly the 20th data segment
+    }
+    return false;
+  };
+  const std::int64_t total = 500'000;
+  const TcpStats* client_stats = nullptr;
+  runPair(
+      sim, *pair.b, *pair.a,
+      [&](TcpSocket& s) -> Task<> {
+        (void)co_await s.drain(total, true);
+      },
+      [&](TcpSocket& s) -> Task<> {
+        client_stats = &s.stats();
+        co_await s.sendBulk(total);
+        co_await s.flush();
+        EXPECT_GE(s.stats().fast_retransmits, 1u);
+        EXPECT_EQ(s.stats().timeouts, 0u);
+      });
+  ASSERT_NE(client_stats, nullptr);
+}
+
+TEST(TcpTransferTest, BlackoutCausesTimeoutsAndBackoff) {
+  sim::Simulator sim;
+  LossyPair pair(sim);
+  bool blackout = false;
+  pair.forwarder->should_drop = [&](const net::Packet&) { return blackout; };
+  sim.schedule(Duration::seconds(1), [&] { blackout = true; });
+  sim.schedule(Duration::seconds(8), [&] { blackout = false; });
+
+  // Long enough (~1.7 s at link rate) that the blackout interrupts it.
+  const std::int64_t total = 20'000'000;
+  std::uint64_t timeouts = 0;
+  runPair(
+      sim, *pair.b, *pair.a,
+      [&](TcpSocket& s) -> Task<> { (void)co_await s.drain(total, true); },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(total);
+        co_await s.flush();
+        timeouts = s.stats().timeouts;
+      },
+      TcpConfig{}, Duration::seconds(60));
+  EXPECT_GE(timeouts, 2u);  // repeated RTOs with backoff during blackout
+}
+
+TEST(TcpTransferTest, HigherLossLowersThroughput) {
+  auto goodput = [](double loss) {
+    sim::Simulator sim(99);
+    LossyPair pair(sim, 100e6, Duration::millis(5));
+    pair.forwarder->should_drop = [&sim, loss](const net::Packet&) {
+      return sim.rng().bernoulli(loss);
+    };
+    TcpSocket* receiver = nullptr;
+    auto listener = std::make_unique<TcpListener>(*pair.b, 5000);
+    auto server = [](TcpListener& l, TcpSocket*& out) -> Task<> {
+      auto s = co_await l.accept();
+      out = s.get();
+      (void)co_await s->drain(INT64_MAX / 2, false);
+    };
+    auto client = [](net::Host& h, net::NodeId dst) -> Task<> {
+      auto s = co_await TcpSocket::connect(h, dst, 5000);
+      co_await s->sendBulk(INT64_MAX / 4);
+    };
+    sim.spawn(server(*listener, receiver));
+    sim.spawn(client(*pair.a, pair.b->id()));
+    sim.runUntil(sim::TimePoint::fromSeconds(20));
+    return receiver ? static_cast<double>(receiver->bytesDelivered()) / 20.0
+                    : 0.0;
+  };
+  const double clean = goodput(0.0005);
+  const double lossy = goodput(0.02);
+  EXPECT_GT(clean, 2.0 * lossy);
+}
+
+TEST(TcpFlowControlTest, SlowReaderLimitsSenderWithoutLoss) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpConfig cfg;
+  cfg.recv_buffer_bytes = 8 * 1024;
+  const std::int64_t total = 200'000;
+  std::int64_t got = 0;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        std::vector<std::uint8_t> buf(2048);
+        while (got < total) {
+          const auto n = co_await s.recv(buf);
+          if (n == 0) break;
+          got += static_cast<std::int64_t>(n);
+          co_await sim.delay(Duration::millis(5));  // slow consumer
+        }
+      },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(total);
+        co_await s.flush();
+        // Flow control, not congestion: nothing was dropped or resent.
+        EXPECT_EQ(s.stats().retransmits, 0u);
+        EXPECT_EQ(s.stats().timeouts, 0u);
+      },
+      cfg, Duration::seconds(120));
+  EXPECT_EQ(got, total);
+}
+
+TEST(TcpFlowControlTest, ZeroWindowStallRecoversViaPersist) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpConfig cfg;
+  cfg.recv_buffer_bytes = 4 * 1024;
+  const std::int64_t total = 64 * 1024;
+  std::int64_t got = 0;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        // Stall completely for 3 seconds, then drain everything.
+        co_await sim.delay(Duration::seconds(3));
+        got = co_await s.drain(total, true);
+      },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(total);
+        co_await s.flush();
+      },
+      cfg, Duration::seconds(120));
+  EXPECT_EQ(got, total);
+}
+
+TEST(TcpCloseTest, EofDeliveredAfterData) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  std::size_t last_recv = 99;
+  std::int64_t got = 0;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        got = co_await s.drain(INT64_MAX / 2, true);
+        std::vector<std::uint8_t> buf(16);
+        last_recv = co_await s.recv(buf);  // EOF again
+      },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(10'000);
+        co_await s.flush();
+        s.close();
+      });
+  EXPECT_EQ(got, 10'000);
+  EXPECT_EQ(last_recv, 0u);
+}
+
+TEST(TcpCloseTest, RecvExactlyThrowsOnPrematureEof) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  bool threw = false;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        std::vector<std::uint8_t> buf(100);
+        try {
+          co_await s.recvExactly(buf);
+        } catch (const std::runtime_error&) {
+          threw = true;
+        }
+      },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(10);
+        co_await s.flush();
+        s.close();
+      });
+  EXPECT_TRUE(threw);
+}
+
+TEST(TcpListenerTest, MultipleSimultaneousConnections) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& server = net.addHost("server");
+  auto& c1 = net.addHost("c1");
+  auto& c2 = net.addHost("c2");
+  auto& r = net.addRouter("r");
+  net.connect(server, r, net::LinkConfig{});
+  net.connect(c1, r, net::LinkConfig{});
+  net.connect(c2, r, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpListener listener(server, 5000);
+  std::vector<std::int64_t> totals;
+  auto serve = [](TcpListener& l, std::vector<std::int64_t>& out) -> Task<> {
+    for (int i = 0; i < 2; ++i) {
+      auto s = co_await l.accept();
+      // Serve each connection inline (short transfers).
+      out.push_back(co_await s->drain(INT64_MAX / 2, false));
+    }
+  };
+  auto client = [](net::Host& h, net::NodeId dst, std::int64_t n) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5000);
+    co_await s->sendBulk(n);
+    co_await s->flush();
+    s->close();
+  };
+  sim.spawn(serve(listener, totals));
+  sim.spawn(client(c1, server.id(), 5'000));
+  sim.spawn(client(c2, server.id(), 9'000));
+  sim.runUntil(sim::TimePoint::fromSeconds(30));
+  ASSERT_EQ(totals.size(), 2u);
+  std::sort(totals.begin(), totals.end());
+  EXPECT_EQ(totals[0], 5'000);
+  EXPECT_EQ(totals[1], 9'000);
+}
+
+TEST(TcpCongestionTest, SlowStartGrowsExponentiallyThenLinearly) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net::LinkConfig link;
+  link.rate_bps = 1e9;  // fat link so cwnd is the only limit
+  link.delay = Duration::millis(10);
+  net.connect(a, b, link);
+  net.computeRoutes();
+
+  TcpConfig cfg;
+  cfg.send_buffer_bytes = 1 << 20;
+  cfg.recv_buffer_bytes = 1 << 20;
+  std::vector<double> cwnd_samples;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        (void)co_await s.drain(INT64_MAX / 2, false);
+      },
+      [&](TcpSocket& s) -> Task<> {
+        auto sampler = [](sim::Simulator& sm, TcpSocket& sock,
+                          std::vector<double>& out) -> Task<> {
+          for (int i = 0; i < 8; ++i) {
+            co_await sm.delay(Duration::millis(21));  // ~1 RTT
+            out.push_back(sock.cwndBytes());
+          }
+        };
+        sim.spawn(sampler(sim, s, cwnd_samples));
+        co_await s.sendBulk(100'000'000);
+      },
+      cfg, Duration::seconds(2));
+  ASSERT_GE(cwnd_samples.size(), 4u);
+  // Roughly doubling while in slow start (no loss on this fat link).
+  EXPECT_GT(cwnd_samples[1], cwnd_samples[0] * 1.5);
+  EXPECT_GT(cwnd_samples[2], cwnd_samples[1] * 1.5);
+}
+
+TEST(TcpCongestionTest, SmallSocketBufferCapsThroughputOnLongRtt) {
+  // The paper's §5.5 anecdote: 8 KB buffers cripple high-bandwidth flows.
+  auto goodput = [](std::int64_t bufbytes) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    auto& a = net.addHost("a");
+    auto& b = net.addHost("b");
+    net::LinkConfig link;
+    link.rate_bps = 100e6;
+    link.delay = Duration::millis(20);  // 40 ms RTT
+    net.connect(a, b, link);
+    net.computeRoutes();
+    TcpConfig cfg;
+    cfg.send_buffer_bytes = bufbytes;
+    cfg.recv_buffer_bytes = bufbytes;
+    TcpListener listener(b, 5000, cfg);
+    TcpSocket* receiver = nullptr;
+    auto server = [](TcpListener& l, TcpSocket*& out) -> Task<> {
+      auto s = co_await l.accept();
+      out = s.get();
+      (void)co_await s->drain(INT64_MAX / 2, false);
+    };
+    auto client = [](net::Host& h, net::NodeId dst, TcpConfig c) -> Task<> {
+      auto s = co_await TcpSocket::connect(h, dst, 5000, c);
+      co_await s->sendBulk(INT64_MAX / 4);
+    };
+    sim.spawn(server(listener, receiver));
+    sim.spawn(client(a, b.id(), cfg));
+    sim.runUntil(sim::TimePoint::fromSeconds(10));
+    return receiver
+               ? static_cast<double>(receiver->bytesDelivered()) * 8.0 / 10.0
+               : 0.0;  // bits/s
+  };
+  const double small = goodput(8 * 1024);
+  const double large = goodput(256 * 1024);
+  // Window-limited: ~8KB/40ms = 1.6 Mb/s vs much higher with big buffers.
+  EXPECT_LT(small, 2.5e6);
+  EXPECT_GT(large, 20e6);
+}
+
+TEST(TcpTraceTest, SegmentSentHookFires) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  std::vector<std::uint64_t> seqs;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> { (void)co_await s.drain(50'000, false); },
+      [&](TcpSocket& s) -> Task<> {
+        s.on_segment_sent = [&](sim::TimePoint, std::uint64_t seq,
+                                std::int32_t, bool) { seqs.push_back(seq); };
+        co_await s.sendBulk(50'000);
+        co_await s.flush();
+      });
+  ASSERT_FALSE(seqs.empty());
+  // Monotonically nondecreasing on a clean link, starting at seq 1.
+  EXPECT_EQ(seqs.front(), 1u);
+  EXPECT_TRUE(std::is_sorted(seqs.begin(), seqs.end()));
+}
+
+TEST(TcpDelayedAckTest, FewerAcksThanSegments) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpConfig cfg;
+  cfg.delayed_ack = true;
+  std::uint64_t acks = 0, segments = 0;
+  runPair(
+      sim, b, a,
+      [&](TcpSocket& s) -> Task<> {
+        (void)co_await s.drain(500'000, false);
+        acks = s.stats().acks_sent;
+        segments = s.stats().segments_received;
+      },
+      [&](TcpSocket& s) -> Task<> {
+        co_await s.sendBulk(500'000);
+        co_await s.flush();
+      },
+      cfg);
+  EXPECT_GT(segments, 0u);
+  EXPECT_LT(acks, segments * 3 / 4);  // roughly one ACK per two segments
+}
+
+}  // namespace
+}  // namespace mgq::tcp

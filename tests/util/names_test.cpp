@@ -1,0 +1,58 @@
+// Name/label helpers across the library: every enum value maps to a
+// stable, human-readable string (these appear in logs and bench output).
+#include <gtest/gtest.h>
+
+#include "gara/gara.hpp"
+#include "gq/qos_attribute.hpp"
+#include "net/packet.hpp"
+
+namespace mgq {
+namespace {
+
+TEST(NamesTest, DscpNames) {
+  EXPECT_STREQ(net::dscpName(net::Dscp::kBestEffort), "BE");
+  EXPECT_STREQ(net::dscpName(net::Dscp::kLowLatency), "LL");
+  EXPECT_STREQ(net::dscpName(net::Dscp::kExpedited), "EF");
+}
+
+TEST(NamesTest, DropReasonNames) {
+  EXPECT_STREQ(net::dropReasonName(net::DropReason::kQueueOverflow),
+               "queue-overflow");
+  EXPECT_STREQ(net::dropReasonName(net::DropReason::kPoliced), "policed");
+  EXPECT_STREQ(net::dropReasonName(net::DropReason::kNoRoute), "no-route");
+  EXPECT_STREQ(net::dropReasonName(net::DropReason::kNoListener),
+               "no-listener");
+}
+
+TEST(NamesTest, ReservationStateNames) {
+  using gara::ReservationState;
+  EXPECT_STREQ(gara::reservationStateName(ReservationState::kPending),
+               "pending");
+  EXPECT_STREQ(gara::reservationStateName(ReservationState::kActive),
+               "active");
+  EXPECT_STREQ(gara::reservationStateName(ReservationState::kExpired),
+               "expired");
+  EXPECT_STREQ(gara::reservationStateName(ReservationState::kCancelled),
+               "cancelled");
+}
+
+TEST(NamesTest, QosClassNames) {
+  EXPECT_STREQ(gq::qosClassName(gq::QosClass::kBestEffort), "best-effort");
+  EXPECT_STREQ(gq::qosClassName(gq::QosClass::kLowLatency), "low-latency");
+  EXPECT_STREQ(gq::qosClassName(gq::QosClass::kPremium), "premium");
+}
+
+TEST(NamesTest, QosRequestStateNames) {
+  using gq::QosRequestState;
+  EXPECT_STREQ(gq::qosRequestStateName(QosRequestState::kNone), "none");
+  EXPECT_STREQ(gq::qosRequestStateName(QosRequestState::kPending),
+               "pending");
+  EXPECT_STREQ(gq::qosRequestStateName(QosRequestState::kGranted),
+               "granted");
+  EXPECT_STREQ(gq::qosRequestStateName(QosRequestState::kDenied), "denied");
+  EXPECT_STREQ(gq::qosRequestStateName(QosRequestState::kReleased),
+               "released");
+}
+
+}  // namespace
+}  // namespace mgq

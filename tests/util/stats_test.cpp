@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mgq::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  const std::array<double, 5> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  const std::array<double, 2> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 9.0);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  const std::array<double, 3> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 200), 3.0);
+}
+
+TEST(MeanTest, Basic) {
+  const std::array<double, 4> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(CoefficientOfVariationTest, ZeroMeanGivesZero) {
+  const std::array<double, 2> v{-1, 1};
+  EXPECT_DOUBLE_EQ(coefficientOfVariation(v), 0.0);
+}
+
+TEST(CoefficientOfVariationTest, ConstantSeriesIsZero) {
+  const std::array<double, 3> v{4, 4, 4};
+  EXPECT_DOUBLE_EQ(coefficientOfVariation(v), 0.0);
+}
+
+TEST(MovingAverageTest, WindowOfOneIsIdentity) {
+  const std::array<double, 3> v{1, 5, 9};
+  EXPECT_EQ(movingAverage(v, 1), (std::vector<double>{1, 5, 9}));
+}
+
+TEST(MovingAverageTest, PrefixAveragesThenWindow) {
+  const std::array<double, 4> v{2, 4, 6, 8};
+  const auto out = movingAverage(v, 2);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 5.0);
+  EXPECT_DOUBLE_EQ(out[3], 7.0);
+}
+
+TEST(MovingAverageTest, ZeroWindowTreatedAsOne) {
+  const std::array<double, 2> v{3, 7};
+  EXPECT_EQ(movingAverage(v, 0), (std::vector<double>{3, 7}));
+}
+
+}  // namespace
+}  // namespace mgq::util

@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mgq::util {
+namespace {
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  t.addRow({"3", "4"});
+  std::ostringstream os;
+  t.renderCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.addRow({"1"});
+  std::ostringstream os;
+  t.renderCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(TableTest, AsciiAlignsColumns) {
+  Table t({"col", "x"});
+  t.addRow({"longvalue", "1"});
+  std::ostringstream os;
+  t.renderAscii(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("col"), std::string::npos);
+  EXPECT_NE(text.find("longvalue"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(1234.5), "1234.5");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({"x"});
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+}  // namespace
+}  // namespace mgq::util
