@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_divisor.dir/ablation_bucket_divisor.cpp.o"
+  "CMakeFiles/ablation_bucket_divisor.dir/ablation_bucket_divisor.cpp.o.d"
+  "ablation_bucket_divisor"
+  "ablation_bucket_divisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_divisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

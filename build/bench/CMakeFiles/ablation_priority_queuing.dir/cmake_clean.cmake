@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority_queuing.dir/ablation_priority_queuing.cpp.o"
+  "CMakeFiles/ablation_priority_queuing.dir/ablation_priority_queuing.cpp.o.d"
+  "ablation_priority_queuing"
+  "ablation_priority_queuing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

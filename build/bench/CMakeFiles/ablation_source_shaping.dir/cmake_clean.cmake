@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_source_shaping.dir/ablation_source_shaping.cpp.o"
+  "CMakeFiles/ablation_source_shaping.dir/ablation_source_shaping.cpp.o.d"
+  "ablation_source_shaping"
+  "ablation_source_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_source_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

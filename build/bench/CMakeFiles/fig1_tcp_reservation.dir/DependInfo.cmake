@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_tcp_reservation.cpp" "bench/CMakeFiles/fig1_tcp_reservation.dir/fig1_tcp_reservation.cpp.o" "gcc" "bench/CMakeFiles/fig1_tcp_reservation.dir/fig1_tcp_reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mgq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gq/CMakeFiles/mgq_gq.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mgq_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mgq_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gara/CMakeFiles/mgq_gara.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mgq_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

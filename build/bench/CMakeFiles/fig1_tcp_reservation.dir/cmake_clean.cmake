@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tcp_reservation.dir/fig1_tcp_reservation.cpp.o"
+  "CMakeFiles/fig1_tcp_reservation.dir/fig1_tcp_reservation.cpp.o.d"
+  "fig1_tcp_reservation"
+  "fig1_tcp_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tcp_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

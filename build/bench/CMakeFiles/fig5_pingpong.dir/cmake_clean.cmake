@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pingpong.dir/fig5_pingpong.cpp.o"
+  "CMakeFiles/fig5_pingpong.dir/fig5_pingpong.cpp.o.d"
+  "fig5_pingpong"
+  "fig5_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_burst_trace.dir/fig7_burst_trace.cpp.o"
+  "CMakeFiles/fig7_burst_trace.dir/fig7_burst_trace.cpp.o.d"
+  "fig7_burst_trace"
+  "fig7_burst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_burst_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cpu_reservation.dir/fig8_cpu_reservation.cpp.o"
+  "CMakeFiles/fig8_cpu_reservation.dir/fig8_cpu_reservation.cpp.o.d"
+  "fig8_cpu_reservation"
+  "fig8_cpu_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cpu_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

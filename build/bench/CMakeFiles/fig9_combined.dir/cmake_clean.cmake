@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_combined.dir/fig9_combined.cpp.o"
+  "CMakeFiles/fig9_combined.dir/fig9_combined.cpp.o.d"
+  "fig9_combined"
+  "fig9_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_burstiness.dir/table1_burstiness.cpp.o"
+  "CMakeFiles/table1_burstiness.dir/table1_burstiness.cpp.o.d"
+  "table1_burstiness"
+  "table1_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

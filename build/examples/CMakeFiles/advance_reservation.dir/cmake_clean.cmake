@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advance_reservation.dir/advance_reservation.cpp.o"
+  "CMakeFiles/advance_reservation.dir/advance_reservation.cpp.o.d"
+  "advance_reservation"
+  "advance_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advance_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

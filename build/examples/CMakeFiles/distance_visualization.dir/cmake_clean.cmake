@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_visualization.dir/distance_visualization.cpp.o"
+  "CMakeFiles/distance_visualization.dir/distance_visualization.cpp.o.d"
+  "distance_visualization"
+  "distance_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

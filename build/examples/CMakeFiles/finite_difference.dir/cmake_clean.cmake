@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_difference.dir/finite_difference.cpp.o"
+  "CMakeFiles/finite_difference.dir/finite_difference.cpp.o.d"
+  "finite_difference"
+  "finite_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_pipeline.dir/grid_pipeline.cpp.o"
+  "CMakeFiles/grid_pipeline.dir/grid_pipeline.cpp.o.d"
+  "grid_pipeline"
+  "grid_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_apps.dir/garnet_rig.cpp.o"
+  "CMakeFiles/mgq_apps.dir/garnet_rig.cpp.o.d"
+  "CMakeFiles/mgq_apps.dir/sampler.cpp.o"
+  "CMakeFiles/mgq_apps.dir/sampler.cpp.o.d"
+  "CMakeFiles/mgq_apps.dir/workloads.cpp.o"
+  "CMakeFiles/mgq_apps.dir/workloads.cpp.o.d"
+  "libmgq_apps.a"
+  "libmgq_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

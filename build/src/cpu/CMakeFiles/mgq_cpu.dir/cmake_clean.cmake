@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_cpu.dir/cpu_scheduler.cpp.o"
+  "CMakeFiles/mgq_cpu.dir/cpu_scheduler.cpp.o.d"
+  "libmgq_cpu.a"
+  "libmgq_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gara/bandwidth_broker.cpp" "src/gara/CMakeFiles/mgq_gara.dir/bandwidth_broker.cpp.o" "gcc" "src/gara/CMakeFiles/mgq_gara.dir/bandwidth_broker.cpp.o.d"
+  "/root/repo/src/gara/gara.cpp" "src/gara/CMakeFiles/mgq_gara.dir/gara.cpp.o" "gcc" "src/gara/CMakeFiles/mgq_gara.dir/gara.cpp.o.d"
+  "/root/repo/src/gara/resource_manager.cpp" "src/gara/CMakeFiles/mgq_gara.dir/resource_manager.cpp.o" "gcc" "src/gara/CMakeFiles/mgq_gara.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/gara/slot_table.cpp" "src/gara/CMakeFiles/mgq_gara.dir/slot_table.cpp.o" "gcc" "src/gara/CMakeFiles/mgq_gara.dir/slot_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mgq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mgq_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

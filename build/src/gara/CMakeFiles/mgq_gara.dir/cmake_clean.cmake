@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_gara.dir/bandwidth_broker.cpp.o"
+  "CMakeFiles/mgq_gara.dir/bandwidth_broker.cpp.o.d"
+  "CMakeFiles/mgq_gara.dir/gara.cpp.o"
+  "CMakeFiles/mgq_gara.dir/gara.cpp.o.d"
+  "CMakeFiles/mgq_gara.dir/resource_manager.cpp.o"
+  "CMakeFiles/mgq_gara.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/mgq_gara.dir/slot_table.cpp.o"
+  "CMakeFiles/mgq_gara.dir/slot_table.cpp.o.d"
+  "libmgq_gara.a"
+  "libmgq_gara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_gara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_gq.dir/negotiation.cpp.o"
+  "CMakeFiles/mgq_gq.dir/negotiation.cpp.o.d"
+  "CMakeFiles/mgq_gq.dir/qos_agent.cpp.o"
+  "CMakeFiles/mgq_gq.dir/qos_agent.cpp.o.d"
+  "CMakeFiles/mgq_gq.dir/shaper.cpp.o"
+  "CMakeFiles/mgq_gq.dir/shaper.cpp.o.d"
+  "libmgq_gq.a"
+  "libmgq_gq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_gq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgq_gq.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/attributes.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/attributes.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/attributes.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/matching.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/matching.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/matching.cpp.o.d"
+  "/root/repo/src/mpi/message.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/message.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/message.cpp.o.d"
+  "/root/repo/src/mpi/topology_collectives.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/topology_collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/topology_collectives.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/mgq_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/mgq_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/mgq_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_mpi.dir/attributes.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/attributes.cpp.o.d"
+  "CMakeFiles/mgq_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/mgq_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/mgq_mpi.dir/matching.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/matching.cpp.o.d"
+  "CMakeFiles/mgq_mpi.dir/message.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/message.cpp.o.d"
+  "CMakeFiles/mgq_mpi.dir/topology_collectives.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/topology_collectives.cpp.o.d"
+  "CMakeFiles/mgq_mpi.dir/world.cpp.o"
+  "CMakeFiles/mgq_mpi.dir/world.cpp.o.d"
+  "libmgq_mpi.a"
+  "libmgq_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/classifier.cpp" "src/net/CMakeFiles/mgq_net.dir/classifier.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/classifier.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/mgq_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/mgq_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/mgq_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/mgq_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/mgq_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/mgq_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/token_bucket.cpp" "src/net/CMakeFiles/mgq_net.dir/token_bucket.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/mgq_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/mgq_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mgq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

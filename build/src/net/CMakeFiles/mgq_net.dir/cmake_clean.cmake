@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_net.dir/classifier.cpp.o"
+  "CMakeFiles/mgq_net.dir/classifier.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/host.cpp.o"
+  "CMakeFiles/mgq_net.dir/host.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/network.cpp.o"
+  "CMakeFiles/mgq_net.dir/network.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/node.cpp.o"
+  "CMakeFiles/mgq_net.dir/node.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/packet.cpp.o"
+  "CMakeFiles/mgq_net.dir/packet.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/queue.cpp.o"
+  "CMakeFiles/mgq_net.dir/queue.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/router.cpp.o"
+  "CMakeFiles/mgq_net.dir/router.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/token_bucket.cpp.o"
+  "CMakeFiles/mgq_net.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/mgq_net.dir/udp.cpp.o"
+  "CMakeFiles/mgq_net.dir/udp.cpp.o.d"
+  "libmgq_net.a"
+  "libmgq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

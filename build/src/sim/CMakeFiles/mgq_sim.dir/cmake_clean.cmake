@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mgq_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mgq_sim.dir/random.cpp.o"
+  "CMakeFiles/mgq_sim.dir/random.cpp.o.d"
+  "CMakeFiles/mgq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mgq_sim.dir/simulator.cpp.o.d"
+  "libmgq_sim.a"
+  "libmgq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_storage.dir/dpss.cpp.o"
+  "CMakeFiles/mgq_storage.dir/dpss.cpp.o.d"
+  "libmgq_storage.a"
+  "libmgq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgq_storage.a"
+)

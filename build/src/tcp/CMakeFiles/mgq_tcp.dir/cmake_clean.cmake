@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_tcp.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/mgq_tcp.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/mgq_tcp.dir/tcp_socket.cpp.o"
+  "CMakeFiles/mgq_tcp.dir/tcp_socket.cpp.o.d"
+  "libmgq_tcp.a"
+  "libmgq_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgq_util.dir/logging.cpp.o"
+  "CMakeFiles/mgq_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mgq_util.dir/stats.cpp.o"
+  "CMakeFiles/mgq_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mgq_util.dir/table.cpp.o"
+  "CMakeFiles/mgq_util.dir/table.cpp.o.d"
+  "libmgq_util.a"
+  "libmgq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

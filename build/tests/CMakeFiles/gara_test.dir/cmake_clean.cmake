@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gara_test.dir/gara/bandwidth_broker_test.cpp.o"
+  "CMakeFiles/gara_test.dir/gara/bandwidth_broker_test.cpp.o.d"
+  "CMakeFiles/gara_test.dir/gara/gara_test.cpp.o"
+  "CMakeFiles/gara_test.dir/gara/gara_test.cpp.o.d"
+  "CMakeFiles/gara_test.dir/gara/lifecycle_test.cpp.o"
+  "CMakeFiles/gara_test.dir/gara/lifecycle_test.cpp.o.d"
+  "CMakeFiles/gara_test.dir/gara/slot_table_test.cpp.o"
+  "CMakeFiles/gara_test.dir/gara/slot_table_test.cpp.o.d"
+  "gara_test"
+  "gara_test.pdb"
+  "gara_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gara_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

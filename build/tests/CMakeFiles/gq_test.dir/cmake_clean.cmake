@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gq_test.dir/gq/end_to_end_test.cpp.o"
+  "CMakeFiles/gq_test.dir/gq/end_to_end_test.cpp.o.d"
+  "CMakeFiles/gq_test.dir/gq/multiparty_test.cpp.o"
+  "CMakeFiles/gq_test.dir/gq/multiparty_test.cpp.o.d"
+  "CMakeFiles/gq_test.dir/gq/negotiation_test.cpp.o"
+  "CMakeFiles/gq_test.dir/gq/negotiation_test.cpp.o.d"
+  "CMakeFiles/gq_test.dir/gq/qos_agent_test.cpp.o"
+  "CMakeFiles/gq_test.dir/gq/qos_agent_test.cpp.o.d"
+  "CMakeFiles/gq_test.dir/gq/shaper_test.cpp.o"
+  "CMakeFiles/gq_test.dir/gq/shaper_test.cpp.o.d"
+  "gq_test"
+  "gq_test.pdb"
+  "gq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/collectives_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/collectives_test.cpp.o.d"
+  "/root/repo/tests/mpi/comm_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/comm_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/comm_test.cpp.o.d"
+  "/root/repo/tests/mpi/matching_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/matching_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/matching_test.cpp.o.d"
+  "/root/repo/tests/mpi/p2p_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/p2p_test.cpp.o.d"
+  "/root/repo/tests/mpi/stress_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/stress_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/stress_test.cpp.o.d"
+  "/root/repo/tests/mpi/topology_collectives_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/topology_collectives_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/topology_collectives_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mgq_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mgq_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test.dir/mpi/collectives_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/collectives_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/comm_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/comm_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/matching_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/matching_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/p2p_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/p2p_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/stress_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/stress_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/mpi/topology_collectives_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi/topology_collectives_test.cpp.o.d"
+  "mpi_test"
+  "mpi_test.pdb"
+  "mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

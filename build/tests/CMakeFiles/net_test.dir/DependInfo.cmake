@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/classifier_test.cpp" "tests/CMakeFiles/net_test.dir/net/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/classifier_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/net_test.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/queue_test.cpp" "tests/CMakeFiles/net_test.dir/net/queue_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/queue_test.cpp.o.d"
+  "/root/repo/tests/net/token_bucket_test.cpp" "tests/CMakeFiles/net_test.dir/net/token_bucket_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/token_bucket_test.cpp.o.d"
+  "/root/repo/tests/net/udp_test.cpp" "tests/CMakeFiles/net_test.dir/net/udp_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/udp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mgq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
