@@ -12,9 +12,11 @@ mpi::World::Config worldConfig(net::GarnetTopology& garnet,
   return config;
 }
 
-gq::QosAgent::Config agentConfig(net::GarnetTopology& garnet) {
+gq::QosAgent::Config agentConfig(net::GarnetTopology& garnet,
+                                 const gq::QosAgent::RecoveryPolicy& recovery) {
   gq::QosAgent::Config config;
   config.default_network_resource = "net-forward";
+  config.recovery = recovery;
   const auto src_id = garnet.premium_src->id();
   const auto dst_id = garnet.premium_dst->id();
   config.resource_resolver = [src_id, dst_id](const net::FlowKey& flow) {
@@ -44,7 +46,7 @@ GarnetRig::GarnetRig(const Config& config)
       cpu_receiver_rm(receiver_cpu),
       gara(sim),
       world(sim, worldConfig(garnet, config.tcp)),
-      agent(world, gara, agentConfig(garnet)),
+      agent(world, gara, agentConfig(garnet, config.recovery)),
       contention_sink(*garnet.competitive_dst, 9),
       config_(config) {
   gara.registerManager("net-forward", net_forward);

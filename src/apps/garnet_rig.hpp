@@ -41,6 +41,9 @@ class GarnetRig {
     /// link — EF must stay bounded to avoid starving best effort (§2).
     double premium_capacity_fraction = 0.8;
     tcp::TcpConfig tcp;
+    /// QoS-agent failure handling (default: no retries — a lost
+    /// reservation degrades to best effort and stays there).
+    gq::QosAgent::RecoveryPolicy recovery;
     std::uint64_t seed = 1;
   };
 

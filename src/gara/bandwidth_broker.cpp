@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/logging.hpp"
+
 namespace mgq::gara {
 
 void BandwidthBroker::definePath(const std::string& name,
@@ -57,11 +59,20 @@ bool BandwidthBroker::modify(PathReservation& reservation,
     auto& handle = reservation.handles[i];
     previous.push_back(handle->request().amount);
     if (!gara_->modify(handle, new_amount)) {
-      // Roll back the legs already grown/shrunk.
+      // Roll back the legs already grown/shrunk. Restoring a previously
+      // held amount normally cannot fail — but a leg may have expired or
+      // been revoked underneath us while the forward pass ran. That leg
+      // no longer holds capacity, so the path is broken: fail it loudly
+      // instead of leaving a silently inconsistent reservation.
       for (std::size_t j = 0; j < i; ++j) {
-        const bool restored = gara_->modify(reservation.handles[j], previous[j]);
-        assert(restored && "rollback to a previously-held amount failed");
-        (void)restored;
+        auto& leg = reservation.handles[j];
+        if (gara_->modify(leg, previous[j])) continue;
+        MGQ_LOG(kError) << "bandwidth broker: rollback of leg " << j
+                        << " (reservation " << leg->id() << ") to "
+                        << previous[j]
+                        << " bps failed; failing the leg (state: "
+                        << reservationStateName(leg->state()) << ")";
+        gara_->fail(leg, "path modify rollback failed");
       }
       return false;
     }

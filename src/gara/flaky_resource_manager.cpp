@@ -1,0 +1,43 @@
+#include "gara/flaky_resource_manager.hpp"
+
+#include <vector>
+
+namespace mgq::gara {
+
+std::string FlakyResourceManager::validate(
+    const ReservationRequest& request) const {
+  if (outage_) return "resource manager unreachable (injected outage)";
+  if (deny_next_ > 0) {
+    --deny_next_;
+    return "reservation denied (injected fault)";
+  }
+  return inner_->validate(request);
+}
+
+void FlakyResourceManager::enforce(Reservation& reservation) {
+  inner_->enforce(reservation);
+  active_.insert(reservation.id());
+}
+
+void FlakyResourceManager::release(Reservation& reservation) {
+  active_.erase(reservation.id());
+  inner_->release(reservation);
+}
+
+void FlakyResourceManager::revokeActive(const std::string& reason) {
+  // reportFailure() re-enters release() and erases from active_.
+  const std::vector<std::uint64_t> victims(active_.begin(), active_.end());
+  for (const auto id : victims) reportFailure(id, reason);
+}
+
+sim::FaultTarget FlakyResourceManager::faultTarget() {
+  sim::FaultTarget target;
+  target.down = [this] {
+    setOutage(true);
+    revokeActive("resource manager outage revoked the reservation");
+  };
+  target.up = [this] { setOutage(false); };
+  return target;
+}
+
+}  // namespace mgq::gara

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/logging.hpp"
+
 namespace mgq::gara {
 
 const char* reservationStateName(ReservationState s) {
@@ -14,6 +16,8 @@ const char* reservationStateName(ReservationState s) {
       return "expired";
     case ReservationState::kCancelled:
       return "cancelled";
+    case ReservationState::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -30,6 +34,12 @@ void Gara::registerManager(const std::string& name,
   const bool inserted = managers_.emplace(name, &manager).second;
   assert(inserted && "duplicate resource name");
   (void)inserted;
+  // The manager tells GARA when enforcement is lost; GARA resolves the id
+  // back to a handle and drives the kFailed transition.
+  manager.setFailureListener(
+      [this](std::uint64_t id, const std::string& reason) {
+        if (auto handle = findLive(id)) fail(handle, reason);
+      });
 }
 
 ResourceManager* Gara::findManager(const std::string& name) {
@@ -62,6 +72,7 @@ ReserveOutcome Gara::reserve(const std::string& resource,
   }
   auto handle = std::make_shared<Reservation>(next_reservation_id_++,
                                               request, *manager, slot);
+  live_[handle->id()] = handle;
   if (request.start <= sim_.now()) {
     activate(handle);
   } else {
@@ -86,6 +97,18 @@ Gara::CoOutcome Gara::coReserve(const std::vector<CoRequest>& requests) {
     }
     outcome.handles.push_back(std::move(result.handle));
   }
+  // A manager may revoke an earlier leg while a later one is still being
+  // set up (enforce() side effects, injected preemption). All-or-nothing
+  // also covers that window: if any leg failed underneath us, roll back
+  // the survivors instead of returning a partially-dead set.
+  for (const auto& held : outcome.handles) {
+    if (held->state() != ReservationState::kFailed) continue;
+    for (auto& other : outcome.handles) cancel(other);  // no-op on failed
+    outcome.error = "co-reservation revoked mid-setup: " +
+                    held->failureReason();
+    outcome.handles.clear();
+    return outcome;
+  }
   return outcome;
 }
 
@@ -93,8 +116,9 @@ bool Gara::modify(const ReservationHandle& handle, double new_amount,
                   double new_bucket_divisor) {
   assert(handle != nullptr);
   const auto state = handle->state();
-  if (state == ReservationState::kExpired ||
-      state == ReservationState::kCancelled) {
+  if (isTerminal(state)) {
+    MGQ_LOG(kWarn) << "gara: modify refused on reservation " << handle->id()
+                   << ": state is " << reservationStateName(state);
     return false;
   }
   auto request = handle->request();
@@ -116,16 +140,32 @@ bool Gara::modify(const ReservationHandle& handle, double new_amount,
 
 void Gara::cancel(const ReservationHandle& handle) {
   assert(handle != nullptr);
-  const auto state = handle->state();
-  if (state == ReservationState::kExpired ||
-      state == ReservationState::kCancelled) {
-    return;
-  }
-  if (state == ReservationState::kActive) {
+  if (isTerminal(handle->state())) return;
+  retire(handle, ReservationState::kCancelled);
+}
+
+void Gara::fail(const ReservationHandle& handle, const std::string& reason) {
+  assert(handle != nullptr);
+  if (isTerminal(handle->state())) return;
+  handle->failure_reason_ = reason;
+  MGQ_LOG(kWarn) << "gara: reservation " << handle->id()
+                 << " failed: " << reason;
+  retire(handle, ReservationState::kFailed);
+}
+
+ReservationHandle Gara::findLive(std::uint64_t id) const {
+  const auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second.lock();
+}
+
+void Gara::retire(const ReservationHandle& handle,
+                  ReservationState terminal) {
+  if (handle->state() == ReservationState::kActive) {
     handle->manager().release(*handle);
   }
   handle->manager().slots().remove(handle->slot());
-  handle->transition(ReservationState::kCancelled);
+  live_.erase(handle->id());
+  handle->transition(terminal);
 }
 
 void Gara::activate(const ReservationHandle& handle) {
@@ -140,9 +180,7 @@ void Gara::activate(const ReservationHandle& handle) {
 }
 
 void Gara::expire(const ReservationHandle& handle) {
-  handle->manager().release(*handle);
-  handle->manager().slots().remove(handle->slot());
-  handle->transition(ReservationState::kExpired);
+  retire(handle, ReservationState::kExpired);
 }
 
 }  // namespace mgq::gara

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gara/reservation.hpp"
@@ -58,6 +60,17 @@ class Gara {
   /// immediately. Idempotent.
   void cancel(const ReservationHandle& handle);
 
+  /// Marks a reservation as failed: enforcement lost mid-lifetime (the
+  /// attachment interface went down, the manager revoked capacity, ...).
+  /// Removes enforcement, frees the slot, records `reason`, and fires the
+  /// onStateChange callbacks with kFailed. No-op on terminal states.
+  /// Managers reach this through the failure listener installed at
+  /// registration; holders may also call it directly.
+  void fail(const ReservationHandle& handle, const std::string& reason);
+
+  /// Looks up a live (non-terminal) reservation by id; nullptr otherwise.
+  ReservationHandle findLive(std::uint64_t id) const;
+
   /// Polling-style monitoring, as in the paper's API.
   ReservationState status(const ReservationHandle& handle) const {
     return handle->state();
@@ -68,12 +81,16 @@ class Gara {
  private:
   void activate(const ReservationHandle& handle);
   void expire(const ReservationHandle& handle);
+  void retire(const ReservationHandle& handle, ReservationState terminal);
   static sim::TimePoint endOf(const ReservationRequest& r) {
     return r.start + r.duration;
   }
 
   sim::Simulator& sim_;
   std::map<std::string, ResourceManager*> managers_;
+  /// Live (non-terminal) reservations, so manager failure notifications —
+  /// which carry only an id — can be resolved back to a handle.
+  std::unordered_map<std::uint64_t, std::weak_ptr<Reservation>> live_;
   std::uint64_t next_reservation_id_ = 1;
 };
 

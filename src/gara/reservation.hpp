@@ -30,7 +30,14 @@ enum class ReservationState {
   kActive,     // enforcement in place
   kExpired,    // duration elapsed; enforcement removed
   kCancelled,  // cancelled by the holder
+  kFailed,     // enforcement lost mid-lifetime (link down, capacity revoked)
 };
+
+/// True for states a reservation can never leave (and holds nothing in).
+inline bool isTerminal(ReservationState s) {
+  return s == ReservationState::kExpired ||
+         s == ReservationState::kCancelled || s == ReservationState::kFailed;
+}
 
 const char* reservationStateName(ReservationState s);
 
@@ -74,6 +81,8 @@ class Reservation {
 
   std::uint64_t id() const { return id_; }
   ReservationState state() const { return state_; }
+  /// Why the reservation entered kFailed (empty otherwise).
+  const std::string& failureReason() const { return failure_reason_; }
   const ReservationRequest& request() const { return request_; }
   ResourceManager& manager() { return *manager_; }
   SlotId slot() const { return slot_; }
@@ -96,6 +105,7 @@ class Reservation {
   ResourceManager* manager_;
   SlotId slot_;
   ReservationState state_ = ReservationState::kPending;
+  std::string failure_reason_;
   std::vector<StateCallback> callbacks_;
 
   friend class Gara;

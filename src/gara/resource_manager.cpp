@@ -12,6 +12,11 @@ std::string NetworkResourceManager::validate(
     const ReservationRequest& request) const {
   if (request.amount <= 0.0) return "network reservation needs amount > 0";
   if (request.bucket_divisor <= 0.0) return "bucket divisor must be > 0";
+  const net::Interface* edge =
+      request.attach != nullptr ? request.attach : edge_;
+  if (!edge->isUp()) {
+    return "attachment interface '" + edge->name() + "' is down";
+  }
   return {};
 }
 
@@ -28,14 +33,45 @@ void NetworkResourceManager::enforce(Reservation& reservation) {
   rule.bucket = reservation.bucket;
   rule.out_action = req.out_action;
   reservation.enforcement_rule_id = edge.ingressPolicy().addRule(rule);
+  active_[reservation.id()] = &edge;
+  watch(edge);
 }
 
 void NetworkResourceManager::release(Reservation& reservation) {
+  active_.erase(reservation.id());
   if (reservation.enforcement_rule_id == 0) return;
   auto& edge = attachPoint(reservation, *edge_);
   edge.ingressPolicy().removeRule(reservation.enforcement_rule_id);
   reservation.enforcement_rule_id = 0;
   reservation.bucket.reset();
+}
+
+std::size_t NetworkResourceManager::activeOn(
+    const net::Interface& iface) const {
+  std::size_t count = 0;
+  for (const auto& [id, edge] : active_) {
+    if (edge == &iface) ++count;
+  }
+  return count;
+}
+
+void NetworkResourceManager::watch(net::Interface& iface) {
+  if (!watched_.insert(&iface).second) return;
+  iface.onLinkStateChange([this](net::Interface& which, bool up) {
+    if (!up) onAttachmentDown(which);
+  });
+}
+
+void NetworkResourceManager::onAttachmentDown(net::Interface& iface) {
+  // reportFailure() re-enters release() (Gara removes enforcement), which
+  // mutates active_ — collect the victims first.
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, edge] : active_) {
+    if (edge == &iface) victims.push_back(id);
+  }
+  for (const auto id : victims) {
+    reportFailure(id, "attachment interface '" + iface.name() + "' went down");
+  }
 }
 
 // ---------------------------------------------------------------------------

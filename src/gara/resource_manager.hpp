@@ -8,7 +8,11 @@
 // manager applies a DSRT reservation.
 #pragma once
 
+#include <functional>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "gara/reservation.hpp"
 #include "gara/slot_table.hpp"
@@ -46,8 +50,27 @@ class ResourceManager {
   SlotTable& slots() { return slots_; }
   const SlotTable& slots() const { return slots_; }
 
+  /// Upward notification channel (paper §4.2: monitoring/state-change
+  /// callbacks). Gara installs a listener at registration; a manager calls
+  /// reportFailure() when enforcement for an admitted reservation is lost
+  /// (device went down, capacity revoked, preemption) and Gara moves the
+  /// reservation to kFailed.
+  using FailureListener =
+      std::function<void(std::uint64_t reservation_id,
+                         const std::string& reason)>;
+  void setFailureListener(FailureListener listener) {
+    failure_listener_ = std::move(listener);
+  }
+
+ protected:
+  void reportFailure(std::uint64_t reservation_id,
+                     const std::string& reason) {
+    if (failure_listener_) failure_listener_(reservation_id, reason);
+  }
+
  private:
   SlotTable slots_;
+  FailureListener failure_listener_;
 };
 
 /// DS network manager: admission against the premium share of a bottleneck
@@ -70,12 +93,22 @@ class NetworkResourceManager : public ResourceManager {
 
   net::Interface& defaultEdge() { return *edge_; }
 
+  /// Active reservations enforced on `iface` (fault-path bookkeeping).
+  std::size_t activeOn(const net::Interface& iface) const;
+
  private:
   static net::Interface& attachPoint(Reservation& r,
                                      net::Interface& fallback) {
     return r.request().attach != nullptr ? *r.request().attach : fallback;
   }
+  /// Subscribes (once per interface) to link-state changes so that an
+  /// attachment going down fails every reservation enforced on it.
+  void watch(net::Interface& iface);
+  void onAttachmentDown(net::Interface& iface);
+
   net::Interface* edge_;
+  std::unordered_map<std::uint64_t, net::Interface*> active_;
+  std::set<const net::Interface*> watched_;
 };
 
 /// DSRT CPU manager: admission against the schedulable fraction;

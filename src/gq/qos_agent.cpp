@@ -30,6 +30,10 @@ const char* qosRequestStateName(QosRequestState s) {
       return "denied";
     case QosRequestState::kReleased:
       return "released";
+    case QosRequestState::kRecovering:
+      return "recovering";
+    case QosRequestState::kDegraded:
+      return "degraded";
   }
   return "?";
 }
@@ -105,25 +109,8 @@ void QosAgent::onPut(mpi::Comm& comm, void* value) {
   world_.simulator().spawn(applyQos(comm, attr, generation));
 }
 
-sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
-                               std::uint64_t generation) {
-  const auto key = keyOf(comm);
-  auto flows = co_await comm.establishOutgoingFlows();
-  if (generations_[key] != generation) co_return;  // superseded re-put
-
-  auto finish = [this, key](QosStatus status) {
-    statuses_[key] = std::move(status);
-    if (const auto it = settled_.find(key); it != settled_.end()) {
-      it->second->notifyAll();
-    }
-  };
-
-  if (flows.empty()) {
-    // All peers share this host; nothing to reserve on the network.
-    finish(QosStatus{QosRequestState::kGranted, {}, {}});
-    co_return;
-  }
-
+gara::Gara::CoOutcome QosAgent::tryReserve(
+    const std::vector<net::FlowKey>& flows, const QosAttribute& attr) {
   std::vector<gara::Gara::CoRequest> requests;
   requests.reserve(flows.size());
   for (const auto& flow : flows) {
@@ -141,29 +128,199 @@ sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
     }
     requests.push_back({resourceFor(flow), request});
   }
+  return gara_.coReserve(requests);
+}
 
-  auto outcome = gara_.coReserve(requests);
-  if (!outcome) {
-    MGQ_LOG(kInfo) << "QoS request denied for context " << comm.context()
-                   << ": " << outcome.error;
-    finish(QosStatus{QosRequestState::kDenied, outcome.error, {}});
+void QosAgent::grant(const mpi::Comm& comm, const QosAttribute& attr,
+                     std::uint64_t generation,
+                     std::vector<gara::ReservationHandle> handles) {
+  const auto key = keyOf(comm);
+  auto& status = statuses_[key];
+  status.state = QosRequestState::kGranted;
+  status.error.clear();
+  status.reservations = std::move(handles);
+  // Watch every leg: losing any one of them mid-lifetime triggers the
+  // recovery path for the whole communicator (all-or-nothing semantics).
+  for (const auto& handle : status.reservations) {
+    handle->onStateChange(
+        [this, comm, attr, generation](gara::Reservation& r,
+                                       gara::ReservationState,
+                                       gara::ReservationState to) {
+          if (to != gara::ReservationState::kFailed) return;
+          onReservationFailed(comm, attr, generation, r.failureReason());
+        });
+  }
+  notifySettled(key);
+}
+
+void QosAgent::onReservationFailed(const mpi::Comm& comm,
+                                   const QosAttribute& attr,
+                                   std::uint64_t generation,
+                                   const std::string& reason) {
+  const auto key = keyOf(comm);
+  if (generations_[key] != generation) return;  // superseded request
+  auto& status = statuses_[key];
+  if (status.state != QosRequestState::kGranted) return;  // already handled
+  MGQ_LOG(kWarn) << "QoS lost for context " << comm.context() << ": "
+                 << reason;
+  status.error = reason;
+  // Tear down the surviving legs: a partially-enforced premium path only
+  // polices the sender without protecting it (cancel is a no-op on the
+  // failed leg itself).
+  for (const auto& handle : status.reservations) gara_.cancel(handle);
+  status.reservations.clear();
+
+  const auto& policy = config_.recovery;
+  if (policy.max_retries <= 0 && policy.degrade_to_best_effort &&
+      policy.reescalate_interval <= sim::Duration::zero()) {
+    // Recovery fully disabled: fall to best effort for good.
+    status.state = QosRequestState::kDegraded;
+    notifySettled(key);
+    return;
+  }
+  if (policy.max_retries <= 0 && !policy.degrade_to_best_effort) {
+    status.state = QosRequestState::kDenied;
+    notifySettled(key);
+    return;
+  }
+  status.state = QosRequestState::kRecovering;
+  world_.simulator().spawn(recover(comm, attr, generation));
+}
+
+sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
+                              std::uint64_t generation) {
+  const auto key = keyOf(comm);
+  const auto& policy = config_.recovery;
+  auto& sim = world_.simulator();
+  int attempt = 0;
+  for (;;) {
+    sim::Duration backoff;
+    if (attempt < policy.max_retries) {
+      backoff = policy.initial_backoff;
+      for (int i = 0; i < attempt && backoff < policy.max_backoff; ++i) {
+        backoff = backoff * policy.backoff_multiplier;
+      }
+      if (backoff > policy.max_backoff) backoff = policy.max_backoff;
+    } else {
+      backoff = policy.reescalate_interval;  // degraded background probing
+    }
+    if (policy.jitter > 0.0) {
+      backoff = backoff * sim.rng().uniform(1.0 - policy.jitter,
+                                            1.0 + policy.jitter);
+    }
+    co_await sim.delay(backoff);
+    if (generations_[key] != generation) co_return;  // superseded re-put
+
+    // Flows are re-resolved each attempt: connections persist, but a
+    // rebuilt communicator topology must not be reserved stale.
+    auto flows = co_await comm.establishOutgoingFlows();
+    if (generations_[key] != generation) co_return;
+
+    auto& status = statuses_[key];
+    ++attempt;
+    ++status.recovery_attempts;
+    auto outcome = flows.empty() ? gara::Gara::CoOutcome{}
+                                 : tryReserve(flows, attr);
+    if (outcome) {
+      MGQ_LOG(kInfo) << "QoS "
+                     << (status.state == QosRequestState::kDegraded
+                             ? "re-escalated"
+                             : "recovered")
+                     << " for context " << comm.context() << " after "
+                     << attempt << " attempt(s)";
+      grant(comm, attr, generation, std::move(outcome.handles));
+      co_return;
+    }
+    status.error = outcome.error;
+    if (attempt < policy.max_retries) continue;
+    if (!policy.degrade_to_best_effort) {
+      status.state = QosRequestState::kDenied;
+      notifySettled(key);
+      MGQ_LOG(kWarn) << "QoS recovery exhausted for context "
+                     << comm.context() << ": " << outcome.error;
+      co_return;
+    }
+    if (status.state != QosRequestState::kDegraded) {
+      status.state = QosRequestState::kDegraded;
+      notifySettled(key);
+      MGQ_LOG(kWarn) << "QoS degraded to best effort for context "
+                     << comm.context() << ": " << outcome.error;
+    }
+    if (policy.reescalate_interval <= sim::Duration::zero()) co_return;
+  }
+}
+
+sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
+                               std::uint64_t generation) {
+  const auto key = keyOf(comm);
+  auto flows = co_await comm.establishOutgoingFlows();
+  if (generations_[key] != generation) co_return;  // superseded re-put
+
+  if (flows.empty()) {
+    // All peers share this host; nothing to reserve on the network.
+    statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}, 0};
+    notifySettled(key);
     co_return;
   }
-  finish(QosStatus{QosRequestState::kGranted, {}, std::move(outcome.handles)});
+
+  auto outcome = tryReserve(flows, attr);
+  if (outcome) {
+    statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}, 0};
+    grant(comm, attr, generation, std::move(outcome.handles));
+    co_return;
+  }
+  MGQ_LOG(kInfo) << "QoS request denied for context " << comm.context()
+                 << ": " << outcome.error;
+  if (config_.recovery.max_retries > 0) {
+    // Initial denial also goes through the retry loop: capacity may free
+    // up (another job's reservation expiring) moments later.
+    statuses_[key] =
+        QosStatus{QosRequestState::kRecovering, outcome.error, {}, 0};
+    world_.simulator().spawn(recover(std::move(comm), attr, generation));
+    co_return;
+  }
+  statuses_[key] = QosStatus{QosRequestState::kDenied, outcome.error, {}, 0};
+  notifySettled(key);
+}
+
+void QosAgent::notifySettled(const StatusKey& key) {
+  if (const auto it = settled_.find(key); it != settled_.end()) {
+    it->second->notifyAll();
+  }
+}
+
+bool QosAgent::settled(const StatusKey& key) const {
+  const auto it = statuses_.find(key);
+  return it != statuses_.end() &&
+         it->second.state != QosRequestState::kPending &&
+         it->second.state != QosRequestState::kRecovering;
 }
 
 sim::Task<> QosAgent::awaitSettled(const mpi::Comm& comm) {
+  (void)co_await awaitSettled(comm, sim::Duration::infinite());
+}
+
+sim::Task<bool> QosAgent::awaitSettled(const mpi::Comm& comm,
+                                       sim::Duration timeout) {
   const auto key = keyOf(comm);
   auto [it, inserted] = settled_.try_emplace(key, nullptr);
   if (inserted) {
     it->second = std::make_unique<sim::Condition>(world_.simulator());
   }
   auto* cond = it->second.get();
-  co_await awaitUntil(*cond, [this, key] {
-    const auto sit = statuses_.find(key);
-    return sit != statuses_.end() &&
-           sit->second.state != QosRequestState::kPending;
+  bool timed_out = false;
+  sim::EventId timer = 0;
+  if (timeout < sim::Duration::infinite()) {
+    timer = world_.simulator().schedule(timeout, [cond, &timed_out] {
+      timed_out = true;
+      cond->notifyAll();
+    });
+  }
+  co_await awaitUntil(*cond, [this, key, &timed_out] {
+    return timed_out || settled(key);
   });
+  if (timer != 0 && !timed_out) world_.simulator().cancel(timer);
+  co_return settled(key);
 }
 
 void QosAgent::release(const mpi::Comm& comm) {

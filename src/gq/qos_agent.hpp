@@ -27,6 +27,29 @@ namespace mgq::gq {
 
 class QosAgent {
  public:
+  /// What the agent does when a granted reservation fails mid-lifetime
+  /// (link flap, manager revocation) or a retried request keeps being
+  /// denied. Backoff is exponential with seeded jitter drawn from the
+  /// simulator's Rng, so recovery timing is reproducible per seed.
+  struct RecoveryPolicy {
+    /// Retry attempts after a failure before giving up / degrading.
+    /// 0 disables retrying: a lost reservation immediately degrades (or
+    /// is reported kDenied when degrade_to_best_effort is false).
+    int max_retries = 0;
+    sim::Duration initial_backoff = sim::Duration::millis(250);
+    double backoff_multiplier = 2.0;
+    sim::Duration max_backoff = sim::Duration::seconds(8.0);
+    /// Backoff is scaled by a uniform factor in [1-jitter, 1+jitter].
+    double jitter = 0.1;
+    /// After retries are exhausted, mark the communicator kDegraded and
+    /// let traffic run best-effort instead of reporting kDenied.
+    bool degrade_to_best_effort = true;
+    /// While degraded, keep probing at this interval and transparently
+    /// re-escalate to premium when capacity returns. The zero() default
+    /// disables re-escalation (a degraded communicator stays degraded).
+    sim::Duration reescalate_interval = sim::Duration::zero();
+  };
+
   struct Config {
     /// GARA resource used for a flow when `resource_resolver` is unset or
     /// returns empty.
@@ -37,6 +60,9 @@ class QosAgent {
     /// Fallback overhead multiplier when max_message_size is unknown
     /// (the paper's measured value).
     double default_overhead = 1.06;
+    /// Failure handling; the default (no retries, degrade on loss) keeps
+    /// the paper's fire-and-forget request semantics.
+    RecoveryPolicy recovery;
   };
 
   /// Registers the QoS keyval on the world's attribute registry.
@@ -52,8 +78,13 @@ class QosAgent {
   QosStatus status(const mpi::Comm& comm) const;
 
   /// Suspends until the request triggered by the last attrPut on `comm`
-  /// settles (granted or denied).
+  /// settles (granted, denied, or degraded — kPending/kRecovering are the
+  /// unsettled states).
   sim::Task<> awaitSettled(const mpi::Comm& comm);
+
+  /// As above, but gives up after `timeout` of simulated time. Returns
+  /// true if the request settled, false on deadline expiry.
+  sim::Task<bool> awaitSettled(const mpi::Comm& comm, sim::Duration timeout);
 
   /// Releases any reservations this rank holds for the communicator.
   void release(const mpi::Comm& comm);
@@ -74,6 +105,25 @@ class QosAgent {
   sim::Task<> applyQos(mpi::Comm comm, QosAttribute attr,
                        std::uint64_t generation);
   std::string resourceFor(const net::FlowKey& flow) const;
+
+  /// One co-reservation attempt over the communicator's outgoing flows.
+  gara::Gara::CoOutcome tryReserve(const std::vector<net::FlowKey>& flows,
+                                   const QosAttribute& attr);
+  /// Records a grant: stores the handles, arms failure watchers on each,
+  /// and wakes settled waiters.
+  void grant(const mpi::Comm& comm, const QosAttribute& attr,
+             std::uint64_t generation,
+             std::vector<gara::ReservationHandle> handles);
+  /// Reacts to a kFailed transition of a held reservation: tears down the
+  /// sibling legs, then retries / degrades per RecoveryPolicy.
+  void onReservationFailed(const mpi::Comm& comm, const QosAttribute& attr,
+                           std::uint64_t generation,
+                           const std::string& reason);
+  /// The retry/degrade/re-escalate loop (spawned as a process).
+  sim::Task<> recover(mpi::Comm comm, QosAttribute attr,
+                      std::uint64_t generation);
+  void notifySettled(const StatusKey& key);
+  bool settled(const StatusKey& key) const;
 
   mpi::World& world_;
   gara::Gara& gara_;

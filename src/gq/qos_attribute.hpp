@@ -52,11 +52,14 @@ struct QosAttribute {
 
 /// Progress of the QoS request triggered by an attrPut.
 enum class QosRequestState {
-  kNone,     // no request made on this communicator
-  kPending,  // agent still establishing flows / reserving
-  kGranted,  // all reservations active
-  kDenied,   // admission or validation failed; nothing held
-  kReleased, // released by a best-effort re-put or communicator teardown
+  kNone,       // no request made on this communicator
+  kPending,    // agent still establishing flows / reserving
+  kGranted,    // all reservations active
+  kDenied,     // admission or validation failed; nothing held
+  kReleased,   // released by a best-effort re-put or communicator teardown
+  kRecovering, // reservation lost/denied; agent retrying per RecoveryPolicy
+  kDegraded,   // retries exhausted; flows run best-effort, re-escalation
+               // to premium continues in the background
 };
 
 const char* qosRequestStateName(QosRequestState s);
@@ -65,6 +68,8 @@ struct QosStatus {
   QosRequestState state = QosRequestState::kNone;
   std::string error;
   std::vector<gara::ReservationHandle> reservations;
+  /// Reservation attempts made by the recovery loop (diagnostics).
+  int recovery_attempts = 0;
 };
 
 /// Translation rule from application rate to network reservation: the

@@ -1,0 +1,62 @@
+#include "net/faults.hpp"
+
+#include <cassert>
+
+namespace mgq::net {
+
+LinkFault::LinkFault(Interface& a) : a_(&a), b_(a.peer()) {
+  assert(b_ != nullptr && "LinkFault needs a connected interface");
+}
+
+LinkFault::LinkFault(Interface& a, Interface& b) : a_(&a), b_(&b) {
+  assert(a.peer() == &b && b.peer() == &a &&
+         "LinkFault endpoints must be peers");
+}
+
+void LinkFault::fail() {
+  a_->setUp(false);
+  b_->setUp(false);
+}
+
+void LinkFault::restore() {
+  a_->setUp(true);
+  b_->setUp(true);
+}
+
+LossInjector::LossInjector(Interface& iface, std::uint64_t seed)
+    : iface_(&iface), rng_(seed) {}
+
+LossInjector::~LossInjector() { stop(); }
+
+void LossInjector::start(double drop_probability) {
+  probability_ = drop_probability;
+  if (active_) return;  // keep the hook; only the probability changed
+  active_ = true;
+  iface_->setLossHook([this](const Packet&) {
+    if (!rng_.bernoulli(probability_)) return false;
+    ++dropped_;
+    return true;
+  });
+}
+
+void LossInjector::stop() {
+  if (!active_) return;
+  active_ = false;
+  iface_->setLossHook(nullptr);
+}
+
+sim::FaultTarget linkFaultTarget(LinkFault& link) {
+  sim::FaultTarget target;
+  target.down = [&link] { link.fail(); };
+  target.up = [&link] { link.restore(); };
+  return target;
+}
+
+sim::FaultTarget lossFaultTarget(LossInjector& loss) {
+  sim::FaultTarget target;
+  target.loss_start = [&loss](double p) { loss.start(p); };
+  target.loss_stop = [&loss] { loss.stop(); };
+  return target;
+}
+
+}  // namespace mgq::net

@@ -1,0 +1,70 @@
+// Network fault primitives (companions to sim/fault_injector.hpp).
+//
+// LinkFault takes both directions of a point-to-point link down and up:
+// queued packets are held, in-flight packets are lost, and every
+// registered link-state observer (e.g. a NetworkResourceManager watching
+// its enforcement edge) is notified — that is how a link flap turns into
+// a reservation failure upstream.
+//
+// LossInjector models a lossy-wire episode on one egress direction with
+// its own seeded Rng, so loss patterns replay exactly for a given seed
+// regardless of other traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/random.hpp"
+
+namespace mgq::net {
+
+/// Both directions of one link, failed and restored as a unit.
+class LinkFault {
+ public:
+  /// `a` must be connected; the reverse direction is its peer.
+  explicit LinkFault(Interface& a);
+  LinkFault(Interface& a, Interface& b);
+
+  void fail();
+  void restore();
+  bool failed() const { return !a_->isUp() || !b_->isUp(); }
+
+  Interface& forward() { return *a_; }
+  Interface& reverse() { return *b_; }
+
+ private:
+  Interface* a_;
+  Interface* b_;
+};
+
+/// Seeded Bernoulli packet loss on one interface's egress wire.
+class LossInjector {
+ public:
+  LossInjector(Interface& iface, std::uint64_t seed);
+  ~LossInjector();
+  LossInjector(const LossInjector&) = delete;
+  LossInjector& operator=(const LossInjector&) = delete;
+
+  /// Begins (or re-parameterizes) an episode dropping each packet with
+  /// probability `drop_probability`.
+  void start(double drop_probability);
+  void stop();
+
+  bool active() const { return active_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Interface* iface_;
+  sim::Rng rng_;
+  double probability_ = 0.0;
+  bool active_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Adapters exposing these primitives as fault-injector targets. The
+/// referenced objects must outlive the injector's schedule.
+sim::FaultTarget linkFaultTarget(LinkFault& link);
+sim::FaultTarget lossFaultTarget(LossInjector& loss);
+
+}  // namespace mgq::net

@@ -24,17 +24,33 @@ void Interface::connect(Interface& peer, double rate_bps,
 void Interface::send(Packet p) {
   assert(connected() && "sending on an unconnected interface");
   p.enqueued_at = sim_.now();
+  // A down interface still queues (the device buffer persists across the
+  // outage); transmission resumes on setUp(true).
   if (!qdisc_.enqueue(std::move(p))) {
     ++stats_.drops_overflow;
     return;
   }
-  if (!transmitting_) {
+  if (!transmitting_ && up_) {
+    transmitting_ = true;
+    transmitNext();
+  }
+}
+
+void Interface::setUp(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  for (const auto& observer : link_observers_) observer(*this, up_);
+  if (up_ && !transmitting_) {
     transmitting_ = true;
     transmitNext();
   }
 }
 
 void Interface::transmitNext() {
+  if (!up_) {
+    transmitting_ = false;
+    return;
+  }
   auto next = qdisc_.dequeue();
   if (!next) {
     transmitting_ = false;
@@ -45,17 +61,28 @@ void Interface::transmitNext() {
   ++stats_.tx_packets;
   stats_.tx_bytes += p.size_bytes;
   // After serialization completes, the packet propagates to the peer and
-  // the transmitter moves on to the next queued packet.
+  // the transmitter moves on to the next queued packet. An injected loss
+  // episode eats the packet on the wire: bandwidth spent, nothing arrives.
   sim_.schedule(tx_time,
                 [this, pkt = std::move(*next)]() mutable {
-                  sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
-                    peer_->receive(std::move(pkt));
-                  });
+                  if (loss_hook_ && loss_hook_(pkt)) {
+                    ++stats_.drops_fault;
+                  } else {
+                    sim_.schedule(delay_,
+                                  [this, pkt = std::move(pkt)]() mutable {
+                                    peer_->receive(std::move(pkt));
+                                  });
+                  }
                   transmitNext();
                 });
 }
 
 void Interface::receive(Packet p) {
+  // Packets in flight towards a down interface are lost at the wire.
+  if (!up_) {
+    ++stats_.drops_link_down;
+    return;
+  }
   ++stats_.rx_packets;
   stats_.rx_bytes += p.size_bytes;
   auto processed = ingress_policy_.process(std::move(p));

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@ struct InterfaceStats {
   std::int64_t rx_bytes = 0;
   std::uint64_t drops_overflow = 0;
   std::uint64_t drops_policed = 0;
+  std::uint64_t drops_link_down = 0;  // arrived while the interface was down
+  std::uint64_t drops_fault = 0;      // eaten by an injected loss episode
 };
 
 struct QdiscConfig {
@@ -63,6 +66,28 @@ class Interface {
   const DsQdisc& qdisc() const { return qdisc_; }
   const InterfaceStats& stats() const { return stats_; }
 
+  // --- fault model (driven by net/faults.hpp) ----------------------------
+  /// Administrative/fault link state. A down interface holds queued
+  /// packets without transmitting them, and packets arriving over the
+  /// wire are lost. Fires the registered link-state observers on every
+  /// transition.
+  void setUp(bool up);
+  bool isUp() const { return up_; }
+
+  /// Registers an observer fired on every up/down transition. Observers
+  /// must outlive the interface (or never be fired after destruction);
+  /// there is no removal — this models device monitors, which persist.
+  void onLinkStateChange(std::function<void(Interface&, bool up)> observer) {
+    link_observers_.push_back(std::move(observer));
+  }
+
+  /// Egress wire-loss hook: consulted after serialization, before the
+  /// packet propagates. Return true to drop it (counts drops_fault).
+  /// Pass nullptr to clear.
+  void setLossHook(std::function<bool(const Packet&)> hook) {
+    loss_hook_ = std::move(hook);
+  }
+
  private:
   void transmitNext();
 
@@ -75,6 +100,9 @@ class Interface {
   DsQdisc qdisc_;
   DsPolicy ingress_policy_;
   bool transmitting_ = false;
+  bool up_ = true;
+  std::vector<std::function<void(Interface&, bool)>> link_observers_;
+  std::function<bool(const Packet&)> loss_hook_;
   InterfaceStats stats_;
 };
 

@@ -1,0 +1,110 @@
+#include "sim/fault_injector.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace mgq::sim {
+
+const char* faultActionName(FaultAction a) {
+  switch (a) {
+    case FaultAction::kDown:
+      return "down";
+    case FaultAction::kUp:
+      return "up";
+    case FaultAction::kLossStart:
+      return "loss-start";
+    case FaultAction::kLossStop:
+      return "loss-stop";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(Simulator& sim, std::uint64_t seed)
+    : sim_(sim), rng_(seed) {}
+
+void FaultInjector::registerTarget(const std::string& name,
+                                   FaultTarget target) {
+  targets_[name] = std::move(target);
+}
+
+void FaultInjector::schedule(const FaultEvent& event) {
+  sim_.scheduleAt(event.at, [this, event] { fire(event); });
+}
+
+void FaultInjector::schedulePlan(const std::vector<FaultEvent>& plan) {
+  for (const auto& event : plan) schedule(event);
+}
+
+void FaultInjector::scheduleFlap(const std::string& target, TimePoint at,
+                                 Duration outage) {
+  schedule({at, target, FaultAction::kDown, 0.0});
+  schedule({at + outage, target, FaultAction::kUp, 0.0});
+}
+
+std::vector<FaultEvent> FaultInjector::makeFlapSchedule(
+    const std::string& target, TimePoint from, TimePoint until,
+    Duration mean_up, Duration mean_down) {
+  std::vector<FaultEvent> plan;
+  TimePoint t = from;
+  for (;;) {
+    t += Duration::seconds(rng_.exponential(mean_up.toSeconds()));
+    if (t >= until) break;
+    plan.push_back({t, target, FaultAction::kDown, 0.0});
+    t += Duration::seconds(rng_.exponential(mean_down.toSeconds()));
+    // The plan never leaves the target down past its horizon.
+    plan.push_back({t < until ? t : until, target, FaultAction::kUp, 0.0});
+    if (t >= until) break;
+  }
+  return plan;
+}
+
+void FaultInjector::fire(const FaultEvent& event) {
+  ++fired_;
+  char line[192];
+  if (event.action == FaultAction::kLossStart) {
+    std::snprintf(line, sizeof(line), "t=%.6fs %s %s p=%.4f",
+                  sim_.now().toSeconds(), event.target.c_str(),
+                  faultActionName(event.action), event.param);
+  } else {
+    std::snprintf(line, sizeof(line), "t=%.6fs %s %s",
+                  sim_.now().toSeconds(), event.target.c_str(),
+                  faultActionName(event.action));
+  }
+
+  const auto it = targets_.find(event.target);
+  if (it == targets_.end()) {
+    log_.push_back(std::string(line) + " (unregistered)");
+    MGQ_LOG(kWarn) << "fault injector: no target '" << event.target << "'";
+    return;
+  }
+  log_.push_back(line);
+  MGQ_LOG(kDebug) << "fault injector: " << log_.back();
+
+  const FaultTarget& target = it->second;
+  switch (event.action) {
+    case FaultAction::kDown:
+      if (target.down) target.down();
+      break;
+    case FaultAction::kUp:
+      if (target.up) target.up();
+      break;
+    case FaultAction::kLossStart:
+      if (target.loss_start) target.loss_start(event.param);
+      break;
+    case FaultAction::kLossStop:
+      if (target.loss_stop) target.loss_stop();
+      break;
+  }
+}
+
+std::string FaultInjector::logText() const {
+  std::string text;
+  for (const auto& line : log_) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+}  // namespace mgq::sim

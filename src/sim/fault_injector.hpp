@@ -1,0 +1,104 @@
+// Deterministic fault injection for simulations.
+//
+// The injector drives *registered targets* (links, loss episodes, resource
+// managers — anything with down/up/loss semantics) through a schedule of
+// fault events. It is layered below net/gara on purpose: targets are plain
+// callbacks, so any subsystem can expose itself to fault plans without the
+// simulator core depending on it (net/faults.hpp provides adapters for
+// links; gara's FlakyResourceManager for managers).
+//
+// Determinism: the injector owns its own seeded Rng, independent of the
+// simulator's traffic Rng, so the same seed + the same plan produce the
+// same fault sequence regardless of what the workload does. Every fired
+// event is appended to a textual log with fixed formatting; two runs with
+// identical seeds must produce byte-identical logs (tested).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mgq::sim {
+
+/// Actions the injector can drive on a registered target. Unset actions
+/// turn the corresponding plan entries into logged no-ops.
+struct FaultTarget {
+  std::function<void()> down;
+  std::function<void()> up;
+  std::function<void(double)> loss_start;  // parameter: drop probability
+  std::function<void()> loss_stop;
+};
+
+enum class FaultAction {
+  kDown,       // take the target out of service
+  kUp,         // restore it
+  kLossStart,  // begin a packet-loss episode (param = drop probability)
+  kLossStop,   // end the loss episode
+};
+
+const char* faultActionName(FaultAction a);
+
+/// One entry of a fault plan.
+struct FaultEvent {
+  TimePoint at;
+  std::string target;
+  FaultAction action = FaultAction::kDown;
+  double param = 0.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, std::uint64_t seed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers (or replaces) a named target.
+  void registerTarget(const std::string& name, FaultTarget target);
+  bool hasTarget(const std::string& name) const {
+    return targets_.count(name) != 0;
+  }
+
+  /// Schedules a single plan event on the simulator.
+  void schedule(const FaultEvent& event);
+  void schedulePlan(const std::vector<FaultEvent>& plan);
+
+  /// One down -> up episode: down at `at`, up after `outage`.
+  void scheduleFlap(const std::string& target, TimePoint at,
+                    Duration outage);
+
+  /// Generates a random flapping plan from the injector's own seeded Rng:
+  /// alternating exponentially-distributed up/down phases over
+  /// [from, until). The link is always restored by `until`. Deterministic:
+  /// same seed + same arguments => identical plan.
+  std::vector<FaultEvent> makeFlapSchedule(const std::string& target,
+                                           TimePoint from, TimePoint until,
+                                           Duration mean_up,
+                                           Duration mean_down);
+
+  /// Fires an event immediately (bypassing the simulator clock); used by
+  /// schedule() internally and handy in tests.
+  void fire(const FaultEvent& event);
+
+  /// Every fired event, one fixed-format line each, in firing order.
+  const std::vector<std::string>& log() const { return log_; }
+  /// The log joined with newlines — for byte-identical replay checks.
+  std::string logText() const;
+  std::uint64_t firedCount() const { return fired_; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Simulator& sim_;
+  Rng rng_;
+  std::map<std::string, FaultTarget> targets_;
+  std::vector<std::string> log_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace mgq::sim

@@ -1,8 +1,10 @@
 // Reservation lifecycle edge cases: cancellation before activation,
-// expiry freeing capacity, callback ordering, and modify interactions
-// with advance reservations.
+// expiry freeing capacity, callback ordering, modify interactions with
+// advance reservations, and the kFailed path (attachment loss, manager
+// revocation, co-reservation rollback).
 #include <gtest/gtest.h>
 
+#include "gara/flaky_resource_manager.hpp"
 #include "gara/gara.hpp"
 #include "net/network.hpp"
 
@@ -132,6 +134,203 @@ TEST(ReservationLifecycleTest, ManyConcurrentReservationsAccumulate) {
   EXPECT_EQ(f.policy().ruleCount(), 8u);
   for (auto& h : held) f.gara.cancel(h);
   EXPECT_EQ(f.policy().ruleCount(), 0u);
+}
+
+TEST(ReservationFailureTest, AttachmentDownFailsActiveReservation) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6));
+  ASSERT_TRUE(outcome);
+  ASSERT_EQ(outcome.handle->state(), ReservationState::kActive);
+  ASSERT_EQ(f.policy().ruleCount(), 1u);
+
+  // Callback ordering: by the time onStateChange fires, enforcement must
+  // already be gone and the slot freed (a handler may immediately
+  // re-reserve the full capacity).
+  int fired = 0;
+  outcome.handle->onStateChange(
+      [&](Reservation& r, ReservationState from, ReservationState to) {
+        ++fired;
+        EXPECT_EQ(from, ReservationState::kActive);
+        EXPECT_EQ(to, ReservationState::kFailed);
+        EXPECT_EQ(f.policy().ruleCount(), 0u);
+        EXPECT_DOUBLE_EQ(f.manager->slots().usedAt(f.sim.now()), 0.0);
+        EXPECT_FALSE(r.failureReason().empty());
+      });
+
+  f.router->interfaces().front()->setUp(false);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kFailed);
+  EXPECT_NE(outcome.handle->failureReason().find("down"), std::string::npos);
+  // The id is no longer live.
+  EXPECT_EQ(f.gara.findLive(outcome.handle->id()), nullptr);
+}
+
+TEST(ReservationFailureTest, FailFreesCapacityImmediately) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(40e6));
+  ASSERT_TRUE(outcome);
+  EXPECT_FALSE(f.gara.reserve("net", f.request(5e6)));
+  f.gara.fail(outcome.handle, "preempted by operator");
+  EXPECT_EQ(outcome.handle->failureReason(), "preempted by operator");
+  EXPECT_TRUE(f.gara.reserve("net", f.request(40e6)));
+}
+
+TEST(ReservationFailureTest, FailPendingNeverInstallsEnforcement) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6, 10, 10));
+  ASSERT_TRUE(outcome);
+  f.gara.fail(outcome.handle, "revoked before start");
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kFailed);
+  f.sim.runUntil(sim::TimePoint::fromSeconds(15));
+  EXPECT_EQ(f.policy().ruleCount(), 0u);
+}
+
+TEST(ReservationFailureTest, ValidateRejectsDownAttachment) {
+  Fixture f;
+  f.router->interfaces().front()->setUp(false);
+  auto outcome = f.gara.reserve("net", f.request(10e6));
+  EXPECT_FALSE(outcome);
+  EXPECT_NE(outcome.error.find("down"), std::string::npos);
+  f.router->interfaces().front()->setUp(true);
+  EXPECT_TRUE(f.gara.reserve("net", f.request(10e6)));
+}
+
+TEST(ReservationFailureTest, ModifyAndCancelRefusedOnEveryTerminalState) {
+  Fixture f;
+  // Reach each terminal state a different way.
+  auto expired = f.gara.reserve("net", f.request(5e6, 0, 1));
+  auto cancelled = f.gara.reserve("net", f.request(5e6));
+  auto failed = f.gara.reserve("net", f.request(5e6));
+  ASSERT_TRUE(expired && cancelled && failed);
+  f.sim.runUntil(sim::TimePoint::fromSeconds(2));
+  f.gara.cancel(cancelled.handle);
+  f.gara.fail(failed.handle, "injected");
+
+  const std::vector<std::pair<ReservationHandle, ReservationState>> cases = {
+      {expired.handle, ReservationState::kExpired},
+      {cancelled.handle, ReservationState::kCancelled},
+      {failed.handle, ReservationState::kFailed},
+  };
+  for (const auto& [handle, state] : cases) {
+    ASSERT_EQ(handle->state(), state);
+    EXPECT_FALSE(f.gara.modify(handle, 1e6));
+    f.gara.cancel(handle);  // must not resurrect or re-transition
+    EXPECT_EQ(handle->state(), state);
+    f.gara.fail(handle, "late failure");
+    EXPECT_EQ(handle->state(), state);
+  }
+  // "late failure" must not overwrite the recorded reason.
+  EXPECT_EQ(failed.handle->failureReason(), "injected");
+}
+
+/// Manager whose enforce() revokes another reservation — models a backend
+/// that preempts an earlier grant while a later co-reservation leg is
+/// still being set up.
+class PreemptingManager : public ResourceManager {
+ public:
+  explicit PreemptingManager(double capacity) : ResourceManager(capacity) {}
+  std::string type() const override { return "preempting"; }
+  std::string validate(const ReservationRequest&) const override {
+    return {};
+  }
+  void enforce(Reservation&) override {
+    if (victim_ != 0) reportFailure(victim_, "preempted mid-setup");
+  }
+  void release(Reservation&) override {}
+  void preemptOnEnforce(std::uint64_t victim) { victim_ = victim; }
+
+ private:
+  std::uint64_t victim_ = 0;
+};
+
+TEST(ReservationFailureTest, CoReserveRollsBackWhenLegRevokedMidSetup) {
+  Fixture f;
+  PreemptingManager trap(100.0);
+  f.gara.registerManager("trap", trap);
+
+  // Reservation ids are sequential from 1: the first coReserve leg gets
+  // id 1, and the trap's enforce() revokes it while the second leg is
+  // being set up.
+  trap.preemptOnEnforce(1);
+  auto outcome = f.gara.coReserve({
+      {"net", f.request(10e6)},
+      {"trap", f.request(1.0)},
+  });
+  EXPECT_FALSE(outcome);
+  EXPECT_NE(outcome.error.find("revoked mid-setup"), std::string::npos);
+  EXPECT_TRUE(outcome.handles.empty());
+  // Nothing held anywhere: enforcement gone, both slot tables empty.
+  EXPECT_EQ(f.policy().ruleCount(), 0u);
+  EXPECT_DOUBLE_EQ(f.manager->slots().usedAt(f.sim.now()), 0.0);
+  EXPECT_DOUBLE_EQ(trap.slots().usedAt(f.sim.now()), 0.0);
+  // Capacity is immediately reusable on both resources.
+  EXPECT_TRUE(f.gara.coReserve({{"net", f.request(40e6)}}));
+}
+
+TEST(FlakyResourceManagerTest, OutageAndTransientDenialsGateAdmission) {
+  Fixture f;
+  FlakyResourceManager flaky(*f.manager);
+  f.gara.registerManager("flaky", flaky);
+
+  flaky.setOutage(true);
+  auto outcome = f.gara.reserve("flaky", f.request(5e6));
+  EXPECT_FALSE(outcome);
+  EXPECT_NE(outcome.error.find("unreachable"), std::string::npos);
+
+  flaky.setOutage(false);
+  flaky.denyNext(2);
+  EXPECT_FALSE(f.gara.reserve("flaky", f.request(5e6)));
+  EXPECT_FALSE(f.gara.reserve("flaky", f.request(5e6)));
+  EXPECT_TRUE(f.gara.reserve("flaky", f.request(5e6)));
+}
+
+TEST(FlakyResourceManagerTest, RevocationFailsEveryActiveReservation) {
+  Fixture f;
+  FlakyResourceManager flaky(*f.manager);
+  f.gara.registerManager("flaky", flaky);
+
+  auto a = f.gara.reserve("flaky", f.request(5e6));
+  auto b = f.gara.reserve("flaky", f.request(5e6));
+  ASSERT_TRUE(a && b);
+  ASSERT_EQ(flaky.activeCount(), 2u);
+  ASSERT_EQ(f.policy().ruleCount(), 2u);  // forwarded to the real manager
+
+  flaky.revokeActive("capacity preempted");
+  EXPECT_EQ(a.handle->state(), ReservationState::kFailed);
+  EXPECT_EQ(b.handle->state(), ReservationState::kFailed);
+  EXPECT_EQ(a.handle->failureReason(), "capacity preempted");
+  EXPECT_EQ(flaky.activeCount(), 0u);
+  EXPECT_EQ(f.policy().ruleCount(), 0u);
+}
+
+TEST(FlakyResourceManagerTest, FaultTargetDrivesOutageAndRevocation) {
+  Fixture f;
+  FlakyResourceManager flaky(*f.manager);
+  f.gara.registerManager("flaky", flaky);
+  auto held = f.gara.reserve("flaky", f.request(5e6));
+  ASSERT_TRUE(held);
+
+  auto target = flaky.faultTarget();
+  target.down();
+  EXPECT_TRUE(flaky.outage());
+  EXPECT_EQ(held.handle->state(), ReservationState::kFailed);
+  EXPECT_FALSE(f.gara.reserve("flaky", f.request(5e6)));
+  target.up();
+  EXPECT_FALSE(flaky.outage());
+  EXPECT_TRUE(f.gara.reserve("flaky", f.request(5e6)));
+}
+
+TEST(ReservationFailureTest, StaleFailureReportIsIgnored) {
+  Fixture f;
+  PreemptingManager trap(100.0);
+  f.gara.registerManager("trap", trap);
+  auto outcome = f.gara.reserve("net", f.request(10e6));
+  ASSERT_TRUE(outcome);
+  f.gara.cancel(outcome.handle);
+  // A late revocation for an id that is no longer live must be a no-op.
+  trap.preemptOnEnforce(outcome.handle->id());
+  ASSERT_TRUE(f.gara.reserve("trap", f.request(1.0)));
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kCancelled);
 }
 
 }  // namespace

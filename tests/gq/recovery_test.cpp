@@ -1,0 +1,202 @@
+// QoS-agent failure recovery: a lost reservation is retried with
+// exponential backoff, degrades transparently to best effort when retries
+// are exhausted, and re-escalates to premium when capacity returns.
+#include <gtest/gtest.h>
+
+#include "apps/garnet_rig.hpp"
+#include "net/faults.hpp"
+
+namespace mgq::gq {
+namespace {
+
+using apps::GarnetRig;
+using sim::Duration;
+using sim::Task;
+using sim::TimePoint;
+
+GarnetRig::Config rigConfig(const QosAgent::RecoveryPolicy& recovery) {
+  GarnetRig::Config config;
+  config.recovery = recovery;
+  return config;
+}
+
+QosAgent::RecoveryPolicy fastRetries(int max_retries) {
+  QosAgent::RecoveryPolicy policy;
+  policy.max_retries = max_retries;
+  policy.initial_backoff = Duration::millis(100);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = Duration::millis(500);
+  policy.jitter = 0.0;  // deterministic timing for the assertions below
+  policy.degrade_to_best_effort = true;
+  policy.reescalate_interval = Duration::millis(500);
+  return policy;
+}
+
+/// Rig with a granted 10 Mb/s premium reservation on comm rank 0; the
+/// launch bodies settle the request and park rank 1.
+struct Harness {
+  explicit Harness(const QosAgent::RecoveryPolicy& recovery)
+      : rig(rigConfig(recovery)) {
+    rig.world.launch([this](mpi::Comm& comm) -> Task<> {
+      if (comm.rank() == 0) {
+        comm0 = &comm;
+        granted = co_await rig.requestPremium(comm, 10'000.0, 37'500);
+      }
+      co_return;
+    });
+  }
+  QosStatus status() { return rig.agent.status(*comm0); }
+  /// Fails the (single) held network leg with `reason`.
+  void failLeg(const std::string& reason) {
+    auto held = status().reservations;
+    ASSERT_EQ(held.size(), 1u);
+    rig.gara.fail(held[0], reason);
+  }
+
+  GarnetRig rig;
+  mpi::Comm* comm0 = nullptr;
+  bool granted = false;
+};
+
+TEST(QosRecoveryTest, LostReservationIsRetriedAndRegranted) {
+  Harness h(fastRetries(5));
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  h.rig.sim.schedule(Duration::seconds(3), [&] { h.failLeg("injected"); });
+  h.rig.sim.runUntil(TimePoint::fromSeconds(5.05));
+  // Capacity is free, so the first backed-off retry already re-grants.
+  EXPECT_EQ(h.status().state, QosRequestState::kRecovering);
+  h.rig.sim.runUntil(TimePoint::fromSeconds(6));
+  const auto status = h.status();
+  EXPECT_EQ(status.state, QosRequestState::kGranted);
+  EXPECT_GE(status.recovery_attempts, 1);
+  EXPECT_TRUE(status.error.empty());
+  ASSERT_EQ(status.reservations.size(), 1u);
+  EXPECT_EQ(status.reservations[0]->state(),
+            gara::ReservationState::kActive);
+}
+
+TEST(QosRecoveryTest, DefaultPolicyDegradesForGood) {
+  Harness h(QosAgent::RecoveryPolicy{});  // default: no retries
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  h.rig.sim.schedule(Duration::seconds(3), [&] { h.failLeg("link lost"); });
+  h.rig.sim.runUntil(TimePoint::fromSeconds(30));
+  const auto status = h.status();
+  EXPECT_EQ(status.state, QosRequestState::kDegraded);
+  EXPECT_EQ(status.error, "link lost");
+  EXPECT_TRUE(status.reservations.empty());
+  EXPECT_EQ(status.recovery_attempts, 0);
+  // Enforcement is fully gone: traffic runs best effort, unpoliced.
+  EXPECT_EQ(
+      h.rig.garnet.ingressEdgeInterface()->ingressPolicy().ruleCount(), 0u);
+}
+
+TEST(QosRecoveryTest, NoDegradeReportsDenied) {
+  QosAgent::RecoveryPolicy policy;  // max_retries = 0
+  policy.degrade_to_best_effort = false;
+  Harness h(policy);
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+  h.failLeg("revoked");
+  EXPECT_EQ(h.status().state, QosRequestState::kDenied);
+  EXPECT_EQ(h.status().error, "revoked");
+}
+
+TEST(QosRecoveryTest, ExhaustedRetriesDegradeThenReescalate) {
+  Harness h(fastRetries(2));
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  // At t=5: fail the leg, then immediately occupy the whole premium share
+  // so every retry is denied by admission control.
+  gara::ReservationHandle blocker;
+  h.rig.sim.schedule(Duration::seconds(3), [&] {
+    h.failLeg("preempted");
+    gara::ReservationRequest request;
+    request.start = h.rig.sim.now();
+    request.amount = h.rig.net_forward.slots().capacity();
+    auto outcome = h.rig.gara.reserve("net-forward", request);
+    ASSERT_TRUE(static_cast<bool>(outcome)) << outcome.error;
+    blocker = outcome.handle;
+  });
+  // Retries at ~5.1 s and ~5.3 s are denied; the request degrades and
+  // keeps probing every 500 ms.
+  h.rig.sim.runUntil(TimePoint::fromSeconds(6));
+  EXPECT_EQ(h.status().state, QosRequestState::kDegraded);
+  EXPECT_GE(h.status().recovery_attempts, 2);
+
+  // Capacity returns: the next background probe re-escalates to premium.
+  h.rig.gara.cancel(blocker);
+  h.rig.sim.runUntil(TimePoint::fromSeconds(8));
+  const auto status = h.status();
+  EXPECT_EQ(status.state, QosRequestState::kGranted);
+  EXPECT_GE(status.recovery_attempts, 3);
+  ASSERT_EQ(status.reservations.size(), 1u);
+  EXPECT_EQ(status.reservations[0]->state(),
+            gara::ReservationState::kActive);
+}
+
+TEST(QosRecoveryTest, LinkFlapRecoveryEndToEnd) {
+  // The full chain: interface down -> manager failure report -> kFailed ->
+  // agent retries (denied while the attachment is down) -> link restored
+  // -> retry granted.
+  QosAgent::RecoveryPolicy policy = fastRetries(6);
+  policy.initial_backoff = Duration::millis(250);
+  policy.max_backoff = Duration::seconds(2.0);
+  Harness h(policy);
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  // Link down at t=5, restored at t=6.
+  net::LinkFault link(*h.rig.garnet.ingressEdgeInterface());
+  h.rig.sim.schedule(Duration::seconds(3), [&] { link.fail(); });
+  h.rig.sim.schedule(Duration::seconds(4), [&] { link.restore(); });
+  h.rig.sim.runUntil(TimePoint::fromSeconds(5.5));
+  EXPECT_NE(h.status().state, QosRequestState::kGranted)
+      << "reservation must be lost while the attachment is down";
+  h.rig.sim.runUntil(TimePoint::fromSeconds(12));
+  const auto status = h.status();
+  EXPECT_EQ(status.state, QosRequestState::kGranted);
+  EXPECT_GE(status.recovery_attempts, 1);
+  EXPECT_EQ(h.rig.net_forward.activeOn(
+                *h.rig.garnet.ingressEdgeInterface()),
+            1u);
+}
+
+TEST(QosRecoveryTest, AwaitSettledDeadlineExpiresWhileRecovering) {
+  GarnetRig rig(rigConfig(fastRetries(100)));
+  // Occupy the premium share up front: the initial request is denied and
+  // enters the retry loop instead of settling.
+  gara::ReservationRequest request;
+  request.amount = rig.net_forward.slots().capacity();
+  auto blocker = rig.gara.reserve("net-forward", request);
+  ASSERT_TRUE(static_cast<bool>(blocker)) << blocker.error;
+
+  bool deadline_hit = false;
+  bool settled_after_release = false;
+  QosRequestState final_state = QosRequestState::kNone;
+  rig.world.launch([&](mpi::Comm& comm) -> Task<> {
+    if (comm.rank() != 0) co_return;
+    rig.premium_attr.qosclass = QosClass::kPremium;
+    rig.premium_attr.bandwidth_kbps = 10'000.0;
+    rig.premium_attr.max_message_size = 37'500;
+    comm.attrPut(rig.agent.keyval(), &rig.premium_attr);
+    deadline_hit =
+        !co_await rig.agent.awaitSettled(comm, Duration::seconds(2));
+    // Free the capacity; the retry loop should now settle the request.
+    rig.gara.cancel(blocker.handle);
+    settled_after_release =
+        co_await rig.agent.awaitSettled(comm, Duration::seconds(30));
+    final_state = rig.agent.status(comm).state;
+  });
+  rig.sim.runUntil(TimePoint::fromSeconds(60));
+  EXPECT_TRUE(deadline_hit);
+  EXPECT_TRUE(settled_after_release);
+  EXPECT_EQ(final_state, QosRequestState::kGranted);
+}
+
+}  // namespace
+}  // namespace mgq::gq

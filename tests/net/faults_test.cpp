@@ -1,0 +1,140 @@
+// Network fault primitives: link flaps halt and resume transmission (and
+// lose in-flight packets), loss episodes drop packets with a seeded,
+// replayable pattern, and link-state observers fire on every transition.
+#include <gtest/gtest.h>
+
+#include "net/faults.hpp"
+#include "net/network.hpp"
+#include "net/udp.hpp"
+
+namespace mgq::net {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct Fixture {
+  Fixture() : network(sim) {
+    src = &network.addHost("src");
+    dst = &network.addHost("dst");
+    network.connect(*src, *dst, LinkConfig{});
+    network.computeRoutes();
+  }
+  Interface& srcIface() { return *src->interfaces().front(); }
+
+  sim::Simulator sim;
+  Network network;
+  Host* src;
+  Host* dst;
+};
+
+TEST(LinkFaultTest, DownHoldsQueuedTrafficUpResumesIt) {
+  Fixture f;
+  UdpSocket sender(*f.src);
+  UdpSink sink(*f.dst, 7);
+
+  LinkFault link(f.srcIface());
+  link.fail();
+  EXPECT_TRUE(link.failed());
+  EXPECT_FALSE(f.srcIface().isUp());
+
+  for (int i = 0; i < 4; ++i) sender.sendTo(f.dst->id(), 7, 1000);
+  f.sim.runUntil(TimePoint::fromSeconds(1));
+  EXPECT_EQ(sink.packetsReceived(), 0u)
+      << "a down link must not transmit queued packets";
+
+  link.restore();
+  EXPECT_FALSE(link.failed());
+  f.sim.runUntil(TimePoint::fromSeconds(2));
+  EXPECT_EQ(sink.packetsReceived(), 4u)
+      << "restoring the link must drain the held queue";
+}
+
+TEST(LinkFaultTest, InFlightPacketsAreLostOnFailure) {
+  Fixture f;
+  UdpSocket sender(*f.src);
+  UdpSink sink(*f.dst, 7);
+
+  // Serialize fully (fast), then fail both directions mid-propagation: the
+  // receiving side is down when the packet arrives, so it is dropped.
+  sender.sendTo(f.dst->id(), 7, 1000);
+  LinkFault link(f.srcIface());
+  f.sim.schedule(Duration::micros(300), [&] { link.fail(); });
+  f.sim.runUntil(TimePoint::fromSeconds(1));
+  EXPECT_EQ(sink.packetsReceived(), 0u);
+  EXPECT_EQ(f.dst->interfaces().front()->stats().drops_link_down, 1u);
+}
+
+TEST(LinkFaultTest, ObserversFireOnEveryTransition) {
+  Fixture f;
+  std::vector<bool> transitions;
+  f.srcIface().onLinkStateChange(
+      [&](Interface&, bool up) { transitions.push_back(up); });
+  LinkFault link(f.srcIface());
+  link.fail();
+  link.fail();  // idempotent: no second notification
+  link.restore();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_FALSE(transitions[0]);
+  EXPECT_TRUE(transitions[1]);
+}
+
+TEST(LossInjectorTest, FullLossDropsEverythingStopRestores) {
+  Fixture f;
+  UdpSocket sender(*f.src);
+  UdpSink sink(*f.dst, 7);
+  LossInjector loss(f.srcIface(), /*seed=*/5);
+
+  loss.start(1.0);
+  for (int i = 0; i < 5; ++i) sender.sendTo(f.dst->id(), 7, 1000);
+  f.sim.runUntil(TimePoint::fromSeconds(1));
+  EXPECT_EQ(sink.packetsReceived(), 0u);
+  EXPECT_EQ(loss.dropped(), 5u);
+  EXPECT_EQ(f.srcIface().stats().drops_fault, 5u);
+
+  loss.stop();
+  for (int i = 0; i < 5; ++i) sender.sendTo(f.dst->id(), 7, 1000);
+  f.sim.runUntil(TimePoint::fromSeconds(2));
+  EXPECT_EQ(sink.packetsReceived(), 5u);
+}
+
+TEST(LossInjectorTest, SeededLossPatternReplaysExactly) {
+  auto deliveredMask = [](std::uint64_t seed) {
+    Fixture f;
+    UdpSocket sender(*f.src);
+    std::vector<std::uint64_t> delivered;
+    UdpSocket receiver(*f.dst, 7);
+    receiver.onReceive(
+        [&](const Packet& p) { delivered.push_back(p.id); });
+    LossInjector loss(f.srcIface(), seed);
+    loss.start(0.5);
+    for (int i = 0; i < 64; ++i) sender.sendTo(f.dst->id(), 7, 100);
+    f.sim.runUntil(TimePoint::fromSeconds(1));
+    return delivered;
+  };
+  const auto a = deliveredMask(9);
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.size(), 64u);
+  EXPECT_EQ(a, deliveredMask(9));
+  EXPECT_NE(a, deliveredMask(10));
+}
+
+TEST(FaultTargetAdapterTest, AdaptersDriveThePrimitives) {
+  Fixture f;
+  LinkFault link(f.srcIface());
+  LossInjector loss(f.srcIface(), 1);
+  auto link_target = linkFaultTarget(link);
+  auto loss_target = lossFaultTarget(loss);
+
+  link_target.down();
+  EXPECT_TRUE(link.failed());
+  link_target.up();
+  EXPECT_FALSE(link.failed());
+  loss_target.loss_start(0.3);
+  EXPECT_TRUE(loss.active());
+  loss_target.loss_stop();
+  EXPECT_FALSE(loss.active());
+}
+
+}  // namespace
+}  // namespace mgq::net

@@ -1,0 +1,142 @@
+// Fault injector: plan execution, seeded determinism (byte-identical
+// event logs across runs), and graceful handling of unknown targets.
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.hpp"
+
+namespace mgq::sim {
+namespace {
+
+struct Counts {
+  int downs = 0;
+  int ups = 0;
+  int loss_starts = 0;
+  int loss_stops = 0;
+  double last_p = -1.0;
+};
+
+FaultTarget countingTarget(Counts& counts) {
+  FaultTarget t;
+  t.down = [&counts] { ++counts.downs; };
+  t.up = [&counts] { ++counts.ups; };
+  t.loss_start = [&counts](double p) {
+    ++counts.loss_starts;
+    counts.last_p = p;
+  };
+  t.loss_stop = [&counts] { ++counts.loss_stops; };
+  return t;
+}
+
+TEST(FaultInjectorTest, PlanFiresActionsAtScheduledTimes) {
+  Simulator sim;
+  FaultInjector injector(sim, 1);
+  Counts counts;
+  injector.registerTarget("link", countingTarget(counts));
+  injector.schedulePlan({
+      {TimePoint::fromSeconds(1), "link", FaultAction::kDown, 0.0},
+      {TimePoint::fromSeconds(2), "link", FaultAction::kUp, 0.0},
+      {TimePoint::fromSeconds(3), "link", FaultAction::kLossStart, 0.25},
+      {TimePoint::fromSeconds(4), "link", FaultAction::kLossStop, 0.0},
+  });
+  sim.runUntil(TimePoint::fromSeconds(1.5));
+  EXPECT_EQ(counts.downs, 1);
+  EXPECT_EQ(counts.ups, 0);
+  sim.run();
+  EXPECT_EQ(counts.downs, 1);
+  EXPECT_EQ(counts.ups, 1);
+  EXPECT_EQ(counts.loss_starts, 1);
+  EXPECT_DOUBLE_EQ(counts.last_p, 0.25);
+  EXPECT_EQ(counts.loss_stops, 1);
+  EXPECT_EQ(injector.firedCount(), 4u);
+  ASSERT_EQ(injector.log().size(), 4u);
+  EXPECT_EQ(injector.log()[0], "t=1.000000s link down");
+  EXPECT_EQ(injector.log()[2], "t=3.000000s link loss-start p=0.2500");
+}
+
+TEST(FaultInjectorTest, ScheduleFlapIsOneDownUpEpisode) {
+  Simulator sim;
+  FaultInjector injector(sim, 1);
+  Counts counts;
+  injector.registerTarget("link", countingTarget(counts));
+  injector.scheduleFlap("link", TimePoint::fromSeconds(5),
+                        Duration::seconds(2));
+  sim.run();
+  EXPECT_EQ(counts.downs, 1);
+  EXPECT_EQ(counts.ups, 1);
+  EXPECT_EQ(injector.logText(),
+            "t=5.000000s link down\nt=7.000000s link up\n");
+}
+
+TEST(FaultInjectorTest, UnregisteredTargetIsLoggedNotFatal) {
+  Simulator sim;
+  FaultInjector injector(sim, 1);
+  injector.fire({TimePoint::zero(), "ghost", FaultAction::kDown, 0.0});
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_EQ(injector.log()[0], "t=0.000000s ghost down (unregistered)");
+}
+
+TEST(FaultInjectorTest, MakeFlapScheduleIsSeededDeterministic) {
+  auto makePlan = [](std::uint64_t seed) {
+    Simulator sim;
+    FaultInjector injector(sim, seed);
+    return injector.makeFlapSchedule("core", TimePoint::zero(),
+                                     TimePoint::fromSeconds(500),
+                                     Duration::seconds(30),
+                                     Duration::seconds(5));
+  };
+  const auto a = makePlan(11);
+  const auto b = makePlan(11);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << i;
+    EXPECT_EQ(a[i].action, b[i].action) << i;
+  }
+  const auto c = makePlan(12);
+  bool identical = a.size() == c.size();
+  for (std::size_t i = 0; identical && i < a.size(); ++i) {
+    identical = a[i].at == c[i].at;
+  }
+  EXPECT_FALSE(identical) << "different seeds must give different plans";
+}
+
+TEST(FaultInjectorTest, FlapScheduleAlternatesAndRestoresByHorizon) {
+  Simulator sim;
+  FaultInjector injector(sim, 3);
+  const auto until = TimePoint::fromSeconds(200);
+  const auto plan = injector.makeFlapSchedule(
+      "core", TimePoint::zero(), until, Duration::seconds(10),
+      Duration::seconds(10));
+  ASSERT_FALSE(plan.empty());
+  ASSERT_EQ(plan.size() % 2, 0u) << "every down must have a matching up";
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].action,
+              i % 2 == 0 ? FaultAction::kDown : FaultAction::kUp);
+    EXPECT_LE(plan[i].at, until);
+    if (i > 0) {
+      EXPECT_GE(plan[i].at, plan[i - 1].at);
+    }
+  }
+  EXPECT_EQ(plan.back().action, FaultAction::kUp);
+}
+
+TEST(FaultInjectorTest, ReplayProducesByteIdenticalLog) {
+  auto runOnce = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    FaultInjector injector(sim, seed);
+    Counts counts;
+    injector.registerTarget("core", countingTarget(counts));
+    injector.schedulePlan(injector.makeFlapSchedule(
+        "core", TimePoint::zero(), TimePoint::fromSeconds(300),
+        Duration::seconds(20), Duration::seconds(4)));
+    sim.run();
+    return injector.logText();
+  };
+  const auto first = runOnce(42);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, runOnce(42));
+  EXPECT_NE(first, runOnce(43));
+}
+
+}  // namespace
+}  // namespace mgq::sim
