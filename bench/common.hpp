@@ -5,11 +5,17 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/garnet_rig.hpp"
+#include "apps/rig_obs.hpp"
 #include "apps/sampler.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -38,16 +44,67 @@ inline int finish() {
   return 0;
 }
 
+/// Per-bench observability bundle: one metrics registry + trace buffer
+/// shared by every run the bench performs (runs are separated by metric
+/// prefixes / trace scopes), exported to BENCH_<name>.json at the end.
+struct BenchObs {
+  obs::MetricsRegistry metrics;
+  obs::TraceBuffer trace{16 * 1024};
+
+  /// Writes BENCH_<bench_name>.json into the working directory and records
+  /// the write as a shape check.
+  void exportJson(const std::string& bench_name) {
+    check(obs::exportBenchJson(bench_name, metrics, &trace),
+          "wrote BENCH_" + bench_name + ".json");
+  }
+};
+
+/// Hooks one rig run into a bench's BenchObs (no-op when `obs` is null):
+/// creates the sampler, installs rig + premium-flow probes under
+/// `run_label.` and starts sampling. Destroy (or let go out of scope)
+/// before the rig; snapshot() copies the end-of-run counters.
+class RunObs {
+ public:
+  RunObs(BenchObs* obs, apps::GarnetRig& rig, const std::string& run_label)
+      : obs_(obs), rig_(rig),
+        prefix_(run_label.empty() ? "" : run_label + ".") {
+    if (obs_ == nullptr) return;
+    sampler_ = std::make_unique<obs::Sampler>(rig.sim, obs_->metrics);
+    apps::attachRigObservability(rig, obs_->metrics, obs_->trace, *sampler_,
+                                 prefix_);
+    apps::addTcpFlowProbes(*sampler_, rig.world, 0, 1,
+                           prefix_ + "flow.premium");
+    sampler_->start();
+  }
+
+  void snapshot() {
+    if (obs_ == nullptr) return;
+    sampler_->stop();
+    apps::snapshotRigCounters(rig_, obs_->metrics, prefix_);
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  BenchObs* obs_;
+  apps::GarnetRig& rig_;
+  std::string prefix_;
+  std::unique_ptr<obs::Sampler> sampler_;
+};
+
 /// Runs the paper's ping-pong experiment (§5.2) on a fresh rig: returns
 /// the achieved one-way throughput in kb/s. `reservation_kbps` is the
 /// *raw network reservation* (the paper's x-axis); the agent's protocol-
 /// overhead scaling is divided out so exactly that amount is installed.
 inline double pingPongThroughputKbps(double reservation_kbps,
                                      int message_bytes, double seconds,
-                                     std::uint64_t seed = 1) {
+                                     std::uint64_t seed = 1,
+                                     BenchObs* obs = nullptr,
+                                     const std::string& run_label = {}) {
   apps::GarnetRig::Config config;
   config.seed = seed;
   apps::GarnetRig rig(config);
+  RunObs run_obs(obs, rig, run_label);
   rig.startContention();
   apps::PingPongStats stats;
   rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
@@ -61,6 +118,7 @@ inline double pingPongThroughputKbps(double reservation_kbps,
                                comm.rank() == 0 ? &stats : nullptr);
   });
   rig.sim.runUntil(sim::TimePoint::fromSeconds(seconds + 60));
+  run_obs.snapshot();
   return stats.oneWayThroughputKbps(seconds);
 }
 
@@ -79,10 +137,12 @@ inline VisualizationRun visualizationThroughput(
     double reservation_kbps, double frames_per_second,
     std::int64_t frame_bytes, double seconds,
     double bucket_divisor = net::TokenBucket::kNormalDivisor,
-    std::uint64_t seed = 1, double snapshot_grace_seconds = 0.0) {
+    std::uint64_t seed = 1, double snapshot_grace_seconds = 0.0,
+    BenchObs* obs = nullptr, const std::string& run_label = {}) {
   apps::GarnetRig::Config config;
   config.seed = seed;
   apps::GarnetRig rig(config);
+  RunObs run_obs(obs, rig, run_label);
   rig.startContention();
   apps::VisualizationStats stats;
   rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
@@ -113,6 +173,7 @@ inline VisualizationRun visualizationThroughput(
   rig.sim.schedule(sim::Duration::seconds(seconds + snapshot_grace_seconds),
                    [&] { delivered_at_deadline = stats.bytes_delivered; });
   rig.sim.runUntil(sim::TimePoint::fromSeconds(seconds + 120));
+  run_obs.snapshot();
   VisualizationRun run;
   run.delivered_kbps =
       static_cast<double>(delivered_at_deadline) * 8.0 / seconds / 1000.0;

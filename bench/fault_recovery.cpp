@@ -39,7 +39,8 @@ struct ScenarioResult {
   std::string injector_log;
 };
 
-ScenarioResult runScenario(bool recovery_on) {
+ScenarioResult runScenario(bool recovery_on, BenchObs* obs = nullptr,
+                           const std::string& label = {}) {
   apps::GarnetRig::Config config;
   if (recovery_on) {
     config.recovery.max_retries = 6;
@@ -51,6 +52,7 @@ ScenarioResult runScenario(bool recovery_on) {
     config.recovery.reescalate_interval = Duration::seconds(2.0);
   }
   apps::GarnetRig rig(config);
+  RunObs run_obs(obs, rig, label);
   rig.startContention();
 
   sim::FaultInjector injector(rig.sim, /*seed=*/42);
@@ -82,9 +84,15 @@ ScenarioResult runScenario(bool recovery_on) {
       Duration::seconds(1.0));
   sampler.start();
   rig.sim.runUntil(TimePoint::fromSeconds(kRunSeconds));
+  run_obs.snapshot();
 
   ScenarioResult result;
   result.series = sampler.series();
+  if (obs != nullptr) {
+    apps::recordBandwidthSeries(obs->metrics,
+                                run_obs.prefix() + "flow.premium.kbps",
+                                result.series);
+  }
   result.pre_flap_kbps = sampler.meanKbps(5.0, kFlapDownSeconds);
   result.post_flap_kbps = sampler.meanKbps(
       kFlapDownSeconds + kFlapOutageSeconds + 5.0, kRunSeconds);
@@ -119,8 +127,10 @@ int run() {
          "GARA monitoring/state-change callbacks (paper §4.2); reservation "
          "preemption treated as the common case in wide-area deployments");
 
-  const auto with = runScenario(/*recovery_on=*/true);
-  const auto without = runScenario(/*recovery_on=*/false);
+  BenchObs obs;
+  const auto with = runScenario(/*recovery_on=*/true, &obs, "recovery_on");
+  const auto without =
+      runScenario(/*recovery_on=*/false, &obs, "recovery_off");
 
   util::Table table({"time_s", "recovery_on_kbps", "recovery_off_kbps"});
   for (std::size_t i = 0;
@@ -164,6 +174,7 @@ int run() {
         "seeded random flap schedule replays byte-identically");
   check(random_log != replayRandomSchedule(8),
         "different seeds give different flap schedules");
+  obs.exportJson("fault_recovery");
   return finish();
 }
 

@@ -20,8 +20,10 @@ struct Trace {
   double cov = 0;  // coefficient of variation: oscillation measure
 };
 
-Trace runFlow(double reservation_bps, double offered_bps, double seconds) {
+Trace runFlow(double reservation_bps, double offered_bps, double seconds,
+              BenchObs* obs, const std::string& label) {
   apps::GarnetRig rig;
+  RunObs run_obs(obs, rig, label);
   rig.startContention();
 
   auto bucket = std::make_shared<net::TokenBucket>(
@@ -66,9 +68,15 @@ Trace runFlow(double reservation_bps, double offered_bps, double seconds) {
       sim::Duration::seconds(1.0));
   sampler.start();
   rig.sim.runUntil(sim::TimePoint::fromSeconds(seconds));
+  run_obs.snapshot();
 
   Trace trace;
   trace.series = sampler.series();
+  if (obs != nullptr) {
+    apps::recordBandwidthSeries(obs->metrics,
+                                run_obs.prefix() + "flow.premium.kbps",
+                                trace.series);
+  }
   std::vector<double> values;
   for (const auto& p : trace.series) {
     if (p.t_seconds > 2.0) values.push_back(p.kbps);  // skip slow start
@@ -83,8 +91,9 @@ int run() {
          "50 Mb/s offered, 40 Mb/s reserved; paper shows oscillation "
          "between ~25 and ~52 Mb/s over 100 s");
 
-  const auto under = runFlow(40e6, 50e6, 100.0);
-  const auto adequate = runFlow(55e6 * 1.06, 50e6, 100.0);
+  BenchObs obs;
+  const auto under = runFlow(40e6, 50e6, 100.0, &obs, "under");
+  const auto adequate = runFlow(55e6 * 1.06, 50e6, 100.0, &obs, "adequate");
 
   util::Table table({"time_s", "under_reserved_kbps", "adequate_kbps"});
   for (std::size_t i = 0;
@@ -114,6 +123,7 @@ int run() {
         "oscillation (cov) far larger than with an adequate reservation");
   check(adequate.mean_kbps > 45e3,
         "adequate reservation sustains ~50 Mb/s offered load");
+  obs.exportJson("fig1_tcp_reservation");
   return finish();
 }
 

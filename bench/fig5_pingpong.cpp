@@ -22,6 +22,7 @@ int run() {
       500, 1000, 2000, 3000, 4000, 6000, 8000, 10000, 12000, 16000, 20000};
   const double seconds = 10.0;
 
+  BenchObs obs;
   util::Table table({"reservation_kbps", "8Kb_msgs", "40Kb_msgs",
                      "80Kb_msgs", "120Kb_msgs"});
   // curves[size][reservation index] = achieved one-way throughput.
@@ -30,7 +31,10 @@ int run() {
     std::vector<std::string> row{util::Table::num(resv, 0)};
     for (std::size_t m = 0; m < message_kilobits.size(); ++m) {
       const int bytes = message_kilobits[m] * 1000 / 8;
-      const double kbps = pingPongThroughputKbps(resv, bytes, seconds);
+      const std::string label = "res" + util::Table::num(resv, 0) + ".msg" +
+                                std::to_string(message_kilobits[m]) + "kb";
+      const double kbps =
+          pingPongThroughputKbps(resv, bytes, seconds, 1, &obs, label);
       curves[m].push_back(kbps);
       row.push_back(util::Table::num(kbps, 0));
     }
@@ -42,7 +46,8 @@ int run() {
   // Baseline without any reservation (paper: "performance is extremely
   // poor in the first case").
   const double no_resv_40kb =
-      pingPongThroughputKbps(0.0, 40 * 1000 / 8, seconds);
+      pingPongThroughputKbps(0.0, 40 * 1000 / 8, seconds, 1, &obs,
+                             "noresv.msg40kb");
   std::printf("no reservation, 40Kb messages: %.0f kb/s\n\n", no_resv_40kb);
 
   for (std::size_t m = 0; m < curves.size(); ++m) {
@@ -67,6 +72,7 @@ int run() {
         "120Kb messages plateau above 8Kb messages");
   check(no_resv_40kb < 0.3 * curves[1].back(),
         "no reservation under contention is far below the reserved case");
+  obs.exportJson("fig5_pingpong");
   return finish();
 }
 

@@ -24,6 +24,7 @@ int run() {
                                       1.5};
   const double seconds = 20.0;
 
+  BenchObs obs;
   util::Table table({"reservation/target", "400kbps", "800kbps",
                      "1600kbps", "2400kbps"});
   std::vector<std::vector<double>> curves(frame_bytes.size());
@@ -32,8 +33,11 @@ int run() {
     for (std::size_t f = 0; f < frame_bytes.size(); ++f) {
       const double target_kbps =
           static_cast<double>(frame_bytes[f]) * 8.0 * 10.0 / 1000.0;
+      const std::string label = "target" + util::Table::num(target_kbps, 0) +
+                                ".frac" + util::Table::num(frac, 2);
       const auto result = visualizationThroughput(
-          target_kbps * frac, 10.0, frame_bytes[f], seconds);
+          target_kbps * frac, 10.0, frame_bytes[f], seconds,
+          net::TokenBucket::kNormalDivisor, 1, 0.0, &obs, label);
       curves[f].push_back(result.delivered_kbps);
       row.push_back(util::Table::num(result.delivered_kbps, 0));
     }
@@ -60,6 +64,7 @@ int run() {
     check(c.front() < c.back(),
           "throughput increases with reservation (" + label + ")");
   }
+  obs.exportJson("fig6_visualization");
   return finish();
 }
 

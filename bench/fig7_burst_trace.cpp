@@ -21,8 +21,10 @@ struct BurstTrace {
   double largest_burst_bytes = 0;
 };
 
-BurstTrace runTrace(double fps, std::int64_t frame_bytes) {
+BurstTrace runTrace(double fps, std::int64_t frame_bytes, BenchObs* obs,
+                    const std::string& label) {
   apps::GarnetRig rig;
+  RunObs run_obs(obs, rig, label);
   // No contention needed: burstiness is a property of the sender.
   apps::SequenceTracer tracer;
   apps::VisualizationStats stats;
@@ -43,6 +45,7 @@ BurstTrace runTrace(double fps, std::int64_t frame_bytes) {
     if (socket != nullptr) tracer.attach(*socket);
   });
   rig.sim.runUntil(sim::TimePoint::fromSeconds(8.0));
+  run_obs.snapshot();
 
   BurstTrace result;
   // Steady-state window [2s, 3s), re-based to 0.
@@ -92,8 +95,9 @@ int run() {
          "400 kb/s as 10 fps x 40 Kb frames vs 1 fps x 400 Kb frame; 1 s "
          "window");
 
-  const auto smooth = runTrace(10.0, 40'000 / 8);   // 40 Kb frames
-  const auto bursty = runTrace(1.0, 400'000 / 8);   // one 400 Kb frame
+  BenchObs obs;
+  const auto smooth = runTrace(10.0, 40'000 / 8, &obs, "fps10");
+  const auto bursty = runTrace(1.0, 400'000 / 8, &obs, "fps1");
 
   printTrace("10 frames/second (top panel)", smooth);
   printTrace("1 frame/second (bottom panel)", bursty);
@@ -112,6 +116,7 @@ int run() {
                             : static_cast<double>(bursty.window.back().seq);
   check(std::abs(total_smooth - total_bursty) < 0.3 * total_smooth,
         "both programs send ~the same bytes per second (equal rate)");
+  obs.exportJson("fig7_burst_trace");
   return finish();
 }
 

@@ -18,7 +18,9 @@ int run() {
          "15 Mb/s stream; CPU hog at t=10 s; 90% CPU reservation at "
          "t=20 s");
 
+  BenchObs obs;
   apps::GarnetRig rig;
+  RunObs run_obs(&obs, rig, {});
   const auto job = rig.sender_cpu.registerJob("viz");
   cpu::CpuHog hog(rig.sender_cpu, "competitor");
 
@@ -54,6 +56,9 @@ int run() {
     if (!outcome) std::cout << "CPU reservation failed: " << outcome.error;
   });
   rig.sim.runUntil(sim::TimePoint::fromSeconds(32));
+  run_obs.snapshot();
+  apps::recordBandwidthSeries(obs.metrics, "flow.viz.kbps",
+                              sampler.series());
 
   util::Table table({"time_s", "bandwidth_kbps"});
   for (const auto& p : sampler.series()) {
@@ -75,6 +80,7 @@ int run() {
         "CPU contention cuts the stream sharply (paper: roughly halved)");
   check(std::abs(phase_reserved - phase_free) < 0.15 * phase_free,
         "the 90% CPU reservation restores full bandwidth");
+  obs.exportJson("fig8_cpu_reservation");
   return finish();
 }
 

@@ -21,7 +21,9 @@ int run() {
          "35 Mb/s stream; net congestion @10s, net reservation @21s, CPU "
          "contention @31s, CPU reservation @41s");
 
+  BenchObs obs;
   apps::GarnetRig rig;
+  RunObs run_obs(&obs, rig, {});
   const auto job = rig.sender_cpu.registerJob("viz");
   cpu::CpuHog hog(rig.sender_cpu, "competitor");
 
@@ -75,6 +77,9 @@ int run() {
   });
 
   rig.sim.runUntil(sim::TimePoint::fromSeconds(52));
+  run_obs.snapshot();
+  apps::recordBandwidthSeries(obs.metrics, "flow.viz.kbps",
+                              sampler.series());
 
   util::Table table({"time_s", "bandwidth_kbps", "phase"});
   auto phaseName = [](double t) {
@@ -107,6 +112,7 @@ int run() {
         "CPU contention reduces bandwidth despite the network reservation");
   check(std::abs(both_reserved - clean) < 0.2 * clean,
         "adding the CPU reservation restores full bandwidth");
+  obs.exportJson("fig9_combined");
   return finish();
 }
 

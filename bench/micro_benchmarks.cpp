@@ -8,6 +8,8 @@
 #include "apps/garnet_rig.hpp"
 #include "apps/workloads.hpp"
 #include "net/classifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "tcp/tcp_socket.hpp"
 
@@ -126,6 +128,48 @@ void BM_MpiPingPongRoundTrips(benchmark::State& state) {
   state.SetLabel("2 simulated seconds of ping-pong per iteration");
 }
 BENCHMARK(BM_MpiPingPongRoundTrips)->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  // Cost of a counter increment with the registry enabled vs. disabled.
+  // Disabled must be a single predicted branch: no measurable overhead.
+  obs::MetricsRegistry metrics;
+  metrics.setEnabled(state.range(0) != 0);
+  auto& counter = metrics.counter("bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsCounterInc)->Arg(0)->Arg(1);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  metrics.setEnabled(state.range(0) != 0);
+  auto& histogram = metrics.histogram("bench.histogram");
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram.record(v);
+    v += 1.0;
+    benchmark::DoNotOptimize(histogram);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsHistogramRecord)->Arg(0)->Arg(1);
+
+void BM_ObsTraceRecord(benchmark::State& state) {
+  obs::TraceBuffer trace(4096);
+  trace.setEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    trace.record("bench", "event", 7, 1.0);
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsTraceRecord)->Arg(0)->Arg(1);
 
 void BM_SlotTableAdmission(benchmark::State& state) {
   gara::SlotTable table(1e9);

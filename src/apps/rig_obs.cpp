@@ -1,0 +1,123 @@
+#include "apps/rig_obs.hpp"
+
+#include <limits>
+
+namespace mgq::apps {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+double classBytes(const net::Interface* iface, net::Dscp d) {
+  return static_cast<double>(iface->qdisc().classQueue(d).bytes());
+}
+
+}  // namespace
+
+void attachRigObservability(GarnetRig& rig, obs::MetricsRegistry& metrics,
+                            obs::TraceBuffer& trace, obs::Sampler& sampler,
+                            const std::string& prefix) {
+  rig.gara.attachObservability(&metrics, &trace);
+  rig.agent.attachObservability(&metrics, &trace);
+  // Scope = prefix minus the metric-name separator dot.
+  std::string scope = prefix;
+  if (!scope.empty() && scope.back() == '.') scope.pop_back();
+  trace.setScope(std::move(scope));
+
+  const auto* core = rig.garnet.coreBottleneckInterface();
+  sampler.addProbe(prefix + "qdisc.ef_bytes",
+                   [core] { return classBytes(core, net::Dscp::kExpedited); });
+  sampler.addProbe(prefix + "qdisc.ll_bytes", [core] {
+    return classBytes(core, net::Dscp::kLowLatency);
+  });
+  sampler.addProbe(prefix + "qdisc.be_bytes", [core] {
+    return classBytes(core, net::Dscp::kBestEffort);
+  });
+  sampler.addHistogramProbe(
+      prefix + "qdisc.ef_occupancy_bytes",
+      [core] { return classBytes(core, net::Dscp::kExpedited); });
+  sampler.addHistogramProbe(
+      prefix + "qdisc.be_occupancy_bytes",
+      [core] { return classBytes(core, net::Dscp::kBestEffort); });
+
+  const auto* edge = rig.garnet.ingressEdgeInterface();
+  sampler.addProbe(prefix + "net.policed_drops", [edge] {
+    return static_cast<double>(edge->stats().drops_policed);
+  });
+}
+
+void snapshotRigCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
+                         const std::string& prefix) {
+  const auto add = [&](const std::string& name, std::uint64_t value) {
+    metrics.counter(prefix + name).inc(value);
+  };
+
+  const auto* core = rig.garnet.coreBottleneckInterface();
+  const struct {
+    const char* label;
+    net::Dscp dscp;
+  } classes[] = {{"ef", net::Dscp::kExpedited},
+                 {"ll", net::Dscp::kLowLatency},
+                 {"be", net::Dscp::kBestEffort}};
+  for (const auto& c : classes) {
+    const auto& qs = core->qdisc().classQueue(c.dscp).stats();
+    const std::string base = std::string("qdisc.") + c.label;
+    add(base + ".enqueued", qs.enqueued);
+    add(base + ".dropped_overflow", qs.dropped_overflow);
+    add(base + ".dropped_oversize", qs.dropped_oversize);
+  }
+
+  auto* edge = rig.garnet.ingressEdgeInterface();
+  add("net.edge.drops_policed", edge->stats().drops_policed);
+  add("net.edge.drops_overflow", edge->stats().drops_overflow);
+  add("net.edge.rx_packets", edge->stats().rx_packets);
+  const auto& policy = edge->ingressPolicy().stats();
+  add("net.policy.classified", policy.classified);
+  add("net.policy.marked", policy.marked);
+  add("net.policy.policed_drops", policy.policed_drops);
+  add("net.policy.demoted", policy.demoted);
+
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route = 0;
+  for (const auto* router :
+       {rig.garnet.ingress_router, rig.garnet.core_router,
+        rig.garnet.egress_router}) {
+    forwarded += router->stats().forwarded;
+    no_route += router->stats().no_route_drops;
+  }
+  add("net.routers.forwarded", forwarded);
+  add("net.routers.no_route_drops", no_route);
+
+  if (auto* socket = rig.world.connectionSocket(0, 1)) {
+    const auto& ts = socket->stats();
+    add("tcp.flow01.segments_sent", ts.segments_sent);
+    add("tcp.flow01.retransmits", ts.retransmits);
+    add("tcp.flow01.fast_retransmits", ts.fast_retransmits);
+    add("tcp.flow01.timeouts", ts.timeouts);
+  }
+}
+
+void addTcpFlowProbes(obs::Sampler& sampler, mpi::World& world, int src,
+                      int dst, const std::string& flow_name) {
+  auto socket = [&world, src, dst] { return world.connectionSocket(src, dst); };
+  sampler.addProbe(flow_name + ".cwnd_bytes", [socket] {
+    const auto* s = socket();
+    return s != nullptr ? s->cwndBytes() : kNan;
+  });
+  sampler.addProbe(flow_name + ".rto_ms", [socket] {
+    const auto* s = socket();
+    return s != nullptr ? s->currentRto().toSeconds() * 1000.0 : kNan;
+  });
+  sampler.addRateProbe(flow_name + ".delivered_kbps", [socket] {
+    const auto* s = socket();
+    return s != nullptr ? static_cast<double>(s->bytesDelivered()) : kNan;
+  });
+}
+
+void recordBandwidthSeries(
+    obs::MetricsRegistry& metrics, const std::string& name,
+    const std::vector<BandwidthSampler::Point>& series) {
+  auto& timeline = metrics.timeline(name);
+  for (const auto& p : series) timeline.append(p.t_seconds, p.kbps);
+}
+
+}  // namespace mgq::apps

@@ -1,0 +1,53 @@
+// Observability wiring for the GARNET rig: one call connects a rig's
+// GARA + QoS agent to a metrics registry / trace buffer, installs the
+// standard sampler probes on the core bottleneck qdisc, and snapshots
+// end-of-run drop/forward counters from every instrumented layer.
+//
+// Benches that run several configurations reuse one registry/buffer and
+// pass a per-run `prefix` ("under.", "run3.") so series and counters from
+// different runs stay distinguishable in the exported JSON.
+#pragma once
+
+#include <string>
+
+#include "apps/garnet_rig.hpp"
+#include "apps/sampler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace mgq::apps {
+
+/// Connects the rig's GARA and QoS agent to `metrics`/`trace` (binding the
+/// trace clock to the rig's simulator and `prefix` — minus a trailing dot —
+/// as its scope) and installs the standard probes on `sampler`:
+///   <prefix>qdisc.{ef,ll,be}_bytes          timeline of class occupancy
+///   <prefix>qdisc.{ef,be}_occupancy_bytes   time-weighted histograms
+///   <prefix>net.policed_drops               timeline (ingress edge policer)
+/// The sampler must be driven by the rig's simulator; call start() after.
+void attachRigObservability(GarnetRig& rig, obs::MetricsRegistry& metrics,
+                            obs::TraceBuffer& trace, obs::Sampler& sampler,
+                            const std::string& prefix = {});
+
+/// End-of-run counter snapshot under `prefix`: per-class qdisc
+/// enqueue/drop counts at the core bottleneck, ingress-edge policer and
+/// overflow drops, router forward/no-route counts, and the premium pair's
+/// TCP segment/retransmit/timeout counters (when connected).
+void snapshotRigCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
+                         const std::string& prefix = {});
+
+/// Installs cwnd/RTO/throughput probes for the TCP connection carrying
+/// world-rank `src` → `dst` traffic:
+///   <flow_name>.cwnd_bytes, <flow_name>.rto_ms   timelines
+///   <flow_name>.delivered_kbps                   per-interval rate
+/// Probes report NaN (skipped) until the connection exists.
+void addTcpFlowProbes(obs::Sampler& sampler, mpi::World& world, int src,
+                      int dst, const std::string& flow_name);
+
+/// Copies a BandwidthSampler series into metrics.timeline(name) — used to
+/// export the workload-side throughput series benches already collect.
+void recordBandwidthSeries(obs::MetricsRegistry& metrics,
+                           const std::string& name,
+                           const std::vector<BandwidthSampler::Point>& series);
+
+}  // namespace mgq::apps

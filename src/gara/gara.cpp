@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace mgq::gara {
@@ -42,6 +44,41 @@ void Gara::registerManager(const std::string& name,
       });
 }
 
+void Gara::attachObservability(obs::MetricsRegistry* metrics,
+                               obs::TraceBuffer* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->setClock([this] { return sim_.now().toSeconds(); });
+  }
+}
+
+void Gara::countEvent(const char* counter) {
+  if (metrics_ != nullptr) metrics_->counter(counter).inc();
+}
+
+void Gara::traceEvent(const char* event, std::uint64_t id, double value,
+                      const std::string& detail) {
+  if (trace_ != nullptr) {
+    trace_->record("reservation", event, id, value, detail);
+  }
+}
+
+std::string Gara::resourceNameOf(const ResourceManager* manager) const {
+  for (const auto& [name, registered] : managers_) {
+    if (registered == manager) return name;
+  }
+  return "?";
+}
+
+void Gara::updateUtilization(const ResourceManager& manager) {
+  if (metrics_ == nullptr) return;
+  const double capacity = manager.slots().capacity();
+  if (capacity <= 0.0) return;
+  metrics_->gauge("gara.slot_utilization." + resourceNameOf(&manager))
+      .set(manager.slots().usedAt(sim_.now()) / capacity);
+}
+
 ResourceManager* Gara::findManager(const std::string& name) {
   const auto it = managers_.find(name);
   return it == managers_.end() ? nullptr : it->second;
@@ -56,23 +93,35 @@ std::vector<std::string> Gara::resourceNames() const {
 
 ReserveOutcome Gara::reserve(const std::string& resource,
                              ReservationRequest request) {
+  countEvent("gara.requests");
+  traceEvent("requested", 0, request.amount, resource);
   auto* manager = findManager(resource);
   if (manager == nullptr) {
+    countEvent("gara.rejected");
+    traceEvent("rejected", 0, request.amount, "unknown resource " + resource);
     return {nullptr, "unknown resource '" + resource + "'"};
   }
   if (auto error = manager->validate(request); !error.empty()) {
+    countEvent("gara.rejected");
+    traceEvent("rejected", 0, request.amount, error);
     return {nullptr, error};
   }
   if (request.start < sim_.now()) request.start = sim_.now();
   const auto slot =
       manager->slots().insert(request.start, endOf(request), request.amount);
   if (slot == 0) {
+    countEvent("gara.rejected");
+    traceEvent("rejected", 0, request.amount,
+               "admission control on " + resource);
     return {nullptr, "admission control: insufficient capacity on '" +
                          resource + "'"};
   }
   auto handle = std::make_shared<Reservation>(next_reservation_id_++,
                                               request, *manager, slot);
   live_[handle->id()] = handle;
+  countEvent("gara.admitted");
+  traceEvent("admitted", handle->id(), request.amount, resource);
+  updateUtilization(*manager);
   if (request.start <= sim_.now()) {
     activate(handle);
   } else {
@@ -135,6 +184,10 @@ bool Gara::modify(const ReservationHandle& handle, double new_amount,
   if (state == ReservationState::kActive) {
     handle->manager().reconfigure(*handle);
   }
+  countEvent("gara.modified");
+  traceEvent("modified", handle->id(), new_amount,
+             resourceNameOf(&handle->manager()));
+  updateUtilization(handle->manager());
   return true;
 }
 
@@ -165,11 +218,32 @@ void Gara::retire(const ReservationHandle& handle,
   }
   handle->manager().slots().remove(handle->slot());
   live_.erase(handle->id());
+  switch (terminal) {
+    case ReservationState::kExpired:
+      countEvent("gara.expired");
+      break;
+    case ReservationState::kCancelled:
+      countEvent("gara.cancelled");
+      break;
+    case ReservationState::kFailed:
+      countEvent("gara.failed");
+      break;
+    default:
+      break;
+  }
+  traceEvent(reservationStateName(terminal), handle->id(),
+             handle->request().amount,
+             terminal == ReservationState::kFailed ? handle->failureReason()
+                 : resourceNameOf(&handle->manager()));
+  updateUtilization(handle->manager());
   handle->transition(terminal);
 }
 
 void Gara::activate(const ReservationHandle& handle) {
   handle->manager().enforce(*handle);
+  countEvent("gara.activated");
+  traceEvent("activated", handle->id(), handle->request().amount,
+             resourceNameOf(&handle->manager()));
   handle->transition(ReservationState::kActive);
   const auto end = endOf(handle->request());
   if (handle->request().duration < sim::Duration::infinite()) {

@@ -19,6 +19,11 @@
 #include "gara/resource_manager.hpp"
 #include "sim/simulator.hpp"
 
+namespace mgq::obs {
+class MetricsRegistry;
+class TraceBuffer;
+}  // namespace mgq::obs
+
 namespace mgq::gara {
 
 class Gara {
@@ -78,10 +83,25 @@ class Gara {
 
   sim::Simulator& simulator() { return sim_; }
 
+  /// Wires reservation lifecycle events into the observability layer:
+  /// per-outcome counters ("gara.requests", "gara.admitted", ...), a
+  /// per-resource slot-utilization gauge, and one trace event per state
+  /// transition (requested → admitted → activated → expired / cancelled /
+  /// failed, with rejection/failure reasons). Either pointer may be null;
+  /// both must outlive this Gara. The trace buffer's clock is bound to
+  /// this Gara's simulator.
+  void attachObservability(obs::MetricsRegistry* metrics,
+                           obs::TraceBuffer* trace);
+
  private:
   void activate(const ReservationHandle& handle);
   void expire(const ReservationHandle& handle);
   void retire(const ReservationHandle& handle, ReservationState terminal);
+  void countEvent(const char* counter);
+  void traceEvent(const char* event, std::uint64_t id, double value,
+                  const std::string& detail);
+  void updateUtilization(const ResourceManager& manager);
+  std::string resourceNameOf(const ResourceManager* manager) const;
   static sim::TimePoint endOf(const ReservationRequest& r) {
     return r.start + r.duration;
   }
@@ -92,6 +112,8 @@ class Gara {
   /// which carry only an id — can be resolved back to a handle.
   std::unordered_map<std::uint64_t, std::weak_ptr<Reservation>> live_;
   std::uint64_t next_reservation_id_ = 1;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace mgq::gara

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace mgq::gq {
@@ -62,6 +64,21 @@ QosAgent::QosAgent(mpi::World& world, gara::Gara& gara, Config config)
       });
 }
 
+void QosAgent::attachObservability(obs::MetricsRegistry* metrics,
+                                   obs::TraceBuffer* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
+void QosAgent::countEvent(const char* counter) {
+  if (metrics_ != nullptr) metrics_->counter(counter).inc();
+}
+
+void QosAgent::traceEvent(const char* event, std::uint64_t id, double value,
+                          const std::string& detail) {
+  if (trace_ != nullptr) trace_->record("qos", event, id, value, detail);
+}
+
 QosAgent::StatusKey QosAgent::keyOf(const mpi::Comm& comm) {
   return {comm.context(), comm.worldRank(comm.rank())};
 }
@@ -93,6 +110,9 @@ void QosAgent::onPut(mpi::Comm& comm, void* value) {
 
   if (value == nullptr) return;
   const auto attr = *static_cast<const QosAttribute*>(value);  // snapshot
+  countEvent("qos.requests");
+  traceEvent("requested", static_cast<std::uint64_t>(comm.context()),
+             attr.bandwidth_kbps, qosClassName(attr.qosclass));
   if (attr.qosclass == QosClass::kBestEffort) {
     statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}};
     if (const auto it = settled_.find(key); it != settled_.end()) {
@@ -136,6 +156,17 @@ void QosAgent::grant(const mpi::Comm& comm, const QosAttribute& attr,
                      std::vector<gara::ReservationHandle> handles) {
   const auto key = keyOf(comm);
   auto& status = statuses_[key];
+  const auto id = static_cast<std::uint64_t>(comm.context());
+  if (status.state == QosRequestState::kDegraded) {
+    countEvent("qos.reescalated");
+    traceEvent("re-escalated", id, attr.bandwidth_kbps, {});
+  } else if (status.state == QosRequestState::kRecovering) {
+    countEvent("qos.recovered");
+    traceEvent("recovered", id, attr.bandwidth_kbps, {});
+  } else {
+    countEvent("qos.granted");
+    traceEvent("granted", id, attr.bandwidth_kbps, {});
+  }
   status.state = QosRequestState::kGranted;
   status.error.clear();
   status.reservations = std::move(handles);
@@ -163,6 +194,9 @@ void QosAgent::onReservationFailed(const mpi::Comm& comm,
   if (status.state != QosRequestState::kGranted) return;  // already handled
   MGQ_LOG(kWarn) << "QoS lost for context " << comm.context() << ": "
                  << reason;
+  countEvent("qos.reservation_lost");
+  traceEvent("lost", static_cast<std::uint64_t>(comm.context()),
+             attr.bandwidth_kbps, reason);
   status.error = reason;
   // Tear down the surviving legs: a partially-enforced premium path only
   // polices the sender without protecting it (cancel is a no-op on the
@@ -175,11 +209,17 @@ void QosAgent::onReservationFailed(const mpi::Comm& comm,
       policy.reescalate_interval <= sim::Duration::zero()) {
     // Recovery fully disabled: fall to best effort for good.
     status.state = QosRequestState::kDegraded;
+    countEvent("qos.degraded");
+    traceEvent("degraded", static_cast<std::uint64_t>(comm.context()),
+               attr.bandwidth_kbps, reason);
     notifySettled(key);
     return;
   }
   if (policy.max_retries <= 0 && !policy.degrade_to_best_effort) {
     status.state = QosRequestState::kDenied;
+    countEvent("qos.denied");
+    traceEvent("denied", static_cast<std::uint64_t>(comm.context()),
+               attr.bandwidth_kbps, reason);
     notifySettled(key);
     return;
   }
@@ -219,6 +259,9 @@ sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
     auto& status = statuses_[key];
     ++attempt;
     ++status.recovery_attempts;
+    countEvent("qos.retries");
+    traceEvent("retry", static_cast<std::uint64_t>(comm.context()),
+               static_cast<double>(attempt), {});
     auto outcome = flows.empty() ? gara::Gara::CoOutcome{}
                                  : tryReserve(flows, attr);
     if (outcome) {
@@ -235,6 +278,9 @@ sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
     if (attempt < policy.max_retries) continue;
     if (!policy.degrade_to_best_effort) {
       status.state = QosRequestState::kDenied;
+      countEvent("qos.denied");
+      traceEvent("denied", static_cast<std::uint64_t>(comm.context()),
+                 attr.bandwidth_kbps, outcome.error);
       notifySettled(key);
       MGQ_LOG(kWarn) << "QoS recovery exhausted for context "
                      << comm.context() << ": " << outcome.error;
@@ -242,6 +288,9 @@ sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
     }
     if (status.state != QosRequestState::kDegraded) {
       status.state = QosRequestState::kDegraded;
+      countEvent("qos.degraded");
+      traceEvent("degraded", static_cast<std::uint64_t>(comm.context()),
+                 attr.bandwidth_kbps, outcome.error);
       notifySettled(key);
       MGQ_LOG(kWarn) << "QoS degraded to best effort for context "
                      << comm.context() << ": " << outcome.error;
@@ -271,6 +320,9 @@ sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
   }
   MGQ_LOG(kInfo) << "QoS request denied for context " << comm.context()
                  << ": " << outcome.error;
+  countEvent("qos.denied");
+  traceEvent("denied", static_cast<std::uint64_t>(comm.context()),
+             attr.bandwidth_kbps, outcome.error);
   if (config_.recovery.max_retries > 0) {
     // Initial denial also goes through the retry loop: capacity may free
     // up (another job's reservation expiring) moments later.

@@ -23,6 +23,11 @@
 #include "gq/qos_attribute.hpp"
 #include "mpi/world.hpp"
 
+namespace mgq::obs {
+class MetricsRegistry;
+class TraceBuffer;
+}  // namespace mgq::obs
+
 namespace mgq::gq {
 
 class QosAgent {
@@ -95,6 +100,13 @@ class QosAgent {
 
   gara::Gara& gara() { return gara_; }
 
+  /// Wires agent-level QoS events into the observability layer: counters
+  /// for requests/grants/denials/retries/degrades/re-escalations plus one
+  /// trace event per outcome (category "qos", id = communicator context).
+  /// Either pointer may be null; both must outlive the agent.
+  void attachObservability(obs::MetricsRegistry* metrics,
+                           obs::TraceBuffer* trace);
+
  private:
   using StatusKey = std::pair<std::int32_t, int>;  // (context, world rank)
   static StatusKey keyOf(const mpi::Comm& comm);
@@ -124,6 +136,9 @@ class QosAgent {
                       std::uint64_t generation);
   void notifySettled(const StatusKey& key);
   bool settled(const StatusKey& key) const;
+  void countEvent(const char* counter);
+  void traceEvent(const char* event, std::uint64_t id, double value,
+                  const std::string& detail);
 
   mpi::World& world_;
   gara::Gara& gara_;
@@ -132,6 +147,8 @@ class QosAgent {
   std::map<StatusKey, QosStatus> statuses_;
   std::map<StatusKey, std::unique_ptr<sim::Condition>> settled_;
   std::map<StatusKey, std::uint64_t> generations_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace mgq::gq

@@ -114,6 +114,12 @@ Interface* GarnetTopology::ingressEdgeInterface() {
   return ingress_router->interfaces().front().get();
 }
 
+Interface* GarnetTopology::coreBottleneckInterface() {
+  // Ingress router interfaces, in connect order: [0] towards premium_src,
+  // [1] towards competitive_src, [2] towards the core router.
+  return ingress_router->interfaces().at(2).get();
+}
+
 Interface* GarnetTopology::egressEdgeInterface() {
   // Egress router interfaces, in connect order: [0] towards core router,
   // [1] towards premium_dst, [2] towards competitive_dst.

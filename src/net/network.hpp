@@ -89,6 +89,11 @@ struct GarnetTopology {
   /// Interface on the egress router receiving traffic from premium_dst —
   /// the edge for reverse-direction premium flows.
   Interface* egressEdgeInterface();
+  /// The ingress router's interface onto the first core link — the
+  /// congested egress qdisc where forward-direction queueing (and
+  /// class-differentiated dropping) happens. This is the queue the
+  /// observability sampler watches.
+  Interface* coreBottleneckInterface();
 };
 
 }  // namespace mgq::net

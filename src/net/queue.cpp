@@ -5,6 +5,11 @@
 namespace mgq::net {
 
 bool DropTailQueue::enqueue(Packet p) {
+  if (p.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_oversize;
+    stats_.bytes_dropped += p.size_bytes;
+    return false;
+  }
   if (bytes_ + p.size_bytes > capacity_bytes_) {
     ++stats_.dropped_overflow;
     stats_.bytes_dropped += p.size_bytes;

@@ -21,7 +21,12 @@ namespace mgq::net {
 struct QueueStats {
   std::uint64_t enqueued = 0;
   std::uint64_t dequeued = 0;
+  /// Packet did not fit on top of the current backlog.
   std::uint64_t dropped_overflow = 0;
+  /// Packet is larger than the queue capacity itself — it would be dropped
+  /// even on an empty queue. Kept separate from overflow so exported drop
+  /// stats distinguish congestion from misconfiguration (MTU vs capacity).
+  std::uint64_t dropped_oversize = 0;
   std::int64_t bytes_enqueued = 0;
   std::int64_t bytes_dropped = 0;
 };

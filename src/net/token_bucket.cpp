@@ -29,8 +29,12 @@ void TokenBucket::refill() {
 
 bool TokenBucket::tryConsume(std::int64_t bytes) {
   refill();
-  if (tokens_ + 1e-9 < static_cast<double>(bytes)) return false;
+  if (tokens_ + 1e-9 < static_cast<double>(bytes)) {
+    ++stats_.policed;
+    return false;
+  }
   tokens_ -= static_cast<double>(bytes);
+  ++stats_.conformed;
   return true;
 }
 
@@ -43,7 +47,16 @@ sim::Duration TokenBucket::timeUntilConformant(std::int64_t bytes) {
 
 void TokenBucket::forceConsume(std::int64_t bytes) {
   refill();
+  ++stats_.forced;
   tokens_ -= static_cast<double>(bytes);
+  // Clamp the debt at one bucket depth: without this a burst of forced
+  // sends drives tokens_ arbitrarily negative and the flow stays
+  // non-conformant far longer than depth/rate seconds.
+  const double floor = -static_cast<double>(depth_bytes_);
+  if (tokens_ < floor) {
+    tokens_ = floor;
+    ++stats_.force_clamped;
+  }
 }
 
 double TokenBucket::tokens() {

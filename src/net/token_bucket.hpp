@@ -16,6 +16,13 @@
 
 namespace mgq::net {
 
+struct TokenBucketStats {
+  std::uint64_t conformed = 0;  // tryConsume granted
+  std::uint64_t policed = 0;    // tryConsume refused (out of profile)
+  std::uint64_t forced = 0;     // forceConsume calls
+  std::uint64_t force_clamped = 0;  // forceConsume hit the debt floor
+};
+
 class TokenBucket {
  public:
   /// Creates a bucket refilling at `rate_bps` (bits/second) with capacity
@@ -30,8 +37,11 @@ class TokenBucket {
   /// conformant) — used by shapers that delay rather than drop.
   sim::Duration timeUntilConformant(std::int64_t bytes);
 
-  /// Unconditionally removes `bytes` tokens (may go negative); used by
-  /// shapers that have already committed to sending.
+  /// Unconditionally removes `bytes` tokens; used by shapers that have
+  /// already committed to sending. The resulting debt is clamped at
+  /// -depth_bytes: an out-of-profile burst can cost at most one bucket's
+  /// worth of future conformance (depth/rate seconds), never unbounded
+  /// starvation.
   void forceConsume(std::int64_t bytes);
 
   double rateBps() const { return rate_bps_; }
@@ -42,6 +52,8 @@ class TokenBucket {
   /// Reconfigures the bucket (e.g. when a reservation is modified). The
   /// current fill level is clamped to the new depth.
   void configure(double rate_bps, std::int64_t depth_bytes);
+
+  const TokenBucketStats& stats() const { return stats_; }
 
   /// The paper's bucket-depth rule: depth = bandwidth / divisor, with the
   /// "normal" divisor 40 and "large" divisor 4 used in Table 1.
@@ -57,6 +69,7 @@ class TokenBucket {
   std::int64_t depth_bytes_;
   double tokens_;  // bytes; fractional to avoid rounding drift
   sim::TimePoint last_refill_;
+  TokenBucketStats stats_;
 };
 
 }  // namespace mgq::net

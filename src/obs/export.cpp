@@ -1,0 +1,143 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace mgq::obs {
+namespace {
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void writeJson(std::ostream& os, const std::string& bench_name,
+               const MetricsRegistry& metrics, const TraceBuffer* trace) {
+  os << "{\n  \"bench\": \"" << escaped(bench_name) << "\",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : metrics.counters()) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name)
+       << "\": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : metrics.gauges()) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name)
+       << "\": " << num(g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    const auto s = h.summary();
+    os << (first ? "" : ",") << "\n    \"" << escaped(name) << "\": {"
+       << "\"count\": " << s.count
+       << ", \"total_weight\": " << num(s.total_weight)
+       << ", \"min\": " << num(s.min) << ", \"max\": " << num(s.max)
+       << ", \"mean\": " << num(s.mean) << ", \"p50\": " << num(s.p50)
+       << ", \"p95\": " << num(s.p95) << ", \"p99\": " << num(s.p99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"timelines\": {";
+  first = true;
+  for (const auto& [name, series] : metrics.timelines()) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name) << "\": [";
+    bool first_point = true;
+    for (const auto& p : series.points()) {
+      os << (first_point ? "" : ", ") << "[" << num(p.t_seconds) << ", "
+         << num(p.value) << "]";
+      first_point = false;
+    }
+    os << "]";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"trace\": {\"dropped\": " << (trace ? trace->droppedEvents() : 0)
+     << ", \"events\": [";
+  if (trace != nullptr) {
+    first = true;
+    for (const auto& e : trace->events()) {
+      os << (first ? "" : ",") << "\n    {\"t\": " << num(e.t_seconds)
+         << ", \"scope\": \"" << escaped(e.scope) << "\", \"category\": \""
+         << escaped(e.category) << "\", \"event\": \"" << escaped(e.event)
+         << "\", \"id\": " << e.id << ", \"value\": " << num(e.value)
+         << ", \"detail\": \"" << escaped(e.detail) << "\"}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "]}\n}\n";
+}
+
+void writeTimelinesCsv(std::ostream& os, const MetricsRegistry& metrics) {
+  os << "series,t_seconds,value\n";
+  for (const auto& [name, series] : metrics.timelines()) {
+    for (const auto& p : series.points()) {
+      os << escaped(name) << "," << num(p.t_seconds) << "," << num(p.value)
+         << "\n";
+    }
+  }
+}
+
+bool exportBenchJson(const std::string& bench_name,
+                     const MetricsRegistry& metrics, const TraceBuffer* trace,
+                     const std::string& directory) {
+  const std::string path = directory + "/BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot write " << path << "\n";
+    return false;
+  }
+  writeJson(out, bench_name, metrics, trace);
+  return out.good();
+}
+
+}  // namespace mgq::obs

@@ -1,0 +1,48 @@
+// Exporters for the metrics registry and trace buffer.
+//
+// JSON document shape (one per bench run, file BENCH_<name>.json):
+//   {
+//     "bench": "<name>",
+//     "counters":   {"<metric>": <uint>, ...},
+//     "gauges":     {"<metric>": <double>, ...},
+//     "histograms": {"<metric>": {"count": N, "total_weight": W,
+//                                 "min":..,"max":..,"mean":..,
+//                                 "p50":..,"p95":..,"p99":..}, ...},
+//     "timelines":  {"<series>": [[t_seconds, value], ...], ...},
+//     "trace": {"dropped": N,
+//               "events": [{"t":.., "scope":"..", "category":"..",
+//                           "event":"..", "id":N, "value":..,
+//                           "detail":".."}, ...]}
+//   }
+// Non-finite doubles (NaN/inf) are emitted as null — strict JSON has no
+// NaN literal. Keys are sorted (std::map iteration), so two identical
+// runs produce byte-identical files.
+//
+// The CSV exporter flattens every timeline to rows of
+//   series,t_seconds,value
+// for spreadsheet/gnuplot consumption. Both writers are hand-rolled:
+// the container has no JSON dependency and must not gain one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mgq::obs {
+
+void writeJson(std::ostream& os, const std::string& bench_name,
+               const MetricsRegistry& metrics,
+               const TraceBuffer* trace = nullptr);
+
+void writeTimelinesCsv(std::ostream& os, const MetricsRegistry& metrics);
+
+/// Writes `<directory>/BENCH_<bench_name>.json`; returns false (leaving a
+/// message on stderr) when the file cannot be created.
+bool exportBenchJson(const std::string& bench_name,
+                     const MetricsRegistry& metrics,
+                     const TraceBuffer* trace = nullptr,
+                     const std::string& directory = ".");
+
+}  // namespace mgq::obs

@@ -1,0 +1,82 @@
+#include "obs/sampler.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mgq::obs {
+
+Sampler::Sampler(sim::Simulator& sim, MetricsRegistry& metrics,
+                 sim::Duration interval)
+    : sim_(sim), metrics_(metrics), interval_(interval) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::addProbe(std::string timeline_name,
+                       std::function<double()> probe) {
+  probes_.push_back({ProbeKind::kTimeline, std::move(timeline_name),
+                     std::move(probe), 0.0, false});
+}
+
+void Sampler::addHistogramProbe(std::string histogram_name,
+                                std::function<double()> probe) {
+  probes_.push_back({ProbeKind::kHistogram, std::move(histogram_name),
+                     std::move(probe), 0.0, false});
+}
+
+void Sampler::addRateProbe(std::string timeline_name,
+                           std::function<double()> byte_counter) {
+  probes_.push_back({ProbeKind::kRate, std::move(timeline_name),
+                     std::move(byte_counter), 0.0, false});
+}
+
+void Sampler::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void Sampler::stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void Sampler::arm() {
+  pending_ = sim_.schedule(interval_, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    tick();
+    arm();
+  });
+}
+
+void Sampler::tick() {
+  ++ticks_;
+  const double now = sim_.now().toSeconds();
+  const double dt = interval_.toSeconds();
+  for (auto& probe : probes_) {
+    const double v = probe.fn();
+    if (std::isnan(v)) continue;
+    switch (probe.kind) {
+      case ProbeKind::kTimeline:
+        metrics_.timeline(probe.name).append(now, v);
+        break;
+      case ProbeKind::kHistogram:
+        metrics_.histogram(probe.name).record(v, dt);
+        break;
+      case ProbeKind::kRate: {
+        if (probe.has_last && dt > 0.0) {
+          const double kbps = (v - probe.last) * 8.0 / dt / 1000.0;
+          metrics_.timeline(probe.name).append(now, kbps);
+        }
+        probe.last = v;
+        probe.has_last = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mgq::obs

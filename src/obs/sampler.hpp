@@ -1,0 +1,71 @@
+// Simulator-driven periodic sampler: every `interval` of simulated time it
+// evaluates each registered probe and feeds the result into the metrics
+// registry — as a timeline point, a time-weighted histogram sample, or a
+// per-interval rate computed from a monotone counter.
+//
+// Probes returning NaN are skipped for that tick (the usual "socket not
+// connected yet" case), so series start when their subject exists.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgq::obs {
+
+class Sampler {
+ public:
+  Sampler(sim::Simulator& sim, MetricsRegistry& metrics,
+          sim::Duration interval = sim::Duration::seconds(1.0));
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+  ~Sampler();
+
+  /// Appends (now, probe()) to metrics.timeline(name) each tick.
+  void addProbe(std::string timeline_name, std::function<double()> probe);
+
+  /// Records probe() into metrics.histogram(name) each tick, weighted by
+  /// the interval — yielding time-weighted occupancy distributions.
+  void addHistogramProbe(std::string histogram_name,
+                         std::function<double()> probe);
+
+  /// Differentiates a monotone byte counter: appends the per-interval rate
+  /// in kilobits/second to metrics.timeline(name). The first tick after
+  /// the counter becomes valid only seeds the baseline.
+  void addRateProbe(std::string timeline_name,
+                    std::function<double()> byte_counter);
+
+  /// Starts ticking `interval` from now. Idempotent.
+  void start();
+  /// Cancels the pending tick; a later start() resumes.
+  void stop();
+
+  sim::Duration interval() const { return interval_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  enum class ProbeKind { kTimeline, kHistogram, kRate };
+  struct Probe {
+    ProbeKind kind;
+    std::string name;
+    std::function<double()> fn;
+    double last = 0.0;       // rate probes: previous counter value
+    bool has_last = false;
+  };
+
+  void arm();
+  void tick();
+
+  sim::Simulator& sim_;
+  MetricsRegistry& metrics_;
+  sim::Duration interval_;
+  std::vector<Probe> probes_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace mgq::obs

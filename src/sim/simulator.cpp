@@ -50,6 +50,9 @@ void Simulator::runUntil(TimePoint t) {
   while (!queue_.empty() && !stopped_ && queue_.nextTime() <= t) {
     TimePoint at;
     auto fn = queue_.pop(&at);
+    // Same monotonicity guarantee as run(): a stale or corrupted queue
+    // entry must never move the clock backwards.
+    assert(at >= now_);
     now_ = at;
     fn();
     ++events_executed_;

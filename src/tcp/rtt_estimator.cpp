@@ -5,7 +5,12 @@
 
 namespace mgq::tcp {
 
-void RttEstimator::addSample(sim::Duration rtt) {
+void RttEstimator::addSample(sim::Duration rtt, bool retransmitted) {
+  // Karn: a retransmitted segment's RTT is ambiguous (which transmission
+  // was ACKed?). Discard it, and keep any backed-off RTO rather than
+  // recomputing one from stale srtt/rttvar.
+  if (retransmitted) return;
+  in_backoff_ = false;
   if (!has_sample_) {
     srtt_ = rtt;
     rttvar_ = rtt / 2.0;
@@ -21,6 +26,7 @@ void RttEstimator::addSample(sim::Duration rtt) {
 
 void RttEstimator::backoff() {
   rto_ = rto_ * 2.0;
+  in_backoff_ = true;
   clampRto();
 }
 

@@ -1,7 +1,10 @@
 // Jacobson/Karels round-trip-time estimation (RFC 6298): srtt/rttvar with
 // the standard gains, RTO = srtt + 4 * rttvar clamped to [min_rto,
-// max_rto]. Karn's algorithm (never sample retransmitted segments) is
-// enforced by the caller.
+// max_rto]. Karn's algorithm is enforced here as well as by the caller:
+// samples marked as coming from a retransmitted segment are discarded, so
+// an ambiguous measurement can neither skew srtt nor collapse a
+// backed-off RTO. Only a valid (non-retransmitted) sample ends a backoff
+// episode and recomputes the RTO from fresh estimates.
 #pragma once
 
 #include "sim/time.hpp"
@@ -14,14 +17,20 @@ class RttEstimator {
                sim::Duration max_rto)
       : rto_(initial_rto), min_rto_(min_rto), max_rto_(max_rto) {}
 
-  /// Feeds one RTT measurement from a non-retransmitted segment.
-  void addSample(sim::Duration rtt);
+  /// Feeds one RTT measurement. Pass retransmitted = true when the
+  /// measured segment was ever retransmitted: Karn's algorithm discards
+  /// the ambiguous sample and keeps any backed-off RTO in force.
+  void addSample(sim::Duration rtt, bool retransmitted = false);
 
   /// Current retransmission timeout (after backoff, if any).
   sim::Duration rto() const { return rto_; }
 
-  /// Doubles the RTO (exponential backoff on timeout), capped at max.
+  /// Doubles the RTO (exponential backoff on timeout), capped at max. The
+  /// backed-off value persists until the next valid sample.
   void backoff();
+
+  /// True between a backoff() and the next valid sample.
+  bool inBackoff() const { return in_backoff_; }
 
   bool hasSample() const { return has_sample_; }
   sim::Duration srtt() const { return srtt_; }
@@ -31,6 +40,7 @@ class RttEstimator {
   void clampRto();
 
   bool has_sample_ = false;
+  bool in_backoff_ = false;
   sim::Duration srtt_ = sim::Duration::zero();
   sim::Duration rttvar_ = sim::Duration::zero();
   sim::Duration rto_;

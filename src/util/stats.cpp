@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace mgq::util {
 
@@ -27,7 +28,7 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::span<const double> values, double p) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   const double clamped = std::clamp(p, 0.0, 100.0);
@@ -38,6 +39,26 @@ double percentile(std::span<const double> values, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+double weightedPercentile(std::span<const double> values,
+                          std::span<const double> weights, double p) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (values.empty() || values.size() != weights.size()) return nan;
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return nan;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * total;
+  double cum = 0.0;
+  for (std::size_t i : order) {
+    cum += weights[i];
+    if (cum >= target) return values[i];
+  }
+  return values[order.back()];
+}
+
 double mean(std::span<const double> values) {
   RunningStats s;
   for (double v : values) s.add(v);
@@ -45,6 +66,7 @@ double mean(std::span<const double> values) {
 }
 
 double coefficientOfVariation(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   RunningStats s;
   for (double v : values) s.add(v);
   if (s.mean() == 0.0) return 0.0;

@@ -31,13 +31,23 @@ class RunningStats {
 };
 
 /// Returns the p-th percentile (0..100) by linear interpolation between
-/// closest ranks. An empty input yields 0.
+/// closest ranks. An empty input yields NaN — a missing series must not
+/// masquerade as "zero latency" in exported results.
 double percentile(std::span<const double> values, double p);
+
+/// Weighted percentile (0..100) by cumulative weight, nearest-rank: the
+/// smallest value whose cumulative weight reaches p% of the total. Used
+/// for time-weighted occupancy histograms, where each sample's weight is
+/// the duration it was observed for. Empty input, mismatched spans, or a
+/// non-positive total weight yield NaN.
+double weightedPercentile(std::span<const double> values,
+                          std::span<const double> weights, double p);
 
 /// Arithmetic mean; 0 for an empty span.
 double mean(std::span<const double> values);
 
-/// Coefficient of variation (stddev/mean); 0 when mean is 0.
+/// Coefficient of variation (stddev/mean); NaN for an empty span, 0 when
+/// the (nonempty) input's mean is 0.
 double coefficientOfVariation(std::span<const double> values);
 
 /// Simple fixed-width moving average; the first (window-1) outputs average

@@ -33,6 +33,32 @@ TEST(DropTailQueueTest, DropsWhenFull) {
   EXPECT_EQ(q.packetCount(), 2u);
 }
 
+TEST(DropTailQueueTest, OversizePacketCountedSeparately) {
+  // Regression: a packet larger than the whole queue used to be lumped in
+  // with congestion drops (dropped_overflow), hiding an MTU/capacity
+  // misconfiguration behind what looked like ordinary congestion.
+  DropTailQueue q(250);
+  EXPECT_FALSE(q.enqueue(makePacket(300)));  // can never fit
+  EXPECT_EQ(q.stats().dropped_oversize, 1u);
+  EXPECT_EQ(q.stats().dropped_overflow, 0u);
+  EXPECT_EQ(q.stats().bytes_dropped, 300);
+  EXPECT_EQ(q.packetCount(), 0u);
+}
+
+TEST(DropTailQueueTest, OversizeDroppedEvenWhenEmpty) {
+  DropTailQueue q(100);
+  // The queue is completely empty, yet the packet still cannot fit.
+  EXPECT_FALSE(q.enqueue(makePacket(101)));
+  EXPECT_EQ(q.stats().dropped_oversize, 1u);
+  // A packet exactly at capacity fits.
+  EXPECT_TRUE(q.enqueue(makePacket(100)));
+  // Congestion drop while an oversize drop already happened: counters stay
+  // independent.
+  EXPECT_FALSE(q.enqueue(makePacket(50)));
+  EXPECT_EQ(q.stats().dropped_oversize, 1u);
+  EXPECT_EQ(q.stats().dropped_overflow, 1u);
+}
+
 TEST(DropTailQueueTest, BytesTrackEnqueueDequeue) {
   DropTailQueue q(1000);
   q.enqueue(makePacket(300));

@@ -71,6 +71,43 @@ TEST(TokenBucketTest, ForceConsumeGoesNegative) {
   EXPECT_NEAR(tb.tokens(), 100.0, 1e-6);
 }
 
+TEST(TokenBucketTest, ForceConsumeDebtClampsAtDepth) {
+  // Regression: forceConsume used to accumulate unbounded debt, so one
+  // giant burst could starve the flow for arbitrarily long. Debt is now
+  // floored at -depth (here -1000), i.e. one bucket's worth of refill.
+  sim::Simulator s;
+  TokenBucket tb(s, 8000.0, 1000);  // 1000 B/s, depth 1000
+  tb.forceConsume(1'000'000);
+  EXPECT_DOUBLE_EQ(tb.tokens(), -1000.0);
+  EXPECT_EQ(tb.stats().forced, 1u);
+  EXPECT_EQ(tb.stats().force_clamped, 1u);
+  // Full recovery takes exactly 2 s (debt + depth at 1000 B/s), not ~17 min.
+  s.runFor(Duration::seconds(1));
+  EXPECT_NEAR(tb.tokens(), 0.0, 1e-6);
+  s.runFor(Duration::seconds(1));
+  EXPECT_NEAR(tb.tokens(), 1000.0, 1e-6);
+}
+
+TEST(TokenBucketTest, ForceConsumeWithinDepthDoesNotClamp) {
+  sim::Simulator s;
+  TokenBucket tb(s, 8000.0, 1000);
+  tb.forceConsume(1500);  // lands at -500, above the -1000 floor
+  EXPECT_NEAR(tb.tokens(), -500.0, 1e-9);
+  EXPECT_EQ(tb.stats().forced, 1u);
+  EXPECT_EQ(tb.stats().force_clamped, 0u);
+}
+
+TEST(TokenBucketTest, StatsCountConformedAndPoliced) {
+  sim::Simulator s;
+  TokenBucket tb(s, 8000.0, 1000);
+  EXPECT_TRUE(tb.tryConsume(600));   // conforms
+  EXPECT_TRUE(tb.tryConsume(400));   // conforms
+  EXPECT_FALSE(tb.tryConsume(1));    // policed
+  EXPECT_FALSE(tb.tryConsume(500));  // policed
+  EXPECT_EQ(tb.stats().conformed, 2u);
+  EXPECT_EQ(tb.stats().policed, 2u);
+}
+
 TEST(TokenBucketTest, ConfigureClampsTokens) {
   sim::Simulator s;
   TokenBucket tb(s, 8000.0, 1000);

@@ -1,0 +1,122 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mgq::obs {
+namespace {
+
+TEST(JsonExportTest, EmitsAllSections) {
+  MetricsRegistry metrics;
+  metrics.counter("drops").inc(3);
+  metrics.gauge("util").set(0.5);
+  metrics.histogram("lat").record(10.0);
+  metrics.timeline("kbps").append(1.0, 100.0);
+  TraceBuffer trace;
+  trace.record("reservation", "admitted", 7, 40e6, "net-forward");
+
+  std::ostringstream os;
+  writeJson(os, "demo", metrics, &trace);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"bench\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"drops\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"util\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"kbps\""), std::string::npos);
+  EXPECT_NE(json.find("\"event\": \"admitted\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\": \"net-forward\""), std::string::npos);
+}
+
+TEST(JsonExportTest, NonFiniteValuesBecomeNull) {
+  MetricsRegistry metrics;
+  metrics.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+  metrics.gauge("worse").set(std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  writeJson(os, "nan", metrics);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"worse\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan("), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(JsonExportTest, EscapesStringsInTraceEvents) {
+  MetricsRegistry metrics;
+  TraceBuffer trace;
+  trace.record("c", "e", 0, 0.0, "line1\n\"quoted\"\\path");
+  std::ostringstream os;
+  writeJson(os, "esc", metrics, &trace);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("line1\\n\\\"quoted\\\"\\\\path"), std::string::npos);
+}
+
+TEST(JsonExportTest, DeterministicAcrossIdenticalRuns) {
+  auto render = [] {
+    MetricsRegistry metrics;
+    // Insertion order differs from name order; output must not care.
+    metrics.counter("zeta").inc(1);
+    metrics.counter("alpha").inc(2);
+    metrics.timeline("t").append(0.5, 1.25);
+    std::ostringstream os;
+    writeJson(os, "det", metrics);
+    return os.str();
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  // Sorted keys: "alpha" precedes "zeta".
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\""));
+}
+
+TEST(JsonExportTest, EmptyTraceSectionWithoutBuffer) {
+  MetricsRegistry metrics;
+  std::ostringstream os;
+  writeJson(os, "notrace", metrics, nullptr);
+  EXPECT_NE(os.str().find("\"trace\": {\"dropped\": 0, \"events\": []}"),
+            std::string::npos);
+}
+
+TEST(CsvExportTest, FlattensTimelines) {
+  MetricsRegistry metrics;
+  metrics.timeline("a").append(1.0, 10.0);
+  metrics.timeline("a").append(2.0, 20.0);
+  metrics.timeline("b").append(1.0, 5.0);
+  std::ostringstream os;
+  writeTimelinesCsv(os, metrics);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("series,t_seconds,value"), std::string::npos);
+  EXPECT_NE(csv.find("a,1,10"), std::string::npos);
+  EXPECT_NE(csv.find("a,2,20"), std::string::npos);
+  EXPECT_NE(csv.find("b,1,5"), std::string::npos);
+}
+
+TEST(ExportBenchJsonTest, WritesFileToDirectory) {
+  MetricsRegistry metrics;
+  metrics.counter("c").inc(1);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(exportBenchJson("file_demo", metrics, nullptr, dir));
+  const std::string path = dir + "/BENCH_file_demo.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"bench\": \"file_demo\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExportBenchJsonTest, FailsGracefullyOnBadDirectory) {
+  MetricsRegistry metrics;
+  EXPECT_FALSE(exportBenchJson("nope", metrics, nullptr,
+                               "/nonexistent-dir-for-obs-test"));
+}
+
+}  // namespace
+}  // namespace mgq::obs

@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgq::obs {
+namespace {
+
+TEST(TraceBufferTest, RecordsFieldsAndScope) {
+  TraceBuffer trace;
+  trace.setScope("run1");
+  trace.record("reservation", "admitted", 7, 40e6, "net-forward");
+  ASSERT_EQ(trace.events().size(), 1u);
+  const auto& e = trace.events().front();
+  EXPECT_EQ(e.scope, "run1");
+  EXPECT_EQ(e.category, "reservation");
+  EXPECT_EQ(e.event, "admitted");
+  EXPECT_EQ(e.id, 7u);
+  EXPECT_DOUBLE_EQ(e.value, 40e6);
+  EXPECT_EQ(e.detail, "net-forward");
+}
+
+TEST(TraceBufferTest, ClockStampsEvents) {
+  TraceBuffer trace;
+  double now = 1.5;
+  trace.setClock([&now] { return now; });
+  trace.record("qos", "granted");
+  now = 3.0;
+  trace.record("qos", "lost");
+  EXPECT_DOUBLE_EQ(trace.events()[0].t_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(trace.events()[1].t_seconds, 3.0);
+}
+
+TEST(TraceBufferTest, NoClockStampsZero) {
+  TraceBuffer trace;
+  trace.record("qos", "granted");
+  EXPECT_DOUBLE_EQ(trace.events().front().t_seconds, 0.0);
+}
+
+TEST(TraceBufferTest, RingDropsOldestWhenFull) {
+  TraceBuffer trace(3);
+  for (int i = 0; i < 5; ++i) {
+    trace.record("c", "e", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.droppedEvents(), 2u);
+  // The two oldest (0, 1) were discarded.
+  EXPECT_EQ(trace.events().front().id, 2u);
+  EXPECT_EQ(trace.events().back().id, 4u);
+}
+
+TEST(TraceBufferTest, ZeroCapacityClampedToOne) {
+  TraceBuffer trace(0);
+  EXPECT_EQ(trace.capacity(), 1u);
+  trace.record("c", "first");
+  trace.record("c", "second");
+  EXPECT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events().front().event, "second");
+}
+
+TEST(TraceBufferTest, DisabledRecordsNothing) {
+  TraceBuffer trace;
+  trace.setEnabled(false);
+  trace.record("c", "e");
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.droppedEvents(), 0u);
+}
+
+TEST(TraceBufferTest, ClearResetsEventsAndDropCount) {
+  TraceBuffer trace(2);
+  for (int i = 0; i < 4; ++i) trace.record("c", "e");
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.droppedEvents(), 0u);
+  trace.record("c", "after");
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(TraceBufferTest, ScopeSwitchesMidStream) {
+  // Multi-run benches re-scope one shared buffer between runs.
+  TraceBuffer trace;
+  trace.setScope("under");
+  trace.record("reservation", "admitted");
+  trace.setScope("adequate");
+  trace.record("reservation", "admitted");
+  EXPECT_EQ(trace.events()[0].scope, "under");
+  EXPECT_EQ(trace.events()[1].scope, "adequate");
+}
+
+}  // namespace
+}  // namespace mgq::obs

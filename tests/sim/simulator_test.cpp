@@ -43,6 +43,36 @@ TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(SimulatorTest, RunUntilBoundaryEventScheduledFromCallback) {
+  // Regression for the runUntil monotonicity check: a callback firing
+  // before the boundary schedules a new event exactly AT the boundary.
+  // Both events must execute and the clock must land exactly on t.
+  Simulator sim;
+  std::vector<double> fired_at;
+  sim.schedule(Duration::seconds(1), [&] {
+    fired_at.push_back(sim.now().toSeconds());
+    sim.scheduleAt(TimePoint::fromSeconds(2),
+                   [&] { fired_at.push_back(sim.now().toSeconds()); });
+  });
+  sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired_at[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired_at[1], 2.0);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilCurrentTimeExecutesDueEvents) {
+  // runUntil(now) with events due exactly now: no backward clock motion,
+  // events at the boundary run.
+  Simulator sim;
+  sim.runFor(Duration::seconds(1));
+  int fired = 0;
+  sim.scheduleAt(TimePoint::fromSeconds(1), [&] { ++fired; });
+  sim.runUntil(TimePoint::fromSeconds(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 1.0);
+}
+
 TEST(SimulatorTest, RunForIsRelative) {
   Simulator sim;
   sim.runFor(Duration::seconds(1));

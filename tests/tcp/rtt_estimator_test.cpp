@@ -54,6 +54,38 @@ TEST(RttEstimatorTest, BackoffDoublesAndCaps) {
   EXPECT_EQ(e.rto(), Duration::seconds(60.0));  // capped
 }
 
+TEST(RttEstimatorTest, RetransmittedSampleIsDiscarded) {
+  // Karn's algorithm: an RTT measured on a retransmitted segment is
+  // ambiguous (ack may match either transmission) and must not update the
+  // estimator.
+  auto e = makeEstimator();
+  e.addSample(Duration::millis(100));  // srtt 100, RTO 300
+  e.addSample(Duration::millis(5), /*retransmitted=*/true);
+  EXPECT_EQ(e.srtt(), Duration::millis(100));
+  EXPECT_EQ(e.rto(), Duration::millis(300));
+}
+
+TEST(RttEstimatorTest, BackoffPersistsUntilValidSample) {
+  // Regression: a timeout-then-sample sequence used to erase the
+  // backed-off RTO even when the sample came from a retransmitted
+  // segment, re-arming the short timer during persistent congestion.
+  auto e = makeEstimator();
+  e.addSample(Duration::millis(100));  // RTO 300 ms
+  e.backoff();                         // timeout: RTO 600 ms
+  EXPECT_TRUE(e.inBackoff());
+  EXPECT_EQ(e.rto(), Duration::millis(600));
+
+  // Ambiguous sample after the retransmission: RTO stays backed off.
+  e.addSample(Duration::millis(50), /*retransmitted=*/true);
+  EXPECT_TRUE(e.inBackoff());
+  EXPECT_EQ(e.rto(), Duration::millis(600));
+
+  // A valid sample ends the episode and recomputes the RTO.
+  e.addSample(Duration::millis(100), /*retransmitted=*/false);
+  EXPECT_FALSE(e.inBackoff());
+  EXPECT_LT(e.rto(), Duration::millis(600));
+}
+
 TEST(RttEstimatorTest, MinRtoEnforced) {
   auto e = makeEstimator();
   for (int i = 0; i < 10; ++i) e.addSample(Duration::millis(1));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 
 namespace mgq::util {
 namespace {
@@ -35,8 +36,12 @@ TEST(RunningStatsTest, SingleValue) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
-TEST(PercentileTest, EmptyIsZero) {
-  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+TEST(PercentileTest, EmptyIsNaN) {
+  // An empty sample has no percentile; a silent 0.0 used to masquerade as
+  // a real measurement in bench summaries.
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100)));
 }
 
 TEST(PercentileTest, MedianAndExtremes) {
@@ -65,6 +70,10 @@ TEST(MeanTest, Basic) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
 }
 
+TEST(CoefficientOfVariationTest, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(coefficientOfVariation({})));
+}
+
 TEST(CoefficientOfVariationTest, ZeroMeanGivesZero) {
   const std::array<double, 2> v{-1, 1};
   EXPECT_DOUBLE_EQ(coefficientOfVariation(v), 0.0);
@@ -73,6 +82,42 @@ TEST(CoefficientOfVariationTest, ZeroMeanGivesZero) {
 TEST(CoefficientOfVariationTest, ConstantSeriesIsZero) {
   const std::array<double, 3> v{4, 4, 4};
   EXPECT_DOUBLE_EQ(coefficientOfVariation(v), 0.0);
+}
+
+TEST(WeightedPercentileTest, DegenerateInputsAreNaN) {
+  const std::vector<double> two{1.0, 2.0};
+  const std::vector<double> one{1.0};
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_TRUE(std::isnan(weightedPercentile({}, {}, 50)));
+  // Size mismatch.
+  EXPECT_TRUE(std::isnan(weightedPercentile(two, one, 50)));
+  // Non-positive total weight.
+  EXPECT_TRUE(std::isnan(weightedPercentile(two, zeros, 50)));
+}
+
+TEST(WeightedPercentileTest, UniformWeightsMatchNearestRank) {
+  const std::vector<double> v{5, 1, 3, 2, 4};
+  const std::vector<double> w{1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 0), 1.0);
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 50), 3.0);
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 100), 5.0);
+}
+
+TEST(WeightedPercentileTest, WeightShiftsTheMedian) {
+  // 10 carries 8x the weight of the other values, so it dominates the
+  // upper percentiles and the median.
+  const std::vector<double> v{1, 2, 10};
+  const std::vector<double> w{1, 1, 8};
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 50), 10.0);
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 10), 1.0);
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 15), 2.0);
+}
+
+TEST(WeightedPercentileTest, ClampsOutOfRangeP) {
+  const std::vector<double> v{1, 2, 3};
+  const std::vector<double> w{1, 1, 1};
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, -5), 1.0);
+  EXPECT_DOUBLE_EQ(weightedPercentile(v, w, 200), 3.0);
 }
 
 TEST(MovingAverageTest, WindowOfOneIsIdentity) {
