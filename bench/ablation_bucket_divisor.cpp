@@ -6,7 +6,8 @@
 // compromise: too shallow drops bursts, too deep consumes "scarce system
 // resources" (router buffer). We sweep the divisor for the very bursty
 // 1 fps stream at a fixed reservation and report achieved throughput —
-// the design-choice curve behind Table 1.
+// the design-choice curve behind Table 1. Each divisor is one
+// visualizationSpec run across the sweep pool.
 #include "common.hpp"
 
 namespace mgq::bench {
@@ -21,33 +22,47 @@ int run() {
   const double reservation = desired_kbps * 1.3;
   const std::vector<double> divisors{400, 100, 62, 40, 10, 4, 1};
 
+  std::vector<scenario::ScenarioSpec> specs;
+  for (double d : divisors) {
+    specs.push_back(scenario::visualizationSpec(
+        "divisor" + util::Table::num(d, 0), reservation, 1.0, 100'000, 20.0,
+        d, /*snapshot_grace_seconds=*/1.0));
+  }
+  scenario::SweepRunner pool;
+  const auto results = pool.run(specs);
+
   util::Table table(
       {"divisor", "depth_bytes", "achieved_kbps", "policer_drops"});
   std::vector<double> achieved;
-  for (double d : divisors) {
-    const auto run = visualizationThroughput(reservation, 1.0, 100'000,
-                                             20.0, d, 1, 1.0);
-    achieved.push_back(run.delivered_kbps);
-    table.addRow({util::Table::num(d, 0),
-                  util::Table::num(static_cast<double>(
-                      net::TokenBucket::depthForRate(reservation * 1000, d)), 0),
-                  util::Table::num(run.delivered_kbps, 0),
-                  std::to_string(run.policer_drops)});
+  for (std::size_t i = 0; i < divisors.size(); ++i) {
+    achieved.push_back(results[i].goodput_kbps);
+    table.addRow(
+        {util::Table::num(divisors[i], 0),
+         util::Table::num(
+             static_cast<double>(net::TokenBucket::depthForRate(
+                 reservation * 1000, divisors[i])), 0),
+         util::Table::num(results[i].goodput_kbps, 0),
+         std::to_string(results[i].policer_drops)});
   }
   table.renderAscii(std::cout);
   std::cout << "\n";
 
-  check(achieved.back() >= 0.97 * desired_kbps,
-        "a bucket deeper than the burst absorbs it entirely (divisor 1)");
-  check(achieved.front() < 0.7 * desired_kbps,
-        "a very shallow bucket (divisor 400) cripples the bursty stream");
+  scenario::CheckReporter checks(&std::cout);
+  checks.check(achieved.back() >= 0.97 * desired_kbps,
+               "a bucket deeper than the burst absorbs it entirely "
+               "(divisor 1)");
+  checks.check(achieved.front() < 0.7 * desired_kbps,
+               "a very shallow bucket (divisor 400) cripples the bursty "
+               "stream");
   // Broadly monotone: deeper buckets never hurt.
   bool monotone = true;
   for (std::size_t i = 1; i < achieved.size(); ++i) {
     if (achieved[i] + 0.12 * desired_kbps < achieved[i - 1]) monotone = false;
   }
-  check(monotone, "achieved throughput is (weakly) monotone in bucket depth");
-  return finish();
+  checks.check(monotone,
+               "achieved throughput is (weakly) monotone in bucket depth");
+  exportResults(checks, "ablation_bucket_divisor", results);
+  return finish(checks);
 }
 
 }  // namespace

@@ -6,62 +6,23 @@
 // left best-effort after passing the policer. Under saturating BE
 // contention only the EF-marked flow survives — the reservation without
 // the PHB is worthless, which is why the paper's §5.1 router setup
-// configures priority queuing on every egress port.
+// configures priority queuing on every egress port. Both variants are
+// registry scenarios; the EF-vs-BE contrast check is cross-run.
 #include "common.hpp"
 
 namespace mgq::bench {
 namespace {
-
-double runMarked(net::Dscp mark) {
-  apps::GarnetRig rig;
-  rig.startContention();
-  const double reservation_bps = 5e6;
-
-  auto bucket = std::make_shared<net::TokenBucket>(
-      rig.sim, reservation_bps,
-      net::TokenBucket::depthForRate(reservation_bps,
-                                     net::TokenBucket::kNormalDivisor));
-  net::MarkingRule rule;
-  rule.match.src = rig.garnet.premium_src->id();
-  rule.match.proto = net::Protocol::kTcp;
-  rule.mark = mark;
-  rule.bucket = bucket;
-  rig.garnet.ingressEdgeInterface()->ingressPolicy().addRule(rule);
-
-  tcp::TcpListener listener(*rig.garnet.premium_dst, 7000,
-                            rig.world.tcpConfig());
-  tcp::TcpSocket* receiver = nullptr;
-  auto server = [](tcp::TcpListener& l, tcp::TcpSocket*& out) -> sim::Task<> {
-    auto s = co_await l.accept();
-    out = s.get();
-    (void)co_await s->drain(INT64_MAX / 2, false);
-  };
-  // Application paced at the reserved rate (6.25 KB every 10 ms =
-  // 5 Mb/s), as in the Figure 1 experiment.
-  auto client = [](apps::GarnetRig& r) -> sim::Task<> {
-    auto s = co_await tcp::TcpSocket::connect(*r.garnet.premium_src,
-                                              r.garnet.premium_dst->id(),
-                                              7000, r.world.tcpConfig());
-    for (;;) {
-      co_await s->sendBulk(6'250);
-      co_await r.sim.delay(sim::Duration::millis(10));
-    }
-  };
-  rig.sim.spawn(server(listener, receiver));
-  rig.sim.spawn(client(rig));
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(15));
-  return receiver
-             ? static_cast<double>(receiver->bytesDelivered()) * 8 / 15.0 / 1e3
-             : 0.0;
-}
 
 int run() {
   banner("Ablation: EF priority queuing vs. policing-only",
          "identical 5 Mb/s token-bucket admission; EF marking vs. "
          "best-effort marking under saturating contention");
 
-  const double with_ef = runMarked(net::Dscp::kExpedited);
-  const double without_ef = runMarked(net::Dscp::kBestEffort);
+  scenario::SweepRunner pool(2);
+  const auto results = pool.run(
+      {paperSpec("ablation_priority_ef"), paperSpec("ablation_priority_be")});
+  const double with_ef = results[0].goodput_kbps;
+  const double without_ef = results[1].goodput_kbps;
 
   util::Table table({"variant", "goodput_kbps"});
   table.addRow({"EF (priority queue)", util::Table::num(with_ef, 0)});
@@ -69,11 +30,12 @@ int run() {
   table.renderAscii(std::cout);
   std::cout << "\n";
 
-  check(with_ef > 3'500.0, "EF-marked flow sustains most of its reservation");
-  check(without_ef < 0.25 * with_ef,
-        "the same admission without the EF PHB starves in the congested "
-        "best-effort queue");
-  return finish();
+  scenario::CheckReporter checks(&std::cout);
+  checks.check(without_ef < 0.25 * with_ef,
+               "the same admission without the EF PHB starves in the "
+               "congested best-effort queue");
+  exportResults(checks, "ablation_priority_queuing", results);
+  return finish(checks);
 }
 
 }  // namespace

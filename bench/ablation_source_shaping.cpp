@@ -7,88 +7,23 @@
 // reservation with the NORMAL (shallow) bucket. Unshaped, the bursts
 // overflow the policer and TCP collapses; shaped to the reserved rate at
 // the source, the same reservation delivers the full rate with (almost)
-// no policer drops.
+// no policer drops. Both variants are registry scenarios; the shaped-vs-
+// raw contrast checks are cross-run.
 #include "common.hpp"
-
-#include "gq/shaper.hpp"
 
 namespace mgq::bench {
 namespace {
-
-struct Result {
-  double goodput_kbps = 0;
-  std::uint64_t policer_drops = 0;
-  std::uint64_t tcp_timeouts = 0;
-};
-
-Result runCase(bool shaped) {
-  apps::GarnetRig rig;
-  rig.startContention();
-  const double reservation_bps = 1.7e6;  // slightly above the 1.6 Mb/s rate
-
-  auto bucket = std::make_shared<net::TokenBucket>(
-      rig.sim, reservation_bps,
-      net::TokenBucket::depthForRate(reservation_bps,
-                                     net::TokenBucket::kNormalDivisor));
-  net::MarkingRule rule;
-  rule.match.src = rig.garnet.premium_src->id();
-  rule.match.proto = net::Protocol::kTcp;
-  rule.mark = net::Dscp::kExpedited;
-  rule.bucket = bucket;
-  rig.garnet.ingressEdgeInterface()->ingressPolicy().addRule(rule);
-
-  tcp::TcpListener listener(*rig.garnet.premium_dst, 7000, rig.world.tcpConfig());
-  tcp::TcpSocket* receiver = nullptr;
-  auto server = [](tcp::TcpListener& l, tcp::TcpSocket*& out) -> sim::Task<> {
-    auto s = co_await l.accept();
-    out = s.get();
-    (void)co_await s->drain(INT64_MAX / 2, false);
-  };
-  std::uint64_t timeouts = 0;
-  auto client = [](apps::GarnetRig& r, bool use_shaper, double rate,
-                   std::uint64_t& timeouts_out) -> sim::Task<> {
-    auto s = co_await tcp::TcpSocket::connect(*r.garnet.premium_src,
-                                              r.garnet.premium_dst->id(),
-                                              7000, r.world.tcpConfig());
-    gq::ShapedSocket shaper(*s, rate, /*burst=*/5'000);
-    const auto start = r.sim.now();
-    for (int i = 0; i < 120; ++i) {
-      if (use_shaper) {
-        co_await shaper.sendBulk(50'000);
-      } else {
-        co_await s->sendBulk(50'000);
-      }
-      timeouts_out = s->stats().timeouts;
-      // Hold the 4-bursts-per-second schedule (a shaped burst itself takes
-      // ~235 ms; sleeping a fixed interval would halve the offered rate).
-      const auto next = start + sim::Duration::millis(250 * (i + 1));
-      if (next > r.sim.now()) co_await r.sim.delayUntil(next);
-    }
-  };
-  rig.sim.spawn(server(listener, receiver));
-  rig.sim.spawn(client(rig, shaped, reservation_bps, timeouts));
-
-  std::int64_t delivered = 0;
-  rig.sim.schedule(sim::Duration::seconds(30), [&] {
-    delivered = receiver ? receiver->bytesDelivered() : 0;
-  });
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(31));
-
-  Result result;
-  result.goodput_kbps = static_cast<double>(delivered) * 8 / 30.0 / 1000.0;
-  result.policer_drops =
-      rig.garnet.ingressEdgeInterface()->stats().drops_policed;
-  result.tcp_timeouts = timeouts;
-  return result;
-}
 
 int run() {
   banner("Ablation: source shaping vs. raw bursts through a shallow bucket",
          "50 KB bursts at 1.6 Mb/s through a 1.7 Mb/s premium reservation "
          "with the normal (bw/40) bucket");
 
-  const auto raw = runCase(false);
-  const auto shaped = runCase(true);
+  scenario::SweepRunner pool(2);
+  const auto results = pool.run(
+      {paperSpec("ablation_shaping_off"), paperSpec("ablation_shaping_on")});
+  const auto& raw = results[0];
+  const auto& shaped = results[1];
 
   util::Table table({"variant", "goodput_kbps", "policer_drops",
                      "tcp_timeouts"});
@@ -101,14 +36,14 @@ int run() {
   table.renderAscii(std::cout);
   std::cout << "\n";
 
-  check(shaped.goodput_kbps > 1'500.0,
-        "shaping at the reserved rate delivers the full application rate");
-  check(raw.goodput_kbps < 0.75 * shaped.goodput_kbps,
-        "unshaped bursts through the shallow bucket lose substantial "
-        "throughput");
-  check(shaped.policer_drops < raw.policer_drops / 5,
-        "shaping eliminates (nearly) all policer drops");
-  return finish();
+  scenario::CheckReporter checks(&std::cout);
+  checks.check(raw.goodput_kbps < 0.75 * shaped.goodput_kbps,
+               "unshaped bursts through the shallow bucket lose substantial "
+               "throughput");
+  checks.check(shaped.policer_drops < raw.policer_drops / 5,
+               "shaping eliminates (nearly) all policer drops");
+  exportResults(checks, "ablation_source_shaping", results);
+  return finish(checks);
 }
 
 }  // namespace

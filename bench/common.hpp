@@ -1,187 +1,65 @@
-// Shared helpers for the figure/table reproduction binaries: banner
-// printing, shape checks (the pass/fail criteria comparing our curves to
-// the paper's qualitative claims), and small run helpers.
+// Shared helpers for the figure/table reproduction binaries. Each bench
+// is a thin layer over the scenario subsystem: it pulls specs from
+// scenario::registerPaperScenarios (or builds sweeps around them), runs
+// them through scenario::ScenarioRunner / SweepRunner, prints the
+// paper's series/rows, and evaluates any *cross-run* shape checks the
+// per-scenario specs cannot express. All pass/fail state lives in a
+// per-bench scenario::CheckReporter — there is no global counter.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "apps/garnet_rig.hpp"
-#include "apps/rig_obs.hpp"
-#include "apps/sampler.hpp"
 #include "obs/export.hpp"
-#include "obs/metrics.hpp"
-#include "obs/sampler.hpp"
-#include "obs/trace.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/check.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace mgq::bench {
-
-inline int g_checks_failed = 0;
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n";
   std::cout << "paper reference: " << paper_ref << "\n\n";
 }
 
-/// Records a qualitative shape check; prints PASS/FAIL and remembers
-/// failures for the process exit code.
-inline void check(bool ok, const std::string& what) {
-  std::cout << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
-  if (!ok) ++g_checks_failed;
+/// Returns the named spec from the paper registry; aborts loudly when the
+/// registry and the bench disagree (a programming error, not a check).
+inline scenario::ScenarioSpec paperSpec(const std::string& name) {
+  const auto* info = scenario::ScenarioRegistry::paper().find(name);
+  if (info == nullptr) {
+    std::cerr << "bench: scenario '" << name << "' is not registered\n";
+    std::abort();
+  }
+  return info->make();
 }
 
-inline int finish() {
-  if (g_checks_failed > 0) {
-    std::cout << "\n" << g_checks_failed << " shape check(s) FAILED\n";
+/// Folds each run's own shape-check verdicts into the bench reporter
+/// (echoing PASS/FAIL lines) and exports one merged BENCH_<name>.json,
+/// recording the write itself as a check.
+inline void exportResults(scenario::CheckReporter& checks,
+                          const std::string& bench_name,
+                          const std::vector<scenario::ScenarioResult>& results) {
+  for (const auto& r : results) checks.merge(r.checks);
+  checks.check(
+      obs::exportMultiRunBenchJson(bench_name, scenario::runExports(results)),
+      "wrote BENCH_" + bench_name + ".json");
+}
+
+/// Exit-code summary: nonzero when any check failed.
+inline int finish(const scenario::CheckReporter& checks) {
+  const int failed = checks.failures();
+  if (failed > 0) {
+    std::cout << "\n" << failed << " shape check(s) FAILED\n";
     return 1;
   }
   std::cout << "\nall shape checks passed\n";
   return 0;
-}
-
-/// Per-bench observability bundle: one metrics registry + trace buffer
-/// shared by every run the bench performs (runs are separated by metric
-/// prefixes / trace scopes), exported to BENCH_<name>.json at the end.
-struct BenchObs {
-  obs::MetricsRegistry metrics;
-  obs::TraceBuffer trace{16 * 1024};
-
-  /// Writes BENCH_<bench_name>.json into the working directory and records
-  /// the write as a shape check.
-  void exportJson(const std::string& bench_name) {
-    check(obs::exportBenchJson(bench_name, metrics, &trace),
-          "wrote BENCH_" + bench_name + ".json");
-  }
-};
-
-/// Hooks one rig run into a bench's BenchObs (no-op when `obs` is null):
-/// creates the sampler, installs rig + premium-flow probes under
-/// `run_label.` and starts sampling. Destroy (or let go out of scope)
-/// before the rig; snapshot() copies the end-of-run counters.
-class RunObs {
- public:
-  RunObs(BenchObs* obs, apps::GarnetRig& rig, const std::string& run_label)
-      : obs_(obs), rig_(rig),
-        prefix_(run_label.empty() ? "" : run_label + ".") {
-    if (obs_ == nullptr) return;
-    sampler_ = std::make_unique<obs::Sampler>(rig.sim, obs_->metrics);
-    apps::attachRigObservability(rig, obs_->metrics, obs_->trace, *sampler_,
-                                 prefix_);
-    apps::addTcpFlowProbes(*sampler_, rig.world, 0, 1,
-                           prefix_ + "flow.premium");
-    sampler_->start();
-  }
-
-  void snapshot() {
-    if (obs_ == nullptr) return;
-    sampler_->stop();
-    apps::snapshotRigCounters(rig_, obs_->metrics, prefix_);
-  }
-
-  const std::string& prefix() const { return prefix_; }
-
- private:
-  BenchObs* obs_;
-  apps::GarnetRig& rig_;
-  std::string prefix_;
-  std::unique_ptr<obs::Sampler> sampler_;
-};
-
-/// Runs the paper's ping-pong experiment (§5.2) on a fresh rig: returns
-/// the achieved one-way throughput in kb/s. `reservation_kbps` is the
-/// *raw network reservation* (the paper's x-axis); the agent's protocol-
-/// overhead scaling is divided out so exactly that amount is installed.
-inline double pingPongThroughputKbps(double reservation_kbps,
-                                     int message_bytes, double seconds,
-                                     std::uint64_t seed = 1,
-                                     BenchObs* obs = nullptr,
-                                     const std::string& run_label = {}) {
-  apps::GarnetRig::Config config;
-  config.seed = seed;
-  apps::GarnetRig rig(config);
-  RunObs run_obs(obs, rig, run_label);
-  rig.startContention();
-  apps::PingPongStats stats;
-  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
-    if (reservation_kbps > 0) {
-      const double app_kbps =
-          reservation_kbps / gq::protocolOverheadFactor(message_bytes);
-      (void)co_await rig.requestPremium(comm, app_kbps, message_bytes);
-    }
-    co_await apps::runPingPong(comm, message_bytes,
-                               sim::TimePoint::fromSeconds(seconds),
-                               comm.rank() == 0 ? &stats : nullptr);
-  });
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(seconds + 60));
-  run_obs.snapshot();
-  return stats.oneWayThroughputKbps(seconds);
-}
-
-struct VisualizationRun {
-  double delivered_kbps = 0;
-  std::int64_t frames_sent = 0;
-  std::int64_t frames_delivered = 0;
-  std::uint64_t policer_drops = 0;
-};
-
-/// Runs the visualization experiment (§5.3/§5.4): a stream at
-/// `frames_per_second` x `frame_bytes` for `seconds` under contention,
-/// with a premium reservation of `reservation_kbps` (0 = none) and the
-/// given bucket divisor.
-inline VisualizationRun visualizationThroughput(
-    double reservation_kbps, double frames_per_second,
-    std::int64_t frame_bytes, double seconds,
-    double bucket_divisor = net::TokenBucket::kNormalDivisor,
-    std::uint64_t seed = 1, double snapshot_grace_seconds = 0.0,
-    BenchObs* obs = nullptr, const std::string& run_label = {}) {
-  apps::GarnetRig::Config config;
-  config.seed = seed;
-  apps::GarnetRig rig(config);
-  RunObs run_obs(obs, rig, run_label);
-  rig.startContention();
-  apps::VisualizationStats stats;
-  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
-    if (comm.rank() == 0) {
-      if (reservation_kbps > 0) {
-        // Sweep the raw network reservation: divide out the agent's
-        // protocol-overhead multiplier.
-        const double app_kbps =
-            reservation_kbps /
-            gq::protocolOverheadFactor(static_cast<int>(frame_bytes));
-        (void)co_await rig.requestPremium(
-            comm, app_kbps, static_cast<int>(frame_bytes), bucket_divisor);
-      }
-      apps::VisualizationConfig vc;
-      vc.frames_per_second = frames_per_second;
-      vc.frame_bytes = frame_bytes;
-      co_await apps::visualizationSender(
-          comm, vc, sim::TimePoint::fromSeconds(seconds), &stats);
-    } else {
-      co_await apps::visualizationReceiver(comm, &stats);
-    }
-  });
-  // Throughput is what arrived *by the deadline* — a backlog that drains
-  // later must not be counted (the paper measures rate during the run).
-  // An optional small grace forgives the final frame's in-flight tail
-  // without crediting retransmission backlogs.
-  std::int64_t delivered_at_deadline = 0;
-  rig.sim.schedule(sim::Duration::seconds(seconds + snapshot_grace_seconds),
-                   [&] { delivered_at_deadline = stats.bytes_delivered; });
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(seconds + 120));
-  run_obs.snapshot();
-  VisualizationRun run;
-  run.delivered_kbps =
-      static_cast<double>(delivered_at_deadline) * 8.0 / seconds / 1000.0;
-  run.frames_sent = stats.frames_sent;
-  run.frames_delivered = stats.frames_delivered;
-  run.policer_drops =
-      rig.garnet.ingressEdgeInterface()->stats().drops_policed;
-  return run;
 }
 
 }  // namespace mgq::bench

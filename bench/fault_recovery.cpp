@@ -9,100 +9,32 @@
 // the link is restored, so post-flap goodput returns to the reserved
 // rate. With recovery disabled the communicator silently degrades to best
 // effort and the stream starves under contention for the rest of the run.
+// Both variants (and their per-run state/goodput checks) are registry
+// scenarios; the on-vs-off contrast and determinism checks stay here.
 //
 // Also verifies injector determinism: the same seed replays a random flap
 // schedule with a byte-identical event log.
 #include "common.hpp"
 
-#include "apps/workloads.hpp"
-#include "net/faults.hpp"
 #include "sim/fault_injector.hpp"
 
 namespace mgq::bench {
 namespace {
 
 using sim::Duration;
-using sim::Task;
 using sim::TimePoint;
 
-constexpr double kOfferedKbps = 30'000.0;  // 100 fps × 37.5 KB frames
 constexpr double kFlapDownSeconds = 20.0;
 constexpr double kFlapOutageSeconds = 3.0;
 constexpr double kRunSeconds = 60.0;
 
-struct ScenarioResult {
-  std::vector<apps::BandwidthSampler::Point> series;
-  double pre_flap_kbps = 0;
-  double post_flap_kbps = 0;
-  gq::QosRequestState final_state = gq::QosRequestState::kNone;
-  int recovery_attempts = 0;
-  std::string injector_log;
-};
+double preFlapKbps(const scenario::ScenarioResult& r) {
+  return r.meanKbps(5.0, kFlapDownSeconds);
+}
 
-ScenarioResult runScenario(bool recovery_on, BenchObs* obs = nullptr,
-                           const std::string& label = {}) {
-  apps::GarnetRig::Config config;
-  if (recovery_on) {
-    config.recovery.max_retries = 6;
-    config.recovery.initial_backoff = Duration::millis(250);
-    config.recovery.backoff_multiplier = 2.0;
-    config.recovery.max_backoff = Duration::seconds(2.0);
-    config.recovery.jitter = 0.1;
-    config.recovery.degrade_to_best_effort = true;
-    config.recovery.reescalate_interval = Duration::seconds(2.0);
-  }
-  apps::GarnetRig rig(config);
-  RunObs run_obs(obs, rig, label);
-  rig.startContention();
-
-  sim::FaultInjector injector(rig.sim, /*seed=*/42);
-  net::LinkFault edge_link(*rig.garnet.ingressEdgeInterface());
-  injector.registerTarget("premium-edge-link",
-                          net::linkFaultTarget(edge_link));
-  injector.scheduleFlap("premium-edge-link",
-                        TimePoint::fromSeconds(kFlapDownSeconds),
-                        Duration::seconds(kFlapOutageSeconds));
-
-  apps::VisualizationStats stats;
-  mpi::Comm* comm0 = nullptr;
-  rig.world.launch([&](mpi::Comm& comm) -> Task<> {
-    if (comm.rank() == 0) {
-      comm0 = &comm;
-      (void)co_await rig.requestPremium(comm, kOfferedKbps, 37'500);
-      apps::VisualizationConfig vc;
-      vc.frames_per_second = 100.0;
-      vc.frame_bytes = 37'500;
-      co_await apps::visualizationSender(
-          comm, vc, TimePoint::fromSeconds(kRunSeconds), &stats);
-    } else {
-      co_await apps::visualizationReceiver(comm, &stats);
-    }
-  });
-
-  apps::BandwidthSampler sampler(
-      rig.sim, [&stats] { return stats.bytes_delivered; },
-      Duration::seconds(1.0));
-  sampler.start();
-  rig.sim.runUntil(TimePoint::fromSeconds(kRunSeconds));
-  run_obs.snapshot();
-
-  ScenarioResult result;
-  result.series = sampler.series();
-  if (obs != nullptr) {
-    apps::recordBandwidthSeries(obs->metrics,
-                                run_obs.prefix() + "flow.premium.kbps",
-                                result.series);
-  }
-  result.pre_flap_kbps = sampler.meanKbps(5.0, kFlapDownSeconds);
-  result.post_flap_kbps = sampler.meanKbps(
-      kFlapDownSeconds + kFlapOutageSeconds + 5.0, kRunSeconds);
-  if (comm0 != nullptr) {
-    const auto status = rig.agent.status(*comm0);
-    result.final_state = status.state;
-    result.recovery_attempts = status.recovery_attempts;
-  }
-  result.injector_log = injector.logText();
-  return result;
+double postFlapKbps(const scenario::ScenarioResult& r) {
+  return r.meanKbps(kFlapDownSeconds + kFlapOutageSeconds + 5.0,
+                    kRunSeconds);
 }
 
 /// Replays a seeded random flap schedule on a bare simulator and returns
@@ -127,10 +59,11 @@ int run() {
          "GARA monitoring/state-change callbacks (paper §4.2); reservation "
          "preemption treated as the common case in wide-area deployments");
 
-  BenchObs obs;
-  const auto with = runScenario(/*recovery_on=*/true, &obs, "recovery_on");
-  const auto without =
-      runScenario(/*recovery_on=*/false, &obs, "recovery_off");
+  scenario::SweepRunner pool(2);
+  const auto results = pool.run(
+      {paperSpec("fault_recovery_on"), paperSpec("fault_recovery_off")});
+  const auto& with = results[0];
+  const auto& without = results[1];
 
   util::Table table({"time_s", "recovery_on_kbps", "recovery_off_kbps"});
   for (std::size_t i = 0;
@@ -143,39 +76,34 @@ int run() {
 
   std::printf("\nrecovery on:  pre-flap %.1f Mb/s, post-flap %.1f Mb/s, "
               "final state %s, %d recovery attempt(s)\n",
-              with.pre_flap_kbps / 1000, with.post_flap_kbps / 1000,
-              gq::qosRequestStateName(with.final_state),
+              preFlapKbps(with) / 1000, postFlapKbps(with) / 1000,
+              gq::qosRequestStateName(with.qos_state),
               with.recovery_attempts);
   std::printf("recovery off: pre-flap %.1f Mb/s, post-flap %.1f Mb/s, "
               "final state %s\n\n",
-              without.pre_flap_kbps / 1000, without.post_flap_kbps / 1000,
-              gq::qosRequestStateName(without.final_state));
+              preFlapKbps(without) / 1000, postFlapKbps(without) / 1000,
+              gq::qosRequestStateName(without.qos_state));
 
-  check(with.pre_flap_kbps > 0.9 * kOfferedKbps &&
-            without.pre_flap_kbps > 0.9 * kOfferedKbps,
-        "both runs deliver the reserved rate before the flap");
-  check(with.post_flap_kbps > without.post_flap_kbps,
-        "post-flap goodput strictly higher with RecoveryPolicy enabled");
-  check(with.post_flap_kbps > 0.7 * with.pre_flap_kbps,
-        "recovery restores most of the pre-flap goodput");
-  check(with.final_state == gq::QosRequestState::kGranted &&
-            with.recovery_attempts > 0,
-        "agent re-granted the reservation via the recovery loop");
-  check(without.final_state == gq::QosRequestState::kDegraded,
-        "without recovery the communicator stays degraded (best effort)");
+  scenario::CheckReporter checks(&std::cout);
+  checks.check(postFlapKbps(with) > postFlapKbps(without),
+               "post-flap goodput strictly higher with RecoveryPolicy "
+               "enabled");
 
-  // Determinism: identical seeds replay identical fault sequences.
-  check(!with.injector_log.empty() &&
-            with.injector_log == runScenario(true).injector_log,
-        "scenario replay with the same seed gives a byte-identical "
-        "injector log");
+  // Determinism: identical seeds replay identical fault sequences — the
+  // whole scenario re-runs with a byte-identical injector log.
+  scenario::ScenarioRunner runner;
+  const auto replay = runner.run(paperSpec("fault_recovery_on"));
+  checks.check(!with.injector_log.empty() &&
+                   with.injector_log == replay.injector_log,
+               "scenario replay with the same seed gives a byte-identical "
+               "injector log");
   const auto random_log = replayRandomSchedule(7);
-  check(!random_log.empty() && random_log == replayRandomSchedule(7),
-        "seeded random flap schedule replays byte-identically");
-  check(random_log != replayRandomSchedule(8),
-        "different seeds give different flap schedules");
-  obs.exportJson("fault_recovery");
-  return finish();
+  checks.check(!random_log.empty() && random_log == replayRandomSchedule(7),
+               "seeded random flap schedule replays byte-identically");
+  checks.check(random_log != replayRandomSchedule(8),
+               "different seeds give different flap schedules");
+  exportResults(checks, "fault_recovery", results);
+  return finish(checks);
 }
 
 }  // namespace

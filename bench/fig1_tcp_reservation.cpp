@@ -6,81 +6,27 @@
 // achieved bandwidth oscillating wildly (roughly 25-52 Mb/s) as the
 // policer drops out-of-profile packets and TCP backs off. For contrast we
 // also run an adequate (55 Mb/s) reservation, which the paper's §5
-// results imply is smooth.
+// results imply is smooth. Both variants are registry scenarios run
+// through the sweep pool; the oscillation analysis is cross-run and
+// therefore lives here.
 #include "common.hpp"
 
-#include "tcp/tcp_socket.hpp"
+#include <algorithm>
 
 namespace mgq::bench {
 namespace {
 
 struct Trace {
-  std::vector<apps::BandwidthSampler::Point> series;
   double mean_kbps = 0;
   double cov = 0;  // coefficient of variation: oscillation measure
 };
 
-Trace runFlow(double reservation_bps, double offered_bps, double seconds,
-              BenchObs* obs, const std::string& label) {
-  apps::GarnetRig rig;
-  RunObs run_obs(obs, rig, label);
-  rig.startContention();
-
-  auto bucket = std::make_shared<net::TokenBucket>(
-      rig.sim, reservation_bps,
-      net::TokenBucket::depthForRate(reservation_bps,
-                                     net::TokenBucket::kNormalDivisor));
-  net::MarkingRule rule;
-  rule.match.src = rig.garnet.premium_src->id();
-  rule.match.dst = rig.garnet.premium_dst->id();
-  rule.match.proto = net::Protocol::kTcp;
-  rule.mark = net::Dscp::kExpedited;
-  rule.bucket = bucket;
-  rig.garnet.ingressEdgeInterface()->ingressPolicy().addRule(rule);
-
-  tcp::TcpConfig tcp_config;
-  tcp_config.send_buffer_bytes = 256 * 1024;
-  tcp_config.recv_buffer_bytes = 256 * 1024;
-  tcp::TcpListener listener(*rig.garnet.premium_dst, 7000, tcp_config);
-  tcp::TcpSocket* receiver = nullptr;
-  auto server = [](tcp::TcpListener& l, tcp::TcpSocket*& out) -> sim::Task<> {
-    auto s = co_await l.accept();
-    out = s.get();
-    (void)co_await s->drain(INT64_MAX / 2, false);
-  };
-  // Application paced at `offered_bps`: a chunk every 10 ms.
-  auto client = [](apps::GarnetRig& r, double offered,
-                   tcp::TcpConfig cfg) -> sim::Task<> {
-    auto s = co_await tcp::TcpSocket::connect(
-        *r.garnet.premium_src, r.garnet.premium_dst->id(), 7000, cfg);
-    const auto chunk = static_cast<std::int64_t>(offered / 8.0 / 100.0);
-    for (;;) {
-      co_await s->sendBulk(chunk);
-      co_await r.sim.delay(sim::Duration::millis(10));
-    }
-  };
-  rig.sim.spawn(server(listener, receiver));
-  rig.sim.spawn(client(rig, offered_bps, tcp_config));
-
-  apps::BandwidthSampler sampler(
-      rig.sim,
-      [&receiver] { return receiver ? receiver->bytesDelivered() : 0; },
-      sim::Duration::seconds(1.0));
-  sampler.start();
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(seconds));
-  run_obs.snapshot();
-
-  Trace trace;
-  trace.series = sampler.series();
-  if (obs != nullptr) {
-    apps::recordBandwidthSeries(obs->metrics,
-                                run_obs.prefix() + "flow.premium.kbps",
-                                trace.series);
-  }
+Trace analyze(const scenario::ScenarioResult& r) {
   std::vector<double> values;
-  for (const auto& p : trace.series) {
+  for (const auto& p : r.series) {
     if (p.t_seconds > 2.0) values.push_back(p.kbps);  // skip slow start
   }
+  Trace trace;
   trace.mean_kbps = util::mean(values);
   trace.cov = util::coefficientOfVariation(values);
   return trace;
@@ -91,9 +37,11 @@ int run() {
          "50 Mb/s offered, 40 Mb/s reserved; paper shows oscillation "
          "between ~25 and ~52 Mb/s over 100 s");
 
-  BenchObs obs;
-  const auto under = runFlow(40e6, 50e6, 100.0, &obs, "under");
-  const auto adequate = runFlow(55e6 * 1.06, 50e6, 100.0, &obs, "adequate");
+  scenario::SweepRunner pool(2);
+  const auto results =
+      pool.run({paperSpec("fig1_under"), paperSpec("fig1_adequate")});
+  const auto& under = results[0];
+  const auto& adequate = results[1];
 
   util::Table table({"time_s", "under_reserved_kbps", "adequate_kbps"});
   for (std::size_t i = 0;
@@ -104,10 +52,12 @@ int run() {
   }
   table.renderAscii(std::cout);
 
+  const auto under_trace = analyze(under);
+  const auto adequate_trace = analyze(adequate);
   std::printf("\nunder-reserved: mean %.1f Mb/s, cov %.3f\n",
-              under.mean_kbps / 1000, under.cov);
+              under_trace.mean_kbps / 1000, under_trace.cov);
   std::printf("adequate:       mean %.1f Mb/s, cov %.3f\n\n",
-              adequate.mean_kbps / 1000, adequate.cov);
+              adequate_trace.mean_kbps / 1000, adequate_trace.cov);
 
   double lo = 1e18, hi = 0;
   for (const auto& p : under.series) {
@@ -115,16 +65,18 @@ int run() {
     lo = std::min(lo, p.kbps);
     hi = std::max(hi, p.kbps);
   }
-  check(under.mean_kbps < 40e3,
-        "under-reserved mean stays below the 40 Mb/s reservation");
-  check(hi - lo > 10e3,
-        "under-reserved bandwidth oscillates over a >10 Mb/s range");
-  check(under.cov > 3 * adequate.cov,
-        "oscillation (cov) far larger than with an adequate reservation");
-  check(adequate.mean_kbps > 45e3,
-        "adequate reservation sustains ~50 Mb/s offered load");
-  obs.exportJson("fig1_tcp_reservation");
-  return finish();
+  scenario::CheckReporter checks(&std::cout);
+  checks.check(under_trace.mean_kbps < 40e3,
+               "under-reserved mean stays below the 40 Mb/s reservation");
+  checks.check(hi - lo > 10e3,
+               "under-reserved bandwidth oscillates over a >10 Mb/s range");
+  checks.check(under_trace.cov > 3 * adequate_trace.cov,
+               "oscillation (cov) far larger than with an adequate "
+               "reservation");
+  checks.check(adequate_trace.mean_kbps > 45e3,
+               "adequate reservation sustains ~50 Mb/s offered load");
+  exportResults(checks, "fig1_tcp_reservation", results);
+  return finish(checks);
 }
 
 }  // namespace

@@ -7,7 +7,11 @@
 // Expected shape: throughput rises with reservation until "adequate" for
 // the message size, then flattens; under-reserved throughput is far below
 // the reservation itself (TCP back-off); larger messages plateau higher.
+// Every (size, reservation) cell is one pingPongSpec run across the
+// sweep pool; the curve-shape checks compare cells and stay here.
 #include "common.hpp"
+
+#include <cmath>
 
 namespace mgq::bench {
 namespace {
@@ -22,19 +26,32 @@ int run() {
       500, 1000, 2000, 3000, 4000, 6000, 8000, 10000, 12000, 16000, 20000};
   const double seconds = 10.0;
 
-  BenchObs obs;
+  // One spec per (reservation, size) cell, plus the no-reservation
+  // baseline (paper: "performance is extremely poor in the first case").
+  std::vector<scenario::ScenarioSpec> specs;
+  for (double resv : reservations_kbps) {
+    for (int kilobits : message_kilobits) {
+      const std::string label = "res" + util::Table::num(resv, 0) + ".msg" +
+                                std::to_string(kilobits) + "kb";
+      specs.push_back(scenario::pingPongSpec(label, resv, kilobits * 1000 / 8,
+                                             seconds));
+    }
+  }
+  specs.push_back(
+      scenario::pingPongSpec("noresv.msg40kb", 0.0, 40 * 1000 / 8, seconds));
+
+  scenario::SweepRunner pool;
+  const auto results = pool.run(specs);
+
   util::Table table({"reservation_kbps", "8Kb_msgs", "40Kb_msgs",
                      "80Kb_msgs", "120Kb_msgs"});
   // curves[size][reservation index] = achieved one-way throughput.
   std::vector<std::vector<double>> curves(message_kilobits.size());
+  std::size_t next = 0;
   for (double resv : reservations_kbps) {
     std::vector<std::string> row{util::Table::num(resv, 0)};
     for (std::size_t m = 0; m < message_kilobits.size(); ++m) {
-      const int bytes = message_kilobits[m] * 1000 / 8;
-      const std::string label = "res" + util::Table::num(resv, 0) + ".msg" +
-                                std::to_string(message_kilobits[m]) + "kb";
-      const double kbps =
-          pingPongThroughputKbps(resv, bytes, seconds, 1, &obs, label);
+      const double kbps = results[next++].goodput_kbps;
       curves[m].push_back(kbps);
       row.push_back(util::Table::num(kbps, 0));
     }
@@ -43,37 +60,36 @@ int run() {
   table.renderAscii(std::cout);
   std::cout << "\n";
 
-  // Baseline without any reservation (paper: "performance is extremely
-  // poor in the first case").
-  const double no_resv_40kb =
-      pingPongThroughputKbps(0.0, 40 * 1000 / 8, seconds, 1, &obs,
-                             "noresv.msg40kb");
+  const double no_resv_40kb = results.back().goodput_kbps;
   std::printf("no reservation, 40Kb messages: %.0f kb/s\n\n", no_resv_40kb);
 
+  scenario::CheckReporter checks(&std::cout);
   for (std::size_t m = 0; m < curves.size(); ++m) {
     const auto& c = curves[m];
     const double first = c.front();
     const double last = c.back();
-    check(last > 2.0 * first,
-          "curve rises substantially with reservation (" +
-              std::to_string(message_kilobits[m]) + "Kb messages)");
+    checks.check(last > 2.0 * first,
+                 "curve rises substantially with reservation (" +
+                     std::to_string(message_kilobits[m]) + "Kb messages)");
     // Plateau: the last two points are within 30% of each other.
     const double prev = c[c.size() - 2];
-    check(std::abs(last - prev) < 0.30 * last,
-          "curve flattens once the reservation is adequate (" +
-              std::to_string(message_kilobits[m]) + "Kb messages)");
+    checks.check(std::abs(last - prev) < 0.30 * last,
+                 "curve flattens once the reservation is adequate (" +
+                     std::to_string(message_kilobits[m]) + "Kb messages)");
   }
   // Under-reservation punishes beyond proportionality: at 500 kb/s
   // reserved, achieved stays below the reservation (TCP back-off).
-  check(curves[1][0] < 500.0,
-        "under-reserved throughput below the reservation itself (40Kb)");
+  checks.check(curves[1][0] < 500.0,
+               "under-reserved throughput below the reservation itself "
+               "(40Kb)");
   // Larger messages reach higher plateaus (paper's line ordering).
-  check(curves[3].back() > curves[0].back(),
-        "120Kb messages plateau above 8Kb messages");
-  check(no_resv_40kb < 0.3 * curves[1].back(),
-        "no reservation under contention is far below the reserved case");
-  obs.exportJson("fig5_pingpong");
-  return finish();
+  checks.check(curves[3].back() > curves[0].back(),
+               "120Kb messages plateau above 8Kb messages");
+  checks.check(no_resv_40kb < 0.3 * curves[1].back(),
+               "no reservation under contention is far below the reserved "
+               "case");
+  exportResults(checks, "fig5_pingpong", results);
+  return finish(checks);
 }
 
 }  // namespace

@@ -7,7 +7,8 @@
 // 400/800/1600/2400 kb/s; the reservation is swept as a fraction of each
 // target. Expected shape: a cliff — below ~1.06x the sending rate the
 // achieved throughput collapses well below even the reserved amount; at
-// >= ~1.06x the target rate is delivered.
+// >= ~1.06x the target rate is delivered. Each (target, fraction) cell is
+// one visualizationSpec run across the sweep pool.
 #include "common.hpp"
 
 namespace mgq::bench {
@@ -24,22 +25,31 @@ int run() {
                                       1.5};
   const double seconds = 20.0;
 
-  BenchObs obs;
+  std::vector<scenario::ScenarioSpec> specs;
+  for (double frac : fractions) {
+    for (std::int64_t bytes : frame_bytes) {
+      const double target_kbps =
+          static_cast<double>(bytes) * 8.0 * 10.0 / 1000.0;
+      const std::string label = "target" + util::Table::num(target_kbps, 0) +
+                                ".frac" + util::Table::num(frac, 2);
+      specs.push_back(scenario::visualizationSpec(label, target_kbps * frac,
+                                                  10.0, bytes, seconds));
+    }
+  }
+
+  scenario::SweepRunner pool;
+  const auto results = pool.run(specs);
+
   util::Table table({"reservation/target", "400kbps", "800kbps",
                      "1600kbps", "2400kbps"});
   std::vector<std::vector<double>> curves(frame_bytes.size());
+  std::size_t next = 0;
   for (double frac : fractions) {
     std::vector<std::string> row{util::Table::num(frac, 2)};
     for (std::size_t f = 0; f < frame_bytes.size(); ++f) {
-      const double target_kbps =
-          static_cast<double>(frame_bytes[f]) * 8.0 * 10.0 / 1000.0;
-      const std::string label = "target" + util::Table::num(target_kbps, 0) +
-                                ".frac" + util::Table::num(frac, 2);
-      const auto result = visualizationThroughput(
-          target_kbps * frac, 10.0, frame_bytes[f], seconds,
-          net::TokenBucket::kNormalDivisor, 1, 0.0, &obs, label);
-      curves[f].push_back(result.delivered_kbps);
-      row.push_back(util::Table::num(result.delivered_kbps, 0));
+      const double kbps = results[next++].goodput_kbps;
+      curves[f].push_back(kbps);
+      row.push_back(util::Table::num(kbps, 0));
     }
     table.addRow(row);
   }
@@ -47,25 +57,26 @@ int run() {
   std::cout << "\n(rows are reservation as a fraction of the target rate; "
                "cells are achieved kb/s)\n\n";
 
+  scenario::CheckReporter checks(&std::cout);
   for (std::size_t f = 0; f < frame_bytes.size(); ++f) {
     const double target_kbps =
         static_cast<double>(frame_bytes[f]) * 8.0 * 10.0 / 1000.0;
     const auto& c = curves[f];
     const std::string label = util::Table::num(target_kbps, 0) + " kb/s";
     // Adequate (>= 1.06x) delivers the target.
-    check(c[4] > 0.9 * target_kbps,
-          "1.06x reservation delivers the target (" + label + ")");
+    checks.check(c[4] > 0.9 * target_kbps,
+                 "1.06x reservation delivers the target (" + label + ")");
     // The cliff: a 0.85x reservation achieves far less than the
     // reservation itself would allow.
-    check(c[2] < 0.8 * 0.85 * target_kbps,
-          "0.85x reservation collapses below the reserved rate (" + label +
-              ")");
+    checks.check(c[2] < 0.8 * 0.85 * target_kbps,
+                 "0.85x reservation collapses below the reserved rate (" +
+                     label + ")");
     // Monotone-ish rise across the sweep.
-    check(c.front() < c.back(),
-          "throughput increases with reservation (" + label + ")");
+    checks.check(c.front() < c.back(),
+                 "throughput increases with reservation (" + label + ")");
   }
-  obs.exportJson("fig6_visualization");
-  return finish();
+  exportResults(checks, "fig6_visualization", results);
+  return finish(checks);
 }
 
 }  // namespace

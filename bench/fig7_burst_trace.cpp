@@ -7,10 +7,13 @@
 // We trace the stream sequence number of every data segment the sender's
 // TCP connection emits during one second of steady state and print both
 // traces, plus burst statistics: the 10 fps program shows many small,
-// evenly spaced steps; the 1 fps program one large burst.
+// evenly spaced steps; the 1 fps program one large burst. The streams are
+// the registry's fig7 trace scenarios; the window/burst analysis of the
+// raw sequence trace stays here.
 #include "common.hpp"
 
-#include "mpi/world.hpp"
+#include <algorithm>
+#include <cmath>
 
 namespace mgq::bench {
 namespace {
@@ -21,36 +24,11 @@ struct BurstTrace {
   double largest_burst_bytes = 0;
 };
 
-BurstTrace runTrace(double fps, std::int64_t frame_bytes, BenchObs* obs,
-                    const std::string& label) {
-  apps::GarnetRig rig;
-  RunObs run_obs(obs, rig, label);
-  // No contention needed: burstiness is a property of the sender.
-  apps::SequenceTracer tracer;
-  apps::VisualizationStats stats;
-  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
-    if (comm.rank() == 0) {
-      apps::VisualizationConfig config;
-      config.frames_per_second = fps;
-      config.frame_bytes = frame_bytes;
-      co_await apps::visualizationSender(
-          comm, config, sim::TimePoint::fromSeconds(6.0), &stats);
-    } else {
-      co_await apps::visualizationReceiver(comm, &stats);
-    }
-  });
-  // Attach the tracer once the rank-0 -> rank-1 connection exists.
-  rig.sim.schedule(sim::Duration::millis(500), [&] {
-    auto* socket = rig.world.connectionSocket(0, 1);
-    if (socket != nullptr) tracer.attach(*socket);
-  });
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(8.0));
-  run_obs.snapshot();
-
+BurstTrace analyze(const scenario::ScenarioResult& r) {
   BurstTrace result;
   // Steady-state window [2s, 3s), re-based to 0.
   std::uint64_t base_seq = 0;
-  for (const auto& p : tracer.series()) {
+  for (const auto& p : r.sequence_trace) {
     if (p.t_seconds < 2.0 || p.t_seconds >= 3.0) continue;
     if (result.window.empty()) base_seq = p.seq;
     auto q = p;
@@ -95,18 +73,21 @@ int run() {
          "400 kb/s as 10 fps x 40 Kb frames vs 1 fps x 400 Kb frame; 1 s "
          "window");
 
-  BenchObs obs;
-  const auto smooth = runTrace(10.0, 40'000 / 8, &obs, "fps10");
-  const auto bursty = runTrace(1.0, 400'000 / 8, &obs, "fps1");
+  scenario::SweepRunner pool(2);
+  const auto results = pool.run(
+      {paperSpec("fig7_frames_10fps"), paperSpec("fig7_frames_1fps")});
+  const auto smooth = analyze(results[0]);
+  const auto bursty = analyze(results[1]);
 
   printTrace("10 frames/second (top panel)", smooth);
   printTrace("1 frame/second (bottom panel)", bursty);
 
-  check(smooth.bursts >= 8 && smooth.bursts <= 12,
-        "10 fps trace shows ~10 evenly spaced small bursts");
-  check(bursty.bursts <= 3, "1 fps trace is a single large burst");
-  check(bursty.largest_burst_bytes > 5.0 * smooth.largest_burst_bytes,
-        "the 1 fps burst is far larger than any 10 fps burst");
+  scenario::CheckReporter checks(&std::cout);
+  checks.check(smooth.bursts >= 8 && smooth.bursts <= 12,
+               "10 fps trace shows ~10 evenly spaced small bursts");
+  checks.check(bursty.bursts <= 3, "1 fps trace is a single large burst");
+  checks.check(bursty.largest_burst_bytes > 5.0 * smooth.largest_burst_bytes,
+               "the 1 fps burst is far larger than any 10 fps burst");
   // Both moved the same amount of data across the second.
   const double total_smooth =
       smooth.window.empty() ? 0
@@ -114,10 +95,10 @@ int run() {
   const double total_bursty =
       bursty.window.empty() ? 0
                             : static_cast<double>(bursty.window.back().seq);
-  check(std::abs(total_smooth - total_bursty) < 0.3 * total_smooth,
-        "both programs send ~the same bytes per second (equal rate)");
-  obs.exportJson("fig7_burst_trace");
-  return finish();
+  checks.check(std::abs(total_smooth - total_bursty) < 0.3 * total_smooth,
+               "both programs send ~the same bytes per second (equal rate)");
+  exportResults(checks, "fig7_burst_trace", results);
+  return finish(checks);
 }
 
 }  // namespace

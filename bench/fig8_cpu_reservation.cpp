@@ -4,10 +4,9 @@
 //
 // The stream runs at ~15 Mb/s and needs most of the sending CPU; a
 // CPU-intensive competitor at t=10 s halves its rate; a 90% DSRT
-// reservation at t=20 s restores it.
+// reservation at t=20 s restores it. The whole timeline — including the
+// paper's three phase checks — is the registry's fig8 scenario.
 #include "common.hpp"
-
-#include "cpu/cpu_scheduler.hpp"
 
 namespace mgq::bench {
 namespace {
@@ -18,70 +17,26 @@ int run() {
          "15 Mb/s stream; CPU hog at t=10 s; 90% CPU reservation at "
          "t=20 s");
 
-  BenchObs obs;
-  apps::GarnetRig rig;
-  RunObs run_obs(&obs, rig, {});
-  const auto job = rig.sender_cpu.registerJob("viz");
-  cpu::CpuHog hog(rig.sender_cpu, "competitor");
-
-  apps::VisualizationStats stats;
-  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
-    if (comm.rank() == 0) {
-      apps::VisualizationConfig config;
-      config.frames_per_second = 20.0;
-      config.frame_bytes = 93'750;  // 20 fps x 93.75 KB = 15 Mb/s
-      config.cpu = &rig.sender_cpu;
-      config.cpu_job = job;
-      // 42.5 ms of work per 50 ms frame: needs 85% of the CPU.
-      config.cpu_seconds_per_frame = 0.0425;
-      co_await apps::visualizationSender(
-          comm, config, sim::TimePoint::fromSeconds(30.0), &stats);
-    } else {
-      co_await apps::visualizationReceiver(comm, &stats);
-    }
-  });
-
-  apps::BandwidthSampler sampler(
-      rig.sim, [&] { return stats.bytes_delivered; },
-      sim::Duration::seconds(1.0));
-  sampler.start();
-
-  rig.sim.schedule(sim::Duration::seconds(10), [&] { hog.start(); });
-  rig.sim.schedule(sim::Duration::seconds(20), [&] {
-    gara::ReservationRequest request;
-    request.start = rig.sim.now();
-    request.amount = 0.9;
-    request.cpu_job = job;
-    auto outcome = rig.gara.reserve("cpu-sender", request);
-    if (!outcome) std::cout << "CPU reservation failed: " << outcome.error;
-  });
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(32));
-  run_obs.snapshot();
-  apps::recordBandwidthSeries(obs.metrics, "flow.viz.kbps",
-                              sampler.series());
+  scenario::ScenarioRunner runner;
+  const auto result = runner.run(paperSpec("fig8_cpu_reservation"));
 
   util::Table table({"time_s", "bandwidth_kbps"});
-  for (const auto& p : sampler.series()) {
+  for (const auto& p : result.series) {
     table.addRow({util::Table::num(p.t_seconds, 0),
                   util::Table::num(p.kbps, 0)});
   }
   table.renderAscii(std::cout);
 
-  const double phase_free = sampler.meanKbps(2, 10);
-  const double phase_contended = sampler.meanKbps(12, 20);
-  const double phase_reserved = sampler.meanKbps(22, 30);
+  const double phase_free = result.meanKbps(2, 10);
+  const double phase_contended = result.meanKbps(12, 20);
+  const double phase_reserved = result.meanKbps(22, 30);
   std::printf("\nfree: %.0f kb/s | contended: %.0f kb/s | reserved: %.0f "
               "kb/s\n\n",
               phase_free, phase_contended, phase_reserved);
 
-  check(std::abs(phase_free - 15'000) < 1'500,
-        "initial phase sustains ~15 Mb/s");
-  check(phase_contended < 0.65 * phase_free,
-        "CPU contention cuts the stream sharply (paper: roughly halved)");
-  check(std::abs(phase_reserved - phase_free) < 0.15 * phase_free,
-        "the 90% CPU reservation restores full bandwidth");
-  obs.exportJson("fig8_cpu_reservation");
-  return finish();
+  scenario::CheckReporter checks(&std::cout);
+  exportResults(checks, "fig8_cpu_reservation", {result});
+  return finish(checks);
 }
 
 }  // namespace

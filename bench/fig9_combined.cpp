@@ -8,10 +8,9 @@
 //
 // Demonstrates that network and CPU QoS must be *combined* for end-to-end
 // performance: each contention source alone cuts the rate, and only the
-// matching reservation restores it.
+// matching reservation restores it. The whole timeline — including the
+// paper's five phase checks — is the registry's fig9 scenario.
 #include "common.hpp"
-
-#include "cpu/cpu_scheduler.hpp"
 
 namespace mgq::bench {
 namespace {
@@ -21,65 +20,8 @@ int run() {
          "35 Mb/s stream; net congestion @10s, net reservation @21s, CPU "
          "contention @31s, CPU reservation @41s");
 
-  BenchObs obs;
-  apps::GarnetRig rig;
-  RunObs run_obs(&obs, rig, {});
-  const auto job = rig.sender_cpu.registerJob("viz");
-  cpu::CpuHog hog(rig.sender_cpu, "competitor");
-
-  apps::VisualizationStats stats;
-  rig.world.launch([&](mpi::Comm& comm) -> sim::Task<> {
-    if (comm.rank() == 0) {
-      apps::VisualizationConfig config;
-      config.frames_per_second = 20.0;
-      config.frame_bytes = 218'750;  // 20 fps x 218.75 KB = 35 Mb/s
-      config.cpu = &rig.sender_cpu;
-      config.cpu_job = job;
-      // 30 ms of work per 50 ms frame: with the ~18 ms TCP hand-off of a
-      // 219 KB frame this just sustains 20 fps; a fair-share hog pushes
-      // the frame time to ~78 ms (~13 fps).
-      config.cpu_seconds_per_frame = 0.030;
-      co_await apps::visualizationSender(
-          comm, config, sim::TimePoint::fromSeconds(50.0), &stats);
-    } else {
-      co_await apps::visualizationReceiver(comm, &stats);
-    }
-  });
-
-  apps::BandwidthSampler sampler(
-      rig.sim, [&] { return stats.bytes_delivered; },
-      sim::Duration::seconds(1.0));
-  sampler.start();
-
-  // t=10: network congestion begins (and persists to the end). 48 Mb/s of
-  // best-effort UDP against the 55 Mb/s core: the unreserved TCP flow is
-  // squeezed hard but not annihilated, as in the paper's trace.
-  rig.sim.schedule(sim::Duration::seconds(10),
-                   [&] { rig.startContention(48e6); });
-  // t=21: premium network reservation via the QoS agent (attribute put).
-  rig.sim.schedule(sim::Duration::seconds(21), [&] {
-    auto& comm = rig.world.worldComm(0);
-    rig.premium_attr.qosclass = gq::QosClass::kPremium;
-    rig.premium_attr.bandwidth_kbps = 35'000.0;
-    rig.premium_attr.max_message_size = 218'750;
-    comm.attrPut(rig.agent.keyval(), &rig.premium_attr);
-  });
-  // t=31: CPU contention at the sender.
-  rig.sim.schedule(sim::Duration::seconds(31), [&] { hog.start(); });
-  // t=41: DSRT CPU reservation.
-  rig.sim.schedule(sim::Duration::seconds(41), [&] {
-    gara::ReservationRequest request;
-    request.start = rig.sim.now();
-    request.amount = 0.9;
-    request.cpu_job = job;
-    auto outcome = rig.gara.reserve("cpu-sender", request);
-    if (!outcome) std::cout << "CPU reservation failed: " << outcome.error;
-  });
-
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(52));
-  run_obs.snapshot();
-  apps::recordBandwidthSeries(obs.metrics, "flow.viz.kbps",
-                              sampler.series());
+  scenario::ScenarioRunner runner;
+  const auto result = runner.run(paperSpec("fig9_combined"));
 
   util::Table table({"time_s", "bandwidth_kbps", "phase"});
   auto phaseName = [](double t) {
@@ -89,31 +31,24 @@ int run() {
     if (t <= 41) return "cpu-contention";
     return "net+cpu-reserved";
   };
-  for (const auto& p : sampler.series()) {
+  for (const auto& p : result.series) {
     table.addRow({util::Table::num(p.t_seconds, 0),
                   util::Table::num(p.kbps, 0), phaseName(p.t_seconds)});
   }
   table.renderAscii(std::cout);
 
-  const double clean = sampler.meanKbps(2, 10);
-  const double congested = sampler.meanKbps(12, 21);
-  const double net_reserved = sampler.meanKbps(24, 31);
-  const double cpu_contended = sampler.meanKbps(33, 41);
-  const double both_reserved = sampler.meanKbps(44, 50);
+  const double clean = result.meanKbps(2, 10);
+  const double congested = result.meanKbps(12, 21);
+  const double net_reserved = result.meanKbps(24, 31);
+  const double cpu_contended = result.meanKbps(33, 41);
+  const double both_reserved = result.meanKbps(44, 50);
   std::printf("\nclean %.0f | congested %.0f | net-reserved %.0f | "
               "cpu-contended %.0f | both-reserved %.0f (kb/s)\n\n",
               clean, congested, net_reserved, cpu_contended, both_reserved);
 
-  check(std::abs(clean - 35'000) < 5'000, "initial phase sustains ~35 Mb/s");
-  check(congested < 0.6 * clean, "network congestion reduces bandwidth");
-  check(std::abs(net_reserved - clean) < 0.2 * clean,
-        "the network reservation restores bandwidth");
-  check(cpu_contended < 0.75 * clean,
-        "CPU contention reduces bandwidth despite the network reservation");
-  check(std::abs(both_reserved - clean) < 0.2 * clean,
-        "adding the CPU reservation restores full bandwidth");
-  obs.exportJson("fig9_combined");
-  return finish();
+  scenario::CheckReporter checks(&std::cout);
+  exportResults(checks, "fig9_combined", {result});
+  return finish(checks);
 }
 
 }  // namespace

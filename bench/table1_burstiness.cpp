@@ -15,7 +15,14 @@
 // reservation; the large bucket removes the penalty. (Our TCP model uses
 // the RFC 2988 1-second minimum RTO, which punishes the bursty case even
 // harder than the paper's testbed did — the ordering is what matters.)
+//
+// Each bisection probe is one visualizationSpec run on its own
+// Simulator; the twelve (desired, fps, bucket) cells bisect
+// independently across a thread pool.
 #include "common.hpp"
+
+#include <atomic>
+#include <thread>
 
 namespace mgq::bench {
 namespace {
@@ -30,11 +37,12 @@ double requiredReservation(double desired_kbps, double fps,
   const std::int64_t frame_bytes =
       static_cast<std::int64_t>(desired_kbps * 1000.0 / 8.0 / fps);
   auto achieves = [&](double reservation_kbps) {
-    const auto run = visualizationThroughput(reservation_kbps, fps,
-                                             frame_bytes, seconds,
-                                             bucket_divisor, 1,
-                                             /*snapshot_grace=*/1.0);
-    return run.delivered_kbps >= 0.97 * desired_kbps;
+    auto spec = scenario::visualizationSpec(
+        "table1.probe", reservation_kbps, fps, frame_bytes, seconds,
+        bucket_divisor, /*snapshot_grace_seconds=*/1.0);
+    spec.observe = false;  // probe runs feed only the bisection
+    scenario::ScenarioRunner runner;
+    return runner.run(spec).goodput_kbps >= 0.97 * desired_kbps;
   };
   double lo = desired_kbps;        // never sufficient (overheads)
   double hi = desired_kbps * 4.0;  // assumed sufficient
@@ -57,17 +65,48 @@ int run() {
          "vs bw/4");
 
   const std::vector<double> desired{400, 800, 1600, 2400};
+  struct Cell {
+    double desired_kbps;
+    double fps;
+    double bucket_divisor;
+  };
+  std::vector<Cell> cells;
+  for (double d : desired) {
+    cells.push_back({d, 10.0, 40.0});
+    cells.push_back({d, 1.0, 40.0});
+    cells.push_back({d, 1.0, 4.0});
+  }
+
+  // Independent bisections: each worker claims cells off an atomic index.
+  std::vector<double> required(cells.size(), 0.0);
+  std::atomic<std::size_t> next_cell{0};
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t n_workers =
+      std::min<std::size_t>(cells.size(), hw == 0 ? 2 : hw);
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next_cell.fetch_add(1);
+        if (i >= cells.size()) return;
+        required[i] = requiredReservation(
+            cells[i].desired_kbps, cells[i].fps, cells[i].bucket_divisor);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
   util::Table table({"desired_kbps", "normal_10fps", "normal_1fps",
                      "large_1fps"});
   std::vector<double> normal10, normal1, large1;
-  for (double d : desired) {
-    const double n10 = requiredReservation(d, 10.0, 40.0);
-    const double n1 = requiredReservation(d, 1.0, 40.0);
-    const double l1 = requiredReservation(d, 1.0, 4.0);
+  for (std::size_t i = 0; i < desired.size(); ++i) {
+    const double n10 = required[3 * i];
+    const double n1 = required[3 * i + 1];
+    const double l1 = required[3 * i + 2];
     normal10.push_back(n10);
     normal1.push_back(n1);
     large1.push_back(l1);
-    table.addRow({util::Table::num(d, 0), util::Table::num(n10, 0),
+    table.addRow({util::Table::num(desired[i], 0), util::Table::num(n10, 0),
                   util::Table::num(n1, 0), util::Table::num(l1, 0)});
   }
   table.renderAscii(std::cout);
@@ -77,19 +116,20 @@ int run() {
                " 1600: 1700 / 2700 / 1700\n"
                " 2400: 2500 / 3600 / 2500\n\n";
 
+  scenario::CheckReporter checks(&std::cout);
   for (std::size_t i = 0; i < desired.size(); ++i) {
     const auto label = util::Table::num(desired[i], 0) + " kb/s";
-    check(normal10[i] > desired[i],
-          "smooth traffic still needs > the application rate (" + label +
-              ")");
-    check(normal1[i] > 1.2 * normal10[i],
-          "very bursty traffic needs a much larger reservation with the "
-          "normal bucket (" + label + ")");
-    check(large1[i] < 1.15 * normal10[i],
-          "the large bucket removes the burstiness penalty (" + label +
-              ")");
+    checks.check(normal10[i] > desired[i],
+                 "smooth traffic still needs > the application rate (" +
+                     label + ")");
+    checks.check(normal1[i] > 1.2 * normal10[i],
+                 "very bursty traffic needs a much larger reservation with "
+                 "the normal bucket (" + label + ")");
+    checks.check(large1[i] < 1.15 * normal10[i],
+                 "the large bucket removes the burstiness penalty (" + label +
+                     ")");
   }
-  return finish();
+  return finish(checks);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 #include <cstdlib>
 
 #include "apps/garnet_rig.hpp"
-#include "apps/sampler.hpp"
+#include "apps/bandwidth_trace.hpp"
 #include "gq/mpich_gq.hpp"
 
 using namespace mgq;
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     }
   });
 
-  apps::BandwidthSampler sampler(
+  apps::BandwidthTrace sampler(
       rig.sim, [&] { return stats.bytes_delivered; },
       sim::Duration::seconds(1.0));
   sampler.start();

@@ -1,19 +1,19 @@
-#include "apps/sampler.hpp"
+#include "apps/bandwidth_trace.hpp"
 
 namespace mgq::apps {
 
-BandwidthSampler::BandwidthSampler(sim::Simulator& sim,
-                                   std::function<std::int64_t()> byte_counter,
-                                   sim::Duration interval)
+BandwidthTrace::BandwidthTrace(sim::Simulator& sim,
+                               std::function<std::int64_t()> byte_counter,
+                               sim::Duration interval)
     : sim_(sim), counter_(std::move(byte_counter)), interval_(interval) {}
 
-void BandwidthSampler::start() {
+void BandwidthTrace::start() {
   if (running_) return;
   running_ = true;
   sim_.spawn(run());
 }
 
-sim::Task<> BandwidthSampler::run() {
+sim::Task<> BandwidthTrace::run() {
   std::int64_t last = counter_();
   while (running_) {
     co_await sim_.delay(interval_);
@@ -26,8 +26,8 @@ sim::Task<> BandwidthSampler::run() {
   }
 }
 
-double BandwidthSampler::meanKbps(double from_seconds,
-                                  double to_seconds) const {
+double BandwidthTrace::meanKbps(double from_seconds,
+                                double to_seconds) const {
   double sum = 0;
   int n = 0;
   for (const auto& p : series_) {

@@ -115,7 +115,7 @@ void addTcpFlowProbes(obs::Sampler& sampler, mpi::World& world, int src,
 
 void recordBandwidthSeries(
     obs::MetricsRegistry& metrics, const std::string& name,
-    const std::vector<BandwidthSampler::Point>& series) {
+    const std::vector<BandwidthTrace::Point>& series) {
   auto& timeline = metrics.timeline(name);
   for (const auto& p : series) timeline.append(p.t_seconds, p.kbps);
 }

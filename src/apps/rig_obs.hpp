@@ -11,7 +11,7 @@
 #include <string>
 
 #include "apps/garnet_rig.hpp"
-#include "apps/sampler.hpp"
+#include "apps/bandwidth_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -44,10 +44,10 @@ void snapshotRigCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
 void addTcpFlowProbes(obs::Sampler& sampler, mpi::World& world, int src,
                       int dst, const std::string& flow_name);
 
-/// Copies a BandwidthSampler series into metrics.timeline(name) — used to
+/// Copies a BandwidthTrace series into metrics.timeline(name) — used to
 /// export the workload-side throughput series benches already collect.
 void recordBandwidthSeries(obs::MetricsRegistry& metrics,
                            const std::string& name,
-                           const std::vector<BandwidthSampler::Point>& series);
+                           const std::vector<BandwidthTrace::Point>& series);
 
 }  // namespace mgq::apps

@@ -1,66 +1,15 @@
-// Measurement utilities for the benchmark harness: bandwidth-over-time
-// sampling (Figures 1, 8, 9) and TCP sequence-number traces (Figure 7).
+// Deprecation shim. The classes that lived here moved to
+// apps/bandwidth_trace.hpp (BandwidthSampler was renamed BandwidthTrace)
+// so that obs::Sampler (src/obs/sampler.hpp) is the one sampling entry
+// point. Include the new header; this one will be removed.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-#include "sim/simulator.hpp"
-#include "sim/task.hpp"
-#include "tcp/tcp_socket.hpp"
+#include "apps/bandwidth_trace.hpp"
 
 namespace mgq::apps {
 
-/// Periodically samples a monotonically nondecreasing byte counter and
-/// records the per-interval rate.
-class BandwidthSampler {
- public:
-  struct Point {
-    double t_seconds;
-    double kbps;
-  };
-
-  BandwidthSampler(sim::Simulator& sim,
-                   std::function<std::int64_t()> byte_counter,
-                   sim::Duration interval = sim::Duration::seconds(1.0));
-
-  void start();
-  void stop() { running_ = false; }
-
-  const std::vector<Point>& series() const { return series_; }
-  /// Mean rate over points with t in [from, to).
-  double meanKbps(double from_seconds, double to_seconds) const;
-
- private:
-  sim::Task<> run();
-
-  sim::Simulator& sim_;
-  std::function<std::int64_t()> counter_;
-  sim::Duration interval_;
-  bool running_ = false;
-  std::vector<Point> series_;
-};
-
-/// Records (time, sequence) for every data segment a TCP socket emits —
-/// the paper's Figure 7 visualization of burstiness.
-class SequenceTracer {
- public:
-  struct Point {
-    double t_seconds;
-    std::uint64_t seq;
-    std::int32_t bytes;
-    bool retransmit;
-  };
-
-  /// Installs the trace hook (replaces any previous on_segment_sent).
-  void attach(tcp::TcpSocket& socket);
-
-  const std::vector<Point>& series() const { return series_; }
-  void clear() { series_.clear(); }
-
- private:
-  std::vector<Point> series_;
-};
+using BandwidthSampler [[deprecated(
+    "renamed apps::BandwidthTrace (apps/bandwidth_trace.hpp); for "
+    "probe-driven sampling use obs::Sampler")]] = BandwidthTrace;
 
 }  // namespace mgq::apps

@@ -117,6 +117,105 @@ void writeJson(std::ostream& os, const std::string& bench_name,
   os << "]}\n}\n";
 }
 
+void writeMultiRunJson(std::ostream& os, const std::string& bench_name,
+                       const std::vector<RunExport>& runs) {
+  // Merge every run's instruments under "<label>." prefixes. std::map
+  // gives one global sort over the prefixed keys, so the document layout
+  // depends only on content, never on which run finished first.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Summary> histograms;
+  std::map<std::string, const TimeSeries*> timelines;
+  std::uint64_t dropped = 0;
+  for (const auto& run : runs) {
+    if (run.metrics == nullptr) continue;
+    const std::string prefix = run.label.empty() ? "" : run.label + ".";
+    for (const auto& [name, c] : run.metrics->counters()) {
+      counters[prefix + name] = c.value();
+    }
+    for (const auto& [name, g] : run.metrics->gauges()) {
+      gauges[prefix + name] = g.value();
+    }
+    for (const auto& [name, h] : run.metrics->histograms()) {
+      histograms[prefix + name] = h.summary();
+    }
+    for (const auto& [name, series] : run.metrics->timelines()) {
+      timelines[prefix + name] = &series;
+    }
+    if (run.trace != nullptr) dropped += run.trace->droppedEvents();
+  }
+
+  os << "{\n  \"bench\": \"" << escaped(bench_name) << "\",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name)
+       << "\": " << num(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : histograms) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name) << "\": {"
+       << "\"count\": " << s.count
+       << ", \"total_weight\": " << num(s.total_weight)
+       << ", \"min\": " << num(s.min) << ", \"max\": " << num(s.max)
+       << ", \"mean\": " << num(s.mean) << ", \"p50\": " << num(s.p50)
+       << ", \"p95\": " << num(s.p95) << ", \"p99\": " << num(s.p99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"timelines\": {";
+  first = true;
+  for (const auto& [name, series] : timelines) {
+    os << (first ? "" : ",") << "\n    \"" << escaped(name) << "\": [";
+    bool first_point = true;
+    for (const auto& p : series->points()) {
+      os << (first_point ? "" : ", ") << "[" << num(p.t_seconds) << ", "
+         << num(p.value) << "]";
+      first_point = false;
+    }
+    os << "]";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  // Trace events stay grouped per run, in run order, with the run label
+  // folded into each event's scope.
+  os << "  \"trace\": {\"dropped\": " << dropped << ", \"events\": [";
+  first = true;
+  for (const auto& run : runs) {
+    if (run.trace == nullptr) continue;
+    for (const auto& e : run.trace->events()) {
+      const std::string scope =
+          run.label.empty()
+              ? e.scope
+              : (e.scope.empty() ? run.label : run.label + "/" + e.scope);
+      os << (first ? "" : ",") << "\n    {\"t\": " << num(e.t_seconds)
+         << ", \"scope\": \"" << escaped(scope) << "\", \"category\": \""
+         << escaped(e.category) << "\", \"event\": \"" << escaped(e.event)
+         << "\", \"id\": " << e.id << ", \"value\": " << num(e.value)
+         << ", \"detail\": \"" << escaped(e.detail) << "\"}";
+      first = false;
+    }
+  }
+  if (!first) os << "\n  ";
+  os << "]}\n}\n";
+}
+
 void writeTimelinesCsv(std::ostream& os, const MetricsRegistry& metrics) {
   os << "series,t_seconds,value\n";
   for (const auto& [name, series] : metrics.timelines()) {
@@ -137,6 +236,19 @@ bool exportBenchJson(const std::string& bench_name,
     return false;
   }
   writeJson(out, bench_name, metrics, trace);
+  return out.good();
+}
+
+bool exportMultiRunBenchJson(const std::string& bench_name,
+                             const std::vector<RunExport>& runs,
+                             const std::string& directory) {
+  const std::string path = directory + "/BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot write " << path << "\n";
+    return false;
+  }
+  writeMultiRunJson(out, bench_name, runs);
   return out.good();
 }
 

@@ -26,6 +26,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +36,30 @@ namespace mgq::obs {
 void writeJson(std::ostream& os, const std::string& bench_name,
                const MetricsRegistry& metrics,
                const TraceBuffer* trace = nullptr);
+
+/// One run's contribution to a merged multi-run document. The registries
+/// must outlive the write call.
+struct RunExport {
+  std::string label;
+  const MetricsRegistry* metrics = nullptr;
+  const TraceBuffer* trace = nullptr;
+};
+
+/// Merged multi-run document in the writeJson shape: every metric key is
+/// prefixed "<label>.", trace events carry "<label>" (or
+/// "<label>/<scope>") as their scope, and runs are emitted in the given
+/// order with all metric sections globally key-sorted. Output depends
+/// only on (bench_name, runs) — a parallel sweep that fills `runs` in
+/// spec order produces bytes identical to a serial one.
+void writeMultiRunJson(std::ostream& os, const std::string& bench_name,
+                       const std::vector<RunExport>& runs);
+
+/// Writes the merged document to `<directory>/BENCH_<bench_name>.json`;
+/// returns false (leaving a message on stderr) when the file cannot be
+/// created.
+bool exportMultiRunBenchJson(const std::string& bench_name,
+                             const std::vector<RunExport>& runs,
+                             const std::string& directory = ".");
 
 void writeTimelinesCsv(std::ostream& os, const MetricsRegistry& metrics);
 

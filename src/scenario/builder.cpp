@@ -1,0 +1,328 @@
+#include "scenario/builder.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "apps/rig_obs.hpp"
+#include "gara/gara.hpp"
+#include "gq/shaper.hpp"
+#include "net/classifier.hpp"
+#include "util/logging.hpp"
+
+namespace mgq::scenario {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+using sim::TimePoint;
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+/// Application-level rate for a network reservation spec: sweeps quote
+/// the raw wire reservation (the paper's x-axis), so the agent's
+/// protocol-overhead multiplier is divided back out.
+double applicationKbps(const ReservationSpec& r) {
+  if (!r.raw_network_rate) return r.network_kbps;
+  return r.network_kbps / gq::protocolOverheadFactor(r.max_message_size);
+}
+
+/// Inline (pre-workload) reservations for the calling rank: premium goes
+/// through the rig convenience (shared premium_attr, both-rank safe),
+/// other classes through the scenario-owned attribute.
+Task<> applyInlineReservations(BuiltScenario& b,
+                               std::vector<ReservationSpec> reservations,
+                               mpi::Comm& comm) {
+  for (const auto& r : reservations) {
+    if (r.qos_class == gq::QosClass::kPremium) {
+      (void)co_await b.rig.requestPremium(comm, applicationKbps(r),
+                                          r.max_message_size,
+                                          r.bucket_divisor);
+    } else {
+      b.qos_attr.qosclass = r.qos_class;
+      b.qos_attr.bandwidth_kbps = applicationKbps(r);
+      b.qos_attr.max_message_size = r.max_message_size;
+      b.qos_attr.bucket_divisor = r.bucket_divisor;
+      comm.attrPut(b.rig.agent.keyval(), &b.qos_attr);
+      co_await b.rig.agent.awaitSettled(comm);
+    }
+  }
+}
+
+std::vector<ReservationSpec> inlineReservations(const ScenarioSpec& spec) {
+  std::vector<ReservationSpec> out;
+  for (const auto& r : spec.reservations) {
+    if (r.via == ReservationSpec::Via::kQosAttribute && r.at_seconds <= 0 &&
+        r.network_kbps > 0) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+Task<> offeredLoadServer(tcp::TcpListener& listener, tcp::TcpSocket*& out) {
+  auto s = co_await listener.accept();
+  out = s.get();
+  (void)co_await s->drain(INT64_MAX / 2, false);
+}
+
+Task<> offeredLoadClient(BuiltScenario& b, OfferedLoadTcpWorkload w,
+                         tcp::TcpConfig cfg) {
+  auto s = co_await tcp::TcpSocket::connect(*b.rig.garnet.premium_src,
+                                            b.rig.garnet.premium_dst->id(),
+                                            w.port, cfg);
+  const std::int64_t chunk =
+      w.chunk_bytes > 0
+          ? w.chunk_bytes
+          : static_cast<std::int64_t>(w.offered_bps / 8.0 *
+                                      w.chunk_interval_seconds);
+  std::unique_ptr<gq::ShapedSocket> shaper;
+  if (w.shaped) {
+    shaper = std::make_unique<gq::ShapedSocket>(*s, w.shape_rate_bps,
+                                                w.shape_burst_bytes);
+  }
+  const auto start = b.rig.sim.now();
+  for (int i = 0; w.chunk_count <= 0 || i < w.chunk_count; ++i) {
+    if (shaper != nullptr) {
+      co_await shaper->sendBulk(chunk);
+    } else {
+      co_await s->sendBulk(chunk);
+    }
+    b.tcp_timeouts = s->stats().timeouts;
+    if (w.pace_absolute) {
+      const auto next =
+          start + Duration::seconds(w.chunk_interval_seconds * (i + 1));
+      if (next > b.rig.sim.now()) co_await b.rig.sim.delayUntil(next);
+    } else {
+      co_await b.rig.sim.delay(Duration::seconds(w.chunk_interval_seconds));
+    }
+  }
+}
+
+void wirePingPong(BuiltScenario& b, const ScenarioSpec& spec,
+                  const PingPongWorkload& w) {
+  auto inl = inlineReservations(spec);
+  b.rig.world.launch(
+      [&b, w, inl = std::move(inl)](mpi::Comm& comm) -> Task<> {
+        if (comm.rank() == 0) b.comm0 = &comm;
+        // Bidirectional flow: both ranks request the reservation.
+        co_await applyInlineReservations(b, inl, comm);
+        co_await apps::runPingPong(comm, w.message_bytes,
+                                   TimePoint::fromSeconds(w.seconds),
+                                   comm.rank() == 0 ? &b.pingpong : nullptr);
+      });
+  b.delivered_fn = [&b] { return b.pingpong.bytes_received; };
+}
+
+void wireVisualization(BuiltScenario& b, const ScenarioSpec& spec,
+                       const VisualizationWorkload& w) {
+  auto inl = inlineReservations(spec);
+  b.rig.world.launch(
+      [&b, w, inl = std::move(inl)](mpi::Comm& comm) -> Task<> {
+        if (comm.rank() == 0) {
+          b.comm0 = &comm;
+          co_await applyInlineReservations(b, inl, comm);
+          apps::VisualizationConfig vc;
+          vc.frames_per_second = w.frames_per_second;
+          vc.frame_bytes = w.frame_bytes;
+          if (w.cpu_seconds_per_frame > 0) {
+            vc.cpu = &b.rig.sender_cpu;
+            vc.cpu_job = b.cpu_job;
+            vc.cpu_seconds_per_frame = w.cpu_seconds_per_frame;
+          }
+          co_await apps::visualizationSender(
+              comm, vc, TimePoint::fromSeconds(w.seconds), &b.viz);
+        } else {
+          co_await apps::visualizationReceiver(comm, &b.viz);
+        }
+      });
+  b.delivered_fn = [&b] { return b.viz.bytes_delivered; };
+}
+
+void wireOfferedLoad(BuiltScenario& b, const OfferedLoadTcpWorkload& w) {
+  const tcp::TcpConfig cfg = w.use_world_tcp ? b.rig.world.tcpConfig() : w.tcp;
+  b.listener = std::make_unique<tcp::TcpListener>(*b.rig.garnet.premium_dst,
+                                                  w.port, cfg);
+  b.rig.sim.spawn(offeredLoadServer(*b.listener, b.receiver));
+  b.rig.sim.spawn(offeredLoadClient(b, w, cfg));
+  b.delivered_fn = [&b]() -> std::int64_t {
+    return b.receiver != nullptr ? b.receiver->bytesDelivered() : 0;
+  };
+}
+
+void wirePingLatency(BuiltScenario& b, const ScenarioSpec& spec,
+                     const PingLatencyWorkload& w) {
+  auto inl = inlineReservations(spec);
+  b.rig.world.launch(
+      [&b, w, inl = std::move(inl)](mpi::Comm& comm) -> Task<> {
+        if (comm.rank() == 0) b.comm0 = &comm;
+        // Request/response flow: both ranks request the reservation.
+        co_await applyInlineReservations(b, inl, comm);
+        auto& sim = comm.world().simulator();
+        if (comm.rank() == 0) {
+          std::vector<std::uint8_t> payload(w.payload_bytes, 1);
+          for (int i = 0; i < w.rounds; ++i) {
+            const auto start = sim.now();
+            co_await comm.send(1, 0, payload);
+            (void)co_await comm.recv(1, 0);
+            b.rtt_ms.push_back((sim.now() - start).toMillis());
+            co_await sim.delay(Duration::seconds(w.gap_seconds));
+          }
+          co_await comm.send(1, 1, std::vector<std::uint8_t>());
+        } else {
+          for (;;) {
+            mpi::Message m = co_await comm.recv(0, mpi::kAnyTag);
+            if (m.tag == 1) co_return;
+            co_await comm.send(0, 0, m.data);
+          }
+        }
+      });
+}
+
+}  // namespace
+
+std::unique_ptr<BuiltScenario> ScenarioBuilder::build(
+    const ScenarioSpec& spec) {
+  apps::GarnetRig::Config config = spec.rig;
+  config.seed = spec.seed;
+  auto built = std::make_unique<BuiltScenario>(config);
+  BuiltScenario* b = built.get();
+  auto& rig = built->rig;
+
+  // Observability first, so probes see every later component.
+  if (spec.observe) {
+    built->metrics = std::make_shared<obs::MetricsRegistry>();
+    built->trace = std::make_shared<obs::TraceBuffer>(16 * 1024);
+    built->sampler = std::make_unique<obs::Sampler>(
+        rig.sim, *built->metrics,
+        Duration::seconds(spec.sample_interval_seconds));
+    apps::attachRigObservability(rig, *built->metrics, *built->trace,
+                                 *built->sampler, /*prefix=*/{});
+    apps::addTcpFlowProbes(*built->sampler, rig.world, 0, 1, "flow.premium");
+    built->sampler->start();
+  }
+
+  if (spec.contention.enabled) {
+    if (spec.contention.at_seconds <= 0) {
+      rig.startContention(spec.contention.rate_bps);
+    } else {
+      rig.sim.schedule(Duration::seconds(spec.contention.at_seconds),
+                       [b, rate = spec.contention.rate_bps] {
+                         b->rig.startContention(rate);
+                       });
+    }
+  }
+
+  // Hand-built premium flows: marking rules at the ingress edge.
+  for (const auto& f : spec.flows) {
+    if (f.rate_bps <= 0) continue;
+    auto bucket = std::make_shared<net::TokenBucket>(
+        rig.sim, f.rate_bps,
+        net::TokenBucket::depthForRate(f.rate_bps, f.bucket_divisor));
+    net::MarkingRule rule;
+    rule.match.src = rig.garnet.premium_src->id();
+    if (f.match_dst) rule.match.dst = rig.garnet.premium_dst->id();
+    rule.match.proto = f.proto;
+    rule.mark = f.mark;
+    rule.bucket = std::move(bucket);
+    rig.garnet.ingressEdgeInterface()->ingressPolicy().addRule(rule);
+  }
+
+  if (!spec.faults.empty()) {
+    built->injector = std::make_unique<sim::FaultInjector>(
+        rig.sim, spec.faults.front().injector_seed);
+    built->edge_link =
+        std::make_unique<net::LinkFault>(*rig.garnet.ingressEdgeInterface());
+    built->injector->registerTarget("premium-edge-link",
+                                    net::linkFaultTarget(*built->edge_link));
+    for (const auto& f : spec.faults) {
+      built->injector->scheduleFlap(f.target,
+                                    TimePoint::fromSeconds(f.at_seconds),
+                                    Duration::seconds(f.outage_seconds));
+    }
+  }
+
+  // CPU job for the workload (registered before any hog so job ids match
+  // the hand-written benches), then the scripted competitors.
+  const auto* viz = std::get_if<VisualizationWorkload>(&spec.workload);
+  bool wants_cpu_job = viz != nullptr && viz->cpu_seconds_per_frame > 0;
+  for (const auto& r : spec.reservations) {
+    if (r.via == ReservationSpec::Via::kGaraCpu) wants_cpu_job = true;
+  }
+  if (wants_cpu_job) built->cpu_job = rig.sender_cpu.registerJob("viz");
+  if (!spec.cpu_hogs.empty()) {
+    built->hog = std::make_unique<cpu::CpuHog>(rig.sender_cpu, "competitor");
+    for (const auto& h : spec.cpu_hogs) {
+      rig.sim.schedule(Duration::seconds(h.at_seconds),
+                       [b] { b->hog->start(); });
+    }
+  }
+
+  // Scheduled (mid-run) reservations; inline ones are awaited by the
+  // workload wiring below.
+  for (const auto& r : spec.reservations) {
+    if (r.via == ReservationSpec::Via::kGaraCpu) {
+      rig.sim.schedule(Duration::seconds(r.at_seconds), [b, r] {
+        gara::ReservationRequest request;
+        request.start = b->rig.sim.now();
+        request.amount = r.cpu_fraction;
+        request.cpu_job = b->cpu_job;
+        auto outcome = b->rig.gara.reserve("cpu-sender", request);
+        if (!outcome) {
+          MGQ_LOG(kWarn) << "scenario: CPU reservation failed: "
+                         << outcome.error;
+        }
+      });
+    } else if (r.at_seconds > 0) {
+      rig.sim.schedule(Duration::seconds(r.at_seconds), [b, r] {
+        auto& comm = b->rig.world.worldComm(0);
+        b->rig.premium_attr.qosclass = r.qos_class;
+        b->rig.premium_attr.bandwidth_kbps = applicationKbps(r);
+        b->rig.premium_attr.max_message_size = r.max_message_size;
+        b->rig.premium_attr.bucket_divisor = r.bucket_divisor;
+        comm.attrPut(b->rig.agent.keyval(), &b->rig.premium_attr);
+      });
+    }
+  }
+
+  std::visit(
+      Overloaded{
+          [&](const PingPongWorkload& w) { wirePingPong(*b, spec, w); },
+          [&](const VisualizationWorkload& w) {
+            wireVisualization(*b, spec, w);
+          },
+          [&](const OfferedLoadTcpWorkload& w) { wireOfferedLoad(*b, w); },
+          [&](const PingLatencyWorkload& w) { wirePingLatency(*b, spec, w); },
+      },
+      spec.workload);
+
+  // Workload-side bandwidth trace (read-only sampling: it cannot perturb
+  // the workload's dynamics or RNG draws).
+  if (built->delivered_fn) {
+    built->bandwidth = std::make_unique<apps::BandwidthTrace>(
+        rig.sim, [b] { return b->deliveredBytes(); },
+        Duration::seconds(spec.sample_interval_seconds));
+    built->bandwidth->start();
+  }
+
+  if (spec.trace_sequences) {
+    rig.sim.schedule(Duration::seconds(spec.trace_attach_seconds), [b] {
+      auto* socket = b->rig.world.connectionSocket(0, 1);
+      if (socket != nullptr) b->tracer.attach(*socket);
+    });
+  }
+
+  if (spec.measure_at_seconds > 0) {
+    rig.sim.schedule(Duration::seconds(spec.measure_at_seconds +
+                                       spec.snapshot_grace_seconds),
+                     [b] { b->delivered_at_measure = b->deliveredBytes(); });
+  }
+
+  return built;
+}
+
+}  // namespace mgq::scenario

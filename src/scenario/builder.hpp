@@ -1,0 +1,71 @@
+// ScenarioBuilder: turns a ScenarioSpec into a live GarnetRig with the
+// workload spawned and every scripted event scheduled, ready for
+// runUntil(). All state is owned by the returned BuiltScenario — no
+// globals — so any number of built scenarios can run concurrently, each
+// on its own Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/bandwidth_trace.hpp"
+#include "apps/garnet_rig.hpp"
+#include "apps/workloads.hpp"
+#include "cpu/cpu_scheduler.hpp"
+#include "net/faults.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "scenario/spec.hpp"
+#include "sim/fault_injector.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace mgq::scenario {
+
+struct BuiltScenario {
+  explicit BuiltScenario(const apps::GarnetRig::Config& config)
+      : rig(config) {}
+
+  apps::GarnetRig rig;
+
+  // Per-run observability (spec.observe). Shared pointers because the
+  // ScenarioResult hands them to the exporter after the rig is gone.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceBuffer> trace;
+  std::unique_ptr<obs::Sampler> sampler;
+
+  // Workload state.
+  apps::PingPongStats pingpong;
+  apps::VisualizationStats viz;
+  std::vector<double> rtt_ms;
+  std::unique_ptr<tcp::TcpListener> listener;
+  tcp::TcpSocket* receiver = nullptr;  // offered-load receiving socket
+  std::uint64_t tcp_timeouts = 0;
+  mpi::Comm* comm0 = nullptr;  // rank 0's world communicator, once launched
+  cpu::JobId cpu_job = 0;
+  gq::QosAttribute qos_attr;  // storage for non-premium / scheduled puts
+
+  // Environment scripts.
+  std::unique_ptr<cpu::CpuHog> hog;
+  std::unique_ptr<net::LinkFault> edge_link;
+  std::unique_ptr<sim::FaultInjector> injector;
+
+  // Measurement.
+  std::function<std::int64_t()> delivered_fn;  // receiver-side byte count
+  std::unique_ptr<apps::BandwidthTrace> bandwidth;
+  apps::SequenceTracer tracer;
+  std::int64_t delivered_at_measure = -1;
+
+  std::int64_t deliveredBytes() const {
+    return delivered_fn ? delivered_fn() : 0;
+  }
+};
+
+class ScenarioBuilder {
+ public:
+  std::unique_ptr<BuiltScenario> build(const ScenarioSpec& spec);
+};
+
+}  // namespace mgq::scenario

@@ -1,0 +1,63 @@
+// Spec factories for the paper's experiments. The benches build their
+// sweeps from these (varying reservation/message/frame parameters); the
+// registry names the canonical instances for the mgq_scenarios CLI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace mgq::scenario {
+
+/// Figure 1: application-paced premium TCP flow (50 Mb/s offered through
+/// a hand-built marking rule of `reservation_bps`) under contention.
+ScenarioSpec offeredLoadFlowSpec(const std::string& name,
+                                 double reservation_bps,
+                                 double offered_bps = 50e6,
+                                 double seconds = 100.0);
+
+/// Figure 5: ping-pong under contention with a raw network reservation
+/// of `reservation_kbps` (0 = none) for `message_bytes` messages.
+ScenarioSpec pingPongSpec(const std::string& name, double reservation_kbps,
+                          int message_bytes, double seconds = 10.0);
+
+/// Figures 6 / Table 1 / bucket-divisor ablation: visualization stream
+/// under contention with a raw network reservation; throughput measured
+/// at the deadline (+grace), not after the backlog drains.
+ScenarioSpec visualizationSpec(
+    const std::string& name, double reservation_kbps,
+    double frames_per_second, std::int64_t frame_bytes, double seconds = 20.0,
+    double bucket_divisor = net::TokenBucket::kNormalDivisor,
+    double snapshot_grace_seconds = 0.0);
+
+/// Figure 7: uncontended visualization stream with a TCP sequence trace.
+ScenarioSpec burstTraceSpec(const std::string& name, double frames_per_second,
+                            std::int64_t frame_bytes);
+
+/// Figure 8: 15 Mb/s stream; CPU hog at t=10 s, 90% DSRT reservation at
+/// t=20 s. Includes the paper's phase checks.
+ScenarioSpec fig8Spec();
+
+/// Figure 9: 35 Mb/s stream; net congestion @10 s, net reservation
+/// @21 s, CPU hog @31 s, CPU reservation @41 s. Includes phase checks.
+ScenarioSpec fig9Spec();
+
+/// Priority-queuing ablation: 5 Mb/s token-bucket admission, marked EF or
+/// deliberately left best effort, under saturating contention.
+ScenarioSpec priorityQueuingSpec(const std::string& name, bool mark_ef);
+
+/// Source-shaping ablation: 50 KB bursts through a 1.7 Mb/s premium rule
+/// with the shallow (normal) bucket, shaped to the reserved rate or raw.
+ScenarioSpec sourceShapingSpec(const std::string& name, bool shaped);
+
+/// Low-latency-class ablation: 256 B request/response under bulk
+/// contention, best-effort or marked into the low-latency class.
+ScenarioSpec pingLatencySpec(const std::string& name, bool low_latency);
+
+/// Fault-recovery scenario: the Figure-1 rig with a premium visualization
+/// stream and a 3 s edge-link flap at t=20 s, with the QoS agent's
+/// RecoveryPolicy on or off. Includes per-run state/goodput checks.
+ScenarioSpec faultRecoverySpec(const std::string& name, bool recovery_on);
+
+}  // namespace mgq::scenario

@@ -1,0 +1,37 @@
+#include "scenario/check.hpp"
+
+namespace mgq::scenario {
+
+void CheckReporter::check(bool ok, const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (echo_ != nullptr) {
+    *echo_ << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
+  }
+  results_.push_back(CheckResult{what, ok});
+}
+
+void CheckReporter::merge(const std::vector<CheckResult>& results) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : results) {
+    if (echo_ != nullptr) {
+      *echo_ << (r.ok ? "[PASS] " : "[FAIL] ") << r.what << "\n";
+    }
+    results_.push_back(r);
+  }
+}
+
+std::vector<CheckResult> CheckReporter::results() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_;
+}
+
+int CheckReporter::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& r : results_) {
+    if (!r.ok) ++n;
+  }
+  return n;
+}
+
+}  // namespace mgq::scenario

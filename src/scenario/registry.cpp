@@ -1,0 +1,37 @@
+#include "scenario/registry.hpp"
+
+#include <utility>
+
+namespace mgq::scenario {
+
+void ScenarioRegistry::add(ScenarioInfo info) {
+  auto name = info.name;
+  entries_.insert_or_assign(std::move(name), std::move(info));
+}
+
+const ScenarioInfo* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ScenarioInfo*> ScenarioRegistry::list(
+    const std::string& filter) const {
+  std::vector<const ScenarioInfo*> out;
+  for (const auto& [name, info] : entries_) {
+    if (filter.empty() || name.find(filter) != std::string::npos) {
+      out.push_back(&info);
+    }
+  }
+  return out;
+}
+
+const ScenarioRegistry& ScenarioRegistry::paper() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    registerPaperScenarios(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace mgq::scenario

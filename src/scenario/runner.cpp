@@ -1,0 +1,132 @@
+#include "scenario/runner.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "apps/rig_obs.hpp"
+#include "scenario/builder.hpp"
+
+namespace mgq::scenario {
+namespace {
+
+/// The workload's measurement window (goodput denominator).
+double measurementSeconds(const ScenarioSpec& spec) {
+  return std::visit(
+      [](const auto& w) -> double {
+        using W = std::decay_t<decltype(w)>;
+        if constexpr (std::is_same_v<W, PingLatencyWorkload>) {
+          return 0.0;
+        } else {
+          return w.seconds;
+        }
+      },
+      spec.workload);
+}
+
+/// Default stop time: the workload deadline plus a drain margin matching
+/// the hand-written benches (ping-pong +60 s, visualization +120 s so
+/// late backlogs finish before teardown).
+double runUntilSeconds(const ScenarioSpec& spec) {
+  if (spec.run_until_seconds > 0) return spec.run_until_seconds;
+  return std::visit(
+      [](const auto& w) -> double {
+        using W = std::decay_t<decltype(w)>;
+        if constexpr (std::is_same_v<W, PingPongWorkload>) {
+          return w.seconds + 60.0;
+        } else if constexpr (std::is_same_v<W, VisualizationWorkload>) {
+          return w.seconds + 120.0;
+        } else if constexpr (std::is_same_v<W, OfferedLoadTcpWorkload>) {
+          return w.seconds > 0 ? w.seconds : 60.0;
+        } else {
+          return 120.0;
+        }
+      },
+      spec.workload);
+}
+
+}  // namespace
+
+double ScenarioResult::meanKbps(double from_seconds, double to_seconds) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& p : series) {
+    if (p.t_seconds > from_seconds && p.t_seconds <= to_seconds) {
+      sum += p.kbps;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+bool ScenarioResult::checksPassed() const {
+  for (const auto& c : checks) {
+    if (!c.ok) return false;
+  }
+  return true;
+}
+
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
+  ScenarioBuilder builder;
+  auto built = builder.build(spec);
+  auto& rig = built->rig;
+
+  rig.sim.runUntil(sim::TimePoint::fromSeconds(runUntilSeconds(spec)));
+
+  if (built->sampler != nullptr) {
+    built->sampler->stop();
+    apps::snapshotRigCounters(rig, *built->metrics, /*prefix=*/{});
+  }
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.seed = spec.seed;
+  result.seconds = measurementSeconds(spec);
+  if (built->bandwidth != nullptr) result.series = built->bandwidth->series();
+  result.sequence_trace = built->tracer.series();
+  result.pingpong = built->pingpong;
+  result.viz = built->viz;
+  result.rtt_ms = std::move(built->rtt_ms);
+  result.delivered_bytes = built->deliveredBytes();
+  result.delivered_at_measure = built->delivered_at_measure;
+  const std::int64_t measured = result.delivered_at_measure >= 0
+                                    ? result.delivered_at_measure
+                                    : result.delivered_bytes;
+  if (result.seconds > 0) {
+    result.goodput_kbps =
+        static_cast<double>(measured) * 8.0 / result.seconds / 1000.0;
+  }
+  result.policer_drops =
+      rig.garnet.ingressEdgeInterface()->stats().drops_policed;
+  result.tcp_timeouts = built->tcp_timeouts;
+  if (built->comm0 != nullptr) {
+    const auto status = rig.agent.status(*built->comm0);
+    result.qos_state = status.state;
+    result.recovery_attempts = status.recovery_attempts;
+  }
+  if (built->injector != nullptr) result.injector_log = built->injector->logText();
+  if (built->metrics != nullptr) {
+    apps::recordBandwidthSeries(*built->metrics, "workload.delivered_kbps",
+                                result.series);
+    result.metrics = built->metrics;
+    result.trace = built->trace;
+  }
+
+  CheckReporter reporter(echo_);
+  for (const auto& c : spec.checks) {
+    reporter.check(c.pred(result), spec.name + ": " + c.what);
+  }
+  result.checks = reporter.results();
+  return result;
+}
+
+std::vector<obs::RunExport> runExports(
+    const std::vector<ScenarioResult>& results) {
+  std::vector<obs::RunExport> runs;
+  for (const auto& r : results) {
+    if (r.metrics == nullptr) continue;
+    runs.push_back(obs::RunExport{r.name, r.metrics.get(), r.trace.get()});
+  }
+  return runs;
+}
+
+}  // namespace mgq::scenario

@@ -1,0 +1,82 @@
+// ScenarioRunner: executes one ScenarioSpec per fresh Simulator and
+// returns a structured ScenarioResult — the workload's series and stats,
+// end-of-run rig counters, QoS agent state, fault-injector log, check
+// verdicts, and (when observing) the per-run metrics registry + trace
+// buffer for BENCH JSON export.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/bandwidth_trace.hpp"
+#include "apps/workloads.hpp"
+#include "gq/qos_attribute.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenario/check.hpp"
+#include "scenario/spec.hpp"
+
+namespace mgq::scenario {
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  /// The workload's measurement window in seconds (goodput denominator).
+  double seconds = 0.0;
+
+  // Workload-side measurements.
+  std::vector<apps::BandwidthTrace::Point> series;
+  std::vector<apps::SequenceTracer::Point> sequence_trace;
+  apps::PingPongStats pingpong;
+  apps::VisualizationStats viz;
+  std::vector<double> rtt_ms;
+
+  /// Receiver-side byte counts: at the end of the run, and at the
+  /// measure_at snapshot (-1 when no snapshot was requested).
+  std::int64_t delivered_bytes = 0;
+  std::int64_t delivered_at_measure = -1;
+  /// Headline delivered application rate over `seconds`, using the
+  /// snapshot when one was taken.
+  double goodput_kbps = 0.0;
+
+  std::uint64_t policer_drops = 0;
+  std::uint64_t tcp_timeouts = 0;
+
+  gq::QosRequestState qos_state = gq::QosRequestState::kNone;
+  int recovery_attempts = 0;
+  std::string injector_log;
+
+  std::vector<CheckResult> checks;
+
+  /// Per-run scoped observability (null when the spec disabled it).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceBuffer> trace;
+
+  /// Mean of the bandwidth series over points with t in (from, to].
+  double meanKbps(double from_seconds, double to_seconds) const;
+  bool checksPassed() const;
+};
+
+class ScenarioRunner {
+ public:
+  /// `echo`, when set, receives one PASS/FAIL line per spec check as the
+  /// run finishes. Sweep workers pass nullptr so output never interleaves.
+  explicit ScenarioRunner(std::ostream* echo = nullptr) : echo_(echo) {}
+
+  ScenarioResult run(const ScenarioSpec& spec);
+
+ private:
+  std::ostream* echo_;
+};
+
+/// Rows for obs::writeMultiRunJson — one per result that carries a
+/// per-run registry, labelled by scenario name. The results must outlive
+/// the returned views.
+std::vector<obs::RunExport> runExports(
+    const std::vector<ScenarioResult>& results);
+
+}  // namespace mgq::scenario

@@ -1,0 +1,126 @@
+#include "scenario/spec.hpp"
+
+#include <cstdio>
+
+namespace mgq::scenario {
+namespace {
+
+ReservationSpec* firstNetworkReservation(ScenarioSpec& spec) {
+  for (auto& r : spec.reservations) {
+    if (r.via == ReservationSpec::Via::kQosAttribute) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool applyParam(ScenarioSpec& spec, const std::string& key, double value) {
+  if (key == "seed") {
+    spec.seed = static_cast<std::uint64_t>(value);
+    return true;
+  }
+  if (key == "reservation_kbps") {
+    if (auto* r = firstNetworkReservation(spec)) {
+      r->network_kbps = value;
+      return true;
+    }
+    return false;
+  }
+  if (key == "bucket_divisor") {
+    if (auto* r = firstNetworkReservation(spec)) {
+      r->bucket_divisor = value;
+      return true;
+    }
+    if (!spec.flows.empty()) {
+      spec.flows.front().bucket_divisor = value;
+      return true;
+    }
+    return false;
+  }
+  if (key == "flow_rate_bps") {
+    if (spec.flows.empty()) return false;
+    spec.flows.front().rate_bps = value;
+    return true;
+  }
+  if (key == "contention_bps") {
+    spec.contention.enabled = true;
+    spec.contention.rate_bps = value;
+    return true;
+  }
+  if (key == "cpu_fraction") {
+    for (auto& r : spec.reservations) {
+      if (r.via == ReservationSpec::Via::kGaraCpu) {
+        r.cpu_fraction = value;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (key == "message_bytes") {
+    auto* w = std::get_if<PingPongWorkload>(&spec.workload);
+    if (w == nullptr) return false;
+    w->message_bytes = static_cast<int>(value);
+    if (auto* r = firstNetworkReservation(spec)) {
+      r->max_message_size = w->message_bytes;
+    }
+    return true;
+  }
+  if (key == "frame_bytes") {
+    auto* w = std::get_if<VisualizationWorkload>(&spec.workload);
+    if (w == nullptr) return false;
+    w->frame_bytes = static_cast<std::int64_t>(value);
+    if (auto* r = firstNetworkReservation(spec)) {
+      r->max_message_size = static_cast<int>(w->frame_bytes);
+    }
+    return true;
+  }
+  if (key == "fps") {
+    auto* w = std::get_if<VisualizationWorkload>(&spec.workload);
+    if (w == nullptr) return false;
+    w->frames_per_second = value;
+    return true;
+  }
+  if (key == "cpu_seconds_per_frame") {
+    auto* w = std::get_if<VisualizationWorkload>(&spec.workload);
+    if (w == nullptr) return false;
+    w->cpu_seconds_per_frame = value;
+    return true;
+  }
+  if (key == "offered_bps") {
+    auto* w = std::get_if<OfferedLoadTcpWorkload>(&spec.workload);
+    if (w == nullptr) return false;
+    w->offered_bps = value;
+    return true;
+  }
+  if (key == "seconds") {
+    if (auto* p = std::get_if<PingPongWorkload>(&spec.workload)) {
+      p->seconds = value;
+      return true;
+    }
+    if (auto* v = std::get_if<VisualizationWorkload>(&spec.workload)) {
+      v->seconds = value;
+      if (spec.measure_at_seconds > 0) spec.measure_at_seconds = value;
+      return true;
+    }
+    if (auto* o = std::get_if<OfferedLoadTcpWorkload>(&spec.workload)) {
+      o->seconds = value;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+std::string paramValueLabel(double value) {
+  // Integral values print without a decimal point; others keep up to
+  // three significant decimals ("1.06", "0.85").
+  char buf[64];
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", value);
+  }
+  return buf;
+}
+
+}  // namespace mgq::scenario

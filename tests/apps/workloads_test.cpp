@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/garnet_rig.hpp"
-#include "apps/sampler.hpp"
+#include "apps/bandwidth_trace.hpp"
 #include "mpi/world.hpp"
 
 namespace mgq::apps {
@@ -156,7 +156,7 @@ TEST(FiniteDifferenceTest, HaloBytesAccountedPerNeighbor) {
   EXPECT_EQ(halo[3], 10 * row);
 }
 
-TEST(BandwidthSamplerTest, MeasuresCounterRate) {
+TEST(BandwidthTraceTest, MeasuresCounterRate) {
   sim::Simulator sim;
   std::int64_t counter = 0;
   // 1000 bytes every 100 ms = 80 kb/s.
@@ -166,7 +166,7 @@ TEST(BandwidthSamplerTest, MeasuresCounterRate) {
       c += 1000;
     }
   };
-  BandwidthSampler sampler(sim, [&] { return counter; },
+  BandwidthTrace sampler(sim, [&] { return counter; },
                            Duration::seconds(1.0));
   sampler.start();
   sim.spawn(feeder(sim, counter));
@@ -176,9 +176,9 @@ TEST(BandwidthSamplerTest, MeasuresCounterRate) {
   EXPECT_NEAR(sampler.meanKbps(1, 10), 80.0, 2.0);
 }
 
-TEST(BandwidthSamplerTest, MeanOverEmptyWindowIsZero) {
+TEST(BandwidthTraceTest, MeanOverEmptyWindowIsZero) {
   sim::Simulator sim;
-  BandwidthSampler sampler(sim, [] { return std::int64_t{0}; });
+  BandwidthTrace sampler(sim, [] { return std::int64_t{0}; });
   EXPECT_DOUBLE_EQ(sampler.meanKbps(0, 100), 0.0);
 }
 

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/garnet_rig.hpp"
-#include "apps/sampler.hpp"
+#include "apps/bandwidth_trace.hpp"
 #include "gq/shaper.hpp"
 
 namespace mgq::gq {
@@ -122,7 +122,7 @@ TEST(EndToEndQosTest, CpuReservationRestoresComputeBoundSender) {
   const auto job = rig.sender_cpu.registerJob("viz");
   cpu::CpuHog hog(rig.sender_cpu);
   VisualizationStats stats;
-  apps::BandwidthSampler sampler(
+  apps::BandwidthTrace sampler(
       rig.sim, [&] { return stats.bytes_delivered; },
       Duration::seconds(1.0));
   sampler.start();

@@ -33,6 +33,12 @@ TEST(TaskTest, NestedAwaits) {
 }
 
 TEST(TaskTest, DeepChainDoesNotOverflowStack) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  // ASan's frame instrumentation defeats the compiler's symmetric-transfer
+  // tail call, so the chain really does grow the machine stack there —
+  // the O(1)-stack property this test asserts only exists uninstrumented.
+  GTEST_SKIP() << "symmetric transfer is not a tail call under sanitizers";
+#endif
   Simulator sim;
   // 100k-deep recursive co_await chain: symmetric transfer keeps this O(1)
   // machine stack.

@@ -1,0 +1,229 @@
+// mgq_scenarios: list, run, and sweep the registered paper scenarios.
+//
+//   mgq_scenarios --list [--filter <substr>]
+//   mgq_scenarios --run <name>[,<name>...] [--threads N] [--json-dir DIR]
+//   mgq_scenarios --sweep <name> --param key=v1,v2,... [--param ...]
+//                 [--threads N] [--json-dir DIR]
+//
+// --run executes each named scenario (in parallel when --threads allows),
+// prints its check verdicts, and writes one BENCH_<name>.json per
+// scenario. --sweep cross-expands the named scenario over the given
+// parameters, runs every variant across the thread pool (one independent
+// Simulator per run, so results are identical to serial execution), and
+// writes a single merged, sorted BENCH_<name>_sweep.json. The exit code
+// is nonzero when any check fails.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/check.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mgq;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list [--filter SUBSTR]\n"
+               "       %s --run NAME[,NAME...] [--threads N] [--json-dir D]\n"
+               "       %s --sweep NAME --param KEY=V1,V2,... [--param ...]\n"
+               "          [--threads N] [--json-dir D]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+std::vector<std::string> splitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parseParam(const std::string& arg, scenario::SweepParam& out) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  out.key = arg.substr(0, eq);
+  out.values.clear();
+  for (const auto& v : splitCommas(arg.substr(eq + 1))) {
+    try {
+      out.values.push_back(std::stod(v));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out.values.empty();
+}
+
+int listScenarios(const std::string& filter) {
+  const auto entries = scenario::ScenarioRegistry::paper().list(filter);
+  util::Table table({"name", "paper_ref", "title"});
+  for (const auto* info : entries) {
+    table.addRow({info->name, info->paper_ref, info->title});
+  }
+  table.renderAscii(std::cout);
+  std::printf("%zu scenario(s)\n", entries.size());
+  return 0;
+}
+
+void printHeadline(const scenario::ScenarioResult& r) {
+  std::printf("%-40s goodput %10.1f kb/s  checks %zu\n", r.name.c_str(),
+              r.goodput_kbps, r.checks.size());
+}
+
+int runScenarios(const std::vector<std::string>& names, int threads,
+                 const std::string& json_dir) {
+  const auto& registry = scenario::ScenarioRegistry::paper();
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const auto& name : names) {
+    const auto* info = registry.find(name);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   name.c_str());
+      return 2;
+    }
+    specs.push_back(info->make());
+  }
+
+  scenario::SweepRunner pool(threads);
+  const auto results = pool.run(specs);
+
+  scenario::CheckReporter checks(&std::cout);
+  for (const auto& r : results) {
+    printHeadline(r);
+    checks.merge(r.checks);
+    checks.check(
+        obs::exportMultiRunBenchJson(r.name, scenario::runExports({r}),
+                                     json_dir),
+        "wrote BENCH_" + r.name + ".json");
+  }
+  const int failed = checks.failures();
+  if (failed > 0) {
+    std::printf("\n%d check(s) FAILED\n", failed);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}
+
+int sweepScenario(const std::string& name,
+                  const std::vector<scenario::SweepParam>& params,
+                  int threads, const std::string& json_dir) {
+  const auto& registry = scenario::ScenarioRegistry::paper();
+  const auto* info = registry.find(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+    return 2;
+  }
+  std::vector<scenario::ScenarioSpec> specs;
+  try {
+    specs = scenario::expandSweep(info->make(), params);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  scenario::SweepRunner pool(threads);
+  std::printf("sweeping %s: %zu variant(s) on %d thread(s)\n", name.c_str(),
+              specs.size(), pool.threads());
+  const auto results = pool.run(specs);
+
+  util::Table table({"variant", "goodput_kbps", "policer_drops"});
+  scenario::CheckReporter checks(&std::cout);
+  for (const auto& r : results) {
+    table.addRow({r.name, util::Table::num(r.goodput_kbps, 1),
+                  std::to_string(r.policer_drops)});
+    checks.merge(r.checks);
+  }
+  table.renderAscii(std::cout);
+
+  checks.check(obs::exportMultiRunBenchJson(name + "_sweep",
+                                            scenario::runExports(results),
+                                            json_dir),
+               "wrote BENCH_" + name + "_sweep.json");
+  const int failed = checks.failures();
+  if (failed > 0) {
+    std::printf("\n%d check(s) FAILED\n", failed);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kNone, kList, kRun, kSweep } mode = Mode::kNone;
+  std::string filter;
+  std::vector<std::string> run_names;
+  std::string sweep_name;
+  std::vector<scenario::SweepParam> params;
+  int threads = 0;
+  std::string json_dir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      mode = Mode::kList;
+    } else if (arg == "--run") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      mode = Mode::kRun;
+      run_names = splitCommas(v);
+    } else if (arg == "--sweep") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      mode = Mode::kSweep;
+      sweep_name = v;
+    } else if (arg == "--param") {
+      const char* v = next();
+      scenario::SweepParam p;
+      if (v == nullptr || !parseParam(v, p)) return usage(argv[0]);
+      params.push_back(std::move(p));
+    } else if (arg == "--filter") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      filter = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      threads = std::atoi(v);
+    } else if (arg == "--json-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      json_dir = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  switch (mode) {
+    case Mode::kList:
+      return listScenarios(filter);
+    case Mode::kRun:
+      if (run_names.empty()) return usage(argv[0]);
+      return runScenarios(run_names, threads, json_dir);
+    case Mode::kSweep:
+      if (params.empty()) return usage(argv[0]);
+      return sweepScenario(sweep_name, params, threads, json_dir);
+    case Mode::kNone:
+      break;
+  }
+  return usage(argv[0]);
+}
