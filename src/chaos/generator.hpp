@@ -1,0 +1,77 @@
+// ChaosPlanGenerator: derives a randomized fault schedule (a ChaosPlan)
+// from a small distribution spec (ChaosProfile) and a seed.
+//
+// Episode starts are drawn with exponential inter-arrival gaps (Poisson
+// processes, one per category), durations are exponential, and paired
+// events (down/up, loss_start/loss_stop) never overlap within a category
+// — the next episode is drawn from the previous restore time. Everything
+// is clamped to the horizon so a plan always leaves its targets restored
+// by (or at) the end of the run.
+//
+// Determinism: each category draws from its own splitmix-derived Rng, so
+// the same (profile, seed, scenario, horizon) always yields the same plan
+// and tuning one category's rate does not reshuffle the others.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.hpp"
+
+namespace mgq::chaos {
+
+/// Distribution spec for one chaos category mix. Rates are episodes per
+/// 100 simulated seconds (0 disables a category).
+struct ChaosProfile {
+  double link_flaps_per_100s = 4.0;
+  double loss_episodes_per_100s = 4.0;
+  double manager_outages_per_100s = 3.0;
+  double cpu_hog_bursts_per_100s = 2.0;
+  double reservation_cancels_per_100s = 2.0;
+  double reservation_modifies_per_100s = 2.0;
+
+  // Mean episode durations (seconds, exponential).
+  double mean_flap_seconds = 0.4;
+  double mean_loss_seconds = 1.5;
+  double mean_outage_seconds = 0.8;
+  double mean_hog_seconds = 2.0;
+
+  /// Drop probability of a loss episode: uniform in [loss_min, loss_max].
+  double loss_min = 0.05;
+  double loss_max = 0.5;
+  /// Modify storms scale the victim reservation's amount by a uniform
+  /// factor in [modify_min, modify_max].
+  double modify_min = 0.5;
+  double modify_max = 2.0;
+
+  /// No events before this time — lets connections and inline
+  /// reservations establish first.
+  double warmup_seconds = 0.5;
+
+  // Fault-target vocabulary (must match registerChaosTargets).
+  std::string link_target = "premium-edge-link";
+  std::string loss_target = "premium-edge-loss";
+  std::vector<std::string> manager_targets = {"net-forward-manager",
+                                              "net-reverse-manager"};
+  std::string hog_target = "sender-cpu-hog";
+  std::string churn_target = "reservation-churn";
+};
+
+class ChaosPlanGenerator {
+ public:
+  explicit ChaosPlanGenerator(ChaosProfile profile)
+      : profile_(std::move(profile)) {}
+
+  /// Generates the plan for one (scenario, seed, horizon) triple. Events
+  /// come back sorted by time; ties keep a fixed category order.
+  ChaosPlan generate(const std::string& scenario, std::uint64_t seed,
+                     double horizon_seconds) const;
+
+  const ChaosProfile& profile() const { return profile_; }
+
+ private:
+  ChaosProfile profile_;
+};
+
+}  // namespace mgq::chaos

@@ -1,0 +1,200 @@
+#include "chaos/invariants.hpp"
+
+#include <cstdio>
+
+#include "apps/garnet_rig.hpp"
+#include "gara/gara.hpp"
+#include "gq/qos_agent.hpp"
+#include "net/token_bucket.hpp"
+#include "obs/trace.hpp"
+#include "scenario/builder.hpp"
+
+namespace mgq::chaos {
+namespace {
+
+std::string formatTraceEvent(const obs::TraceEvent& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t=%.6f %s.%s id=%llu v=%g", e.t_seconds,
+                e.category.c_str(), e.event.c_str(),
+                static_cast<unsigned long long>(e.id), e.value);
+  std::string line = buf;
+  if (!e.detail.empty()) line += " " + e.detail;
+  return line;
+}
+
+}  // namespace
+
+InvariantMonitor::InvariantMonitor(sim::Simulator& sim,
+                                   double cadence_seconds,
+                                   std::size_t max_violations)
+    : sim_(sim),
+      cadence_(sim::Duration::seconds(cadence_seconds)),
+      max_violations_(max_violations),
+      last_seen_(sim.now()) {}
+
+void InvariantMonitor::addCheck(std::string name,
+                                std::function<std::string()> check) {
+  checks_.push_back({std::move(name), std::move(check)});
+}
+
+void InvariantMonitor::attachTrace(const obs::TraceBuffer* trace,
+                                   std::size_t tail_events) {
+  trace_ = trace;
+  tail_events_ = tail_events;
+}
+
+void InvariantMonitor::arm() {
+  if (armed_) return;
+  armed_ = true;
+  sim_.schedule(cadence_, [this] { tick(); });
+}
+
+void InvariantMonitor::tick() {
+  sweep();
+  sim_.schedule(cadence_, [this] { tick(); });
+}
+
+void InvariantMonitor::sweep() {
+  const auto now = sim_.now();
+  if (now < last_seen_) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "clock moved backwards: %.9f -> %.9f",
+                  last_seen_.toSeconds(), now.toSeconds());
+    report("monotone-time", buf);
+  }
+  last_seen_ = now;
+  for (const auto& check : checks_) {
+    const std::string error = check.fn();
+    if (!error.empty()) report(check.name, error);
+  }
+}
+
+void InvariantMonitor::report(const std::string& name,
+                              const std::string& message) {
+  if (violations_.size() >= max_violations_) return;
+  InvariantViolation v;
+  v.t_seconds = sim_.now().toSeconds();
+  v.name = name;
+  v.message = message;
+  if (trace_ != nullptr) {
+    const auto& events = trace_->events();
+    const std::size_t n = events.size();
+    const std::size_t from = n > tail_events_ ? n - tail_events_ : 0;
+    for (std::size_t i = from; i < n; ++i) {
+      v.trace_tail.push_back(formatTraceEvent(events[i]));
+    }
+  }
+  violations_.push_back(std::move(v));
+}
+
+void attachStandardInvariants(InvariantMonitor& monitor,
+                              scenario::BuiltScenario& built) {
+  auto& rig = built.rig;
+  auto* gara = &rig.gara;
+  auto* sim = &rig.sim;
+
+  // Slot-table bandwidth conservation: total admitted never exceeds a
+  // manager's capacity at any instant. Resolved through Gara each sweep so
+  // a swapped-in fault proxy is the table being checked.
+  monitor.addCheck("slot-conservation", [gara, sim]() -> std::string {
+    for (const auto& name : gara->resourceNames()) {
+      const auto* manager = gara->findManager(name);
+      if (manager == nullptr) continue;
+      const double used = manager->slots().usedAt(sim->now());
+      const double capacity = manager->slots().capacity();
+      if (used > capacity * (1.0 + 1e-9) + 1e-6) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: admitted %.0f exceeds capacity %.0f", name.c_str(),
+                      used, capacity);
+        return buf;
+      }
+    }
+    return {};
+  });
+
+  // Token-bucket fill level stays within [-depth, depth] (forceConsume
+  // debt is clamped at -depth; refill clamps at +depth).
+  monitor.addCheck("bucket-level", [gara]() -> std::string {
+    for (const auto& handle : gara->liveHandles()) {
+      if (handle->bucket == nullptr) continue;
+      const double level = handle->bucket->peekTokens();
+      const double depth =
+          static_cast<double>(handle->bucket->depthBytes());
+      if (level < -depth - 1e-6 || level > depth + 1e-6) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "reservation %llu: bucket level %.1f outside "
+                      "[-%.0f, %.0f]",
+                      static_cast<unsigned long long>(handle->id()), level,
+                      depth, depth);
+        return buf;
+      }
+    }
+    return {};
+  });
+
+  // No reservation stuck outside its lifecycle: kPending past its start
+  // time or kActive past its end, beyond a grace that absorbs
+  // same-timestamp activation/expiry races.
+  monitor.addCheck("reservation-liveness", [gara, sim]() -> std::string {
+    const auto grace = sim::Duration::millis(100);
+    const auto now = sim->now();
+    for (const auto& handle : gara->liveHandles()) {
+      const auto& r = handle->request();
+      char buf[160];
+      if (handle->state() == gara::ReservationState::kPending &&
+          now > r.start + grace) {
+        std::snprintf(buf, sizeof(buf),
+                      "reservation %llu still pending %.3fs past its start",
+                      static_cast<unsigned long long>(handle->id()),
+                      (now - r.start).toSeconds());
+        return buf;
+      }
+      const bool bounded = r.duration < sim::Duration::infinite();
+      if (handle->state() == gara::ReservationState::kActive && bounded &&
+          now > r.start + r.duration + grace) {
+        std::snprintf(buf, sizeof(buf),
+                      "reservation %llu still active %.3fs past its end",
+                      static_cast<unsigned long long>(handle->id()),
+                      (now - r.start - r.duration).toSeconds());
+        return buf;
+      }
+    }
+    return {};
+  });
+
+  // Core bottleneck class queues: byte accounting consistent and within
+  // capacity.
+  monitor.addCheck("queue-consistency", [&rig]() -> std::string {
+    auto* bottleneck = rig.garnet.coreBottleneckInterface();
+    if (bottleneck == nullptr) return {};
+    for (const auto dscp :
+         {net::Dscp::kExpedited, net::Dscp::kLowLatency,
+          net::Dscp::kBestEffort}) {
+      const std::string error =
+          bottleneck->qdisc().classQueue(dscp).invariantError();
+      if (!error.empty()) {
+        return std::string("core bottleneck ") + net::dscpName(dscp) + ": " +
+               error;
+      }
+    }
+    return {};
+  });
+
+  // QoS request-state legality: event-driven — the agent fires the
+  // observer synchronously on every edge, so an illegal transition is
+  // caught the moment it happens, not at the next sweep.
+  rig.agent.setStateObserver([&monitor](std::int32_t context,
+                                        gq::QosRequestState from,
+                                        gq::QosRequestState to) {
+    if (gq::qosTransitionLegal(from, to)) return;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "comm %d: illegal edge %s -> %s",
+                  context, gq::qosRequestStateName(from),
+                  gq::qosRequestStateName(to));
+    monitor.report("qos-transition", buf);
+  });
+}
+
+}  // namespace mgq::chaos

@@ -1,0 +1,78 @@
+#include "chaos/plan.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace mgq::chaos {
+
+std::string serializeReplay(const ChaosPlan& plan) {
+  std::string out = "mgq-chaos-replay v1\n";
+  char line[256];
+  out += "scenario " + plan.scenario + "\n";
+  std::snprintf(line, sizeof(line), "seed %" PRIu64 "\n", plan.seed);
+  out += line;
+  std::snprintf(line, sizeof(line), "horizon_s %.17g\n",
+                plan.horizon_seconds);
+  out += line;
+  std::snprintf(line, sizeof(line), "events %zu\n", plan.events.size());
+  out += line;
+  for (const auto& e : plan.events) {
+    // %.17g round-trips any double exactly; targets never contain spaces.
+    std::snprintf(line, sizeof(line), "%" PRId64 " %s %s %.17g\n",
+                  e.at.ns(), e.target.c_str(), faultActionName(e.action),
+                  e.param);
+    out += line;
+  }
+  return out;
+}
+
+bool parseReplay(const std::string& text, ChaosPlan& out,
+                 std::string& error) {
+  std::istringstream in(text);
+  std::string line;
+  auto fail = [&error](const std::string& why) {
+    error = "replay parse error: " + why;
+    return false;
+  };
+  if (!std::getline(in, line) || line != "mgq-chaos-replay v1") {
+    return fail("bad header");
+  }
+  out = ChaosPlan{};
+  std::size_t expected = 0;
+  {
+    std::string key;
+    if (!(in >> key) || key != "scenario" || !(in >> out.scenario)) {
+      return fail("missing scenario");
+    }
+    if (!(in >> key) || key != "seed" || !(in >> out.seed)) {
+      return fail("missing seed");
+    }
+    if (!(in >> key) || key != "horizon_s" || !(in >> out.horizon_seconds)) {
+      return fail("missing horizon");
+    }
+    if (!(in >> key) || key != "events" || !(in >> expected)) {
+      return fail("missing event count");
+    }
+  }
+  for (std::size_t i = 0; i < expected; ++i) {
+    std::int64_t at_ns = 0;
+    std::string target, action;
+    double param = 0.0;
+    if (!(in >> at_ns >> target >> action >> param)) {
+      return fail("truncated event list");
+    }
+    sim::FaultEvent event;
+    event.at = sim::TimePoint::zero() + sim::Duration::nanos(at_ns);
+    event.target = std::move(target);
+    if (!sim::faultActionFromName(action, event.action)) {
+      return fail("unknown action '" + action + "'");
+    }
+    event.param = param;
+    out.events.push_back(std::move(event));
+  }
+  error.clear();
+  return true;
+}
+
+}  // namespace mgq::chaos

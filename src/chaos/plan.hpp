@@ -1,0 +1,45 @@
+// A chaos plan: one randomized fault schedule bound to a scenario, a seed
+// and a horizon — the unit the generator emits, the runner executes, the
+// shrinker minimizes, and the replay file serializes.
+//
+// Serialization contract: serializeReplay() is byte-deterministic (fixed
+// field order, integer nanosecond timestamps, %.17g parameters so doubles
+// round-trip exactly), and parseReplay(serializeReplay(p)) == p. A replay
+// file re-run through ChaosRunner::runPlan therefore reproduces the
+// original run byte-identically — the same contract the FaultInjector log
+// keeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault_injector.hpp"
+
+namespace mgq::chaos {
+
+struct ChaosPlan {
+  std::string scenario;  // registry name the plan was generated against
+  std::uint64_t seed = 0;
+  /// Simulated stop time the plan was generated for; overrides the spec's
+  /// run_until when the plan is executed.
+  double horizon_seconds = 0.0;
+  std::vector<sim::FaultEvent> events;  // sorted by time
+};
+
+/// Fixed-format replay file:
+///
+///   mgq-chaos-replay v1
+///   scenario <name>
+///   seed <u64>
+///   horizon_s <%.17g>
+///   events <n>
+///   <at_ns> <target> <action> <param %.17g>
+///   ...
+std::string serializeReplay(const ChaosPlan& plan);
+
+/// Parses a replay file; returns false (with `error` set) on malformed
+/// input. Round-trips serializeReplay() exactly.
+bool parseReplay(const std::string& text, ChaosPlan& out, std::string& error);
+
+}  // namespace mgq::chaos

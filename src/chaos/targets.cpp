@@ -1,0 +1,74 @@
+#include "chaos/targets.hpp"
+
+#include "apps/garnet_rig.hpp"
+#include "gara/gara.hpp"
+#include "scenario/builder.hpp"
+
+namespace mgq::chaos {
+
+ChaosTargets registerChaosTargets(scenario::BuiltScenario& built,
+                                  sim::FaultInjector& injector,
+                                  std::uint64_t loss_seed) {
+  ChaosTargets t;
+  auto& rig = built.rig;
+
+  // Premium edge link, both directions — same attachment the scenario
+  // builder uses for scripted FaultSpecs.
+  t.edge_link =
+      std::make_unique<net::LinkFault>(*rig.garnet.ingressEdgeInterface());
+  injector.registerTarget("premium-edge-link",
+                          net::linkFaultTarget(*t.edge_link));
+
+  // Lossy-wire episodes on the premium source's egress (the forward data
+  // path into the ingress edge).
+  t.edge_loss = std::make_unique<net::LossInjector>(
+      *rig.garnet.ingressEdgeInterface()->peer(), loss_seed);
+  injector.registerTarget("premium-edge-loss",
+                          net::lossFaultTarget(*t.edge_loss));
+
+  // Manager outages: wrap the rig's network managers in failure proxies
+  // and re-register them under the same resource names (replace
+  // semantics), so every reservation from here on is admitted through the
+  // proxy's slot table and can be revoked by an outage.
+  t.net_forward =
+      std::make_unique<gara::FlakyResourceManager>(rig.net_forward);
+  t.net_reverse =
+      std::make_unique<gara::FlakyResourceManager>(rig.net_reverse);
+  rig.gara.registerManager("net-forward", *t.net_forward);
+  rig.gara.registerManager("net-reverse", *t.net_reverse);
+  injector.registerTarget("net-forward-manager", t.net_forward->faultTarget());
+  injector.registerTarget("net-reverse-manager", t.net_reverse->faultTarget());
+
+  // CPU contention bursts on the sending host.
+  t.hog = std::make_unique<cpu::CpuHog>(rig.sender_cpu, "chaos-hog");
+  {
+    sim::FaultTarget target;
+    auto* hog = t.hog.get();
+    target.down = [hog] { hog->start(); };
+    target.up = [hog] { hog->stop(); };
+    injector.registerTarget("sender-cpu-hog", std::move(target));
+  }
+
+  // Reservation churn: cancel/modify storms against whatever is live at
+  // firing time, lowest id first (liveHandles() is sorted) so the victim
+  // choice is deterministic. `up`/`loss_stop` stay unset by design.
+  {
+    sim::FaultTarget target;
+    auto* gara = &rig.gara;
+    target.down = [gara] {
+      const auto live = gara->liveHandles();
+      if (!live.empty()) gara->cancel(live.front());
+    };
+    target.loss_start = [gara](double factor) {
+      const auto live = gara->liveHandles();
+      if (live.empty()) return;
+      const auto& victim = live.front();
+      gara->modify(victim, victim->request().amount * factor);
+    };
+    injector.registerTarget("reservation-churn", std::move(target));
+  }
+
+  return t;
+}
+
+}  // namespace mgq::chaos

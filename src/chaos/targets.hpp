@@ -1,0 +1,54 @@
+// Chaos fault-target wiring: binds the generator's target vocabulary to a
+// live BuiltScenario.
+//
+//   premium-edge-link    down/up        LinkFault on the premium edge
+//   premium-edge-loss    loss_start/stop seeded LossInjector on the
+//                                       premium source's egress wire
+//   net-forward-manager  down/up        FlakyResourceManager proxy swapped
+//   net-reverse-manager                 in for the rig's network managers
+//                                       (down = outage + revoke active)
+//   sender-cpu-hog       down/up        CpuHog burst on the sending host
+//   reservation-churn    down           cancel the lowest-id live
+//                                       reservation
+//                        loss_start(p)  modify it: amount ×= p
+//
+// The churn target deliberately leaves `up`/`loss_stop` unset — plan
+// entries that land on them become logged "(no-op)" lines and count in
+// skipped_actions, which the chaos log footer surfaces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cpu/cpu_scheduler.hpp"
+#include "gara/flaky_resource_manager.hpp"
+#include "net/faults.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace mgq::scenario {
+struct BuiltScenario;
+}
+
+namespace mgq::chaos {
+
+/// Owns the fault machinery registered on a built scenario; must outlive
+/// the run (the injector's scheduled events reference it).
+struct ChaosTargets {
+  std::unique_ptr<net::LinkFault> edge_link;
+  std::unique_ptr<net::LossInjector> edge_loss;
+  /// Proxies registered with Gara *in place of* the rig's managers; tests
+  /// reach their slot tables here (e.g. forceOverAdmissionForTest).
+  std::unique_ptr<gara::FlakyResourceManager> net_forward;
+  std::unique_ptr<gara::FlakyResourceManager> net_reverse;
+  std::unique_ptr<cpu::CpuHog> hog;
+};
+
+/// Creates the machinery above and registers every chaos target with
+/// `injector`. Call from RunHooks::on_built, before any simulated event
+/// has run (the manager swap must precede the first reservation).
+/// `loss_seed` seeds the LossInjector's own Rng.
+ChaosTargets registerChaosTargets(scenario::BuiltScenario& built,
+                                  sim::FaultInjector& injector,
+                                  std::uint64_t loss_seed);
+
+}  // namespace mgq::chaos

@@ -1,5 +1,6 @@
 #include "gara/gara.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.hpp"
@@ -33,9 +34,7 @@ void Reservation::transition(ReservationState next) {
 
 void Gara::registerManager(const std::string& name,
                            ResourceManager& manager) {
-  const bool inserted = managers_.emplace(name, &manager).second;
-  assert(inserted && "duplicate resource name");
-  (void)inserted;
+  managers_[name] = &manager;  // re-registration replaces (fault proxies)
   // The manager tells GARA when enforcement is lost; GARA resolves the id
   // back to a handle and drives the kFailed transition.
   manager.setFailureListener(
@@ -209,6 +208,19 @@ void Gara::fail(const ReservationHandle& handle, const std::string& reason) {
 ReservationHandle Gara::findLive(std::uint64_t id) const {
   const auto it = live_.find(id);
   return it == live_.end() ? nullptr : it->second.lock();
+}
+
+std::vector<ReservationHandle> Gara::liveHandles() const {
+  std::vector<ReservationHandle> handles;
+  handles.reserve(live_.size());
+  for (const auto& [id, weak] : live_) {
+    if (auto handle = weak.lock()) handles.push_back(std::move(handle));
+  }
+  std::sort(handles.begin(), handles.end(),
+            [](const ReservationHandle& a, const ReservationHandle& b) {
+              return a->id() < b->id();
+            });
+  return handles;
 }
 
 void Gara::retire(const ReservationHandle& handle,

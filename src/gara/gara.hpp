@@ -34,6 +34,10 @@ class Gara {
 
   /// Registers a manager under a resource name (e.g. "net-forward",
   /// "cpu-sender"). The manager must outlive the Gara instance.
+  /// Re-registering a name replaces the previous manager — that is how a
+  /// fault proxy (gara::FlakyResourceManager) interposes on an existing
+  /// resource; reservations already admitted through the old manager keep
+  /// their handles and retire through it.
   void registerManager(const std::string& name, ResourceManager& manager);
   ResourceManager* findManager(const std::string& name);
   std::vector<std::string> resourceNames() const;
@@ -75,6 +79,10 @@ class Gara {
 
   /// Looks up a live (non-terminal) reservation by id; nullptr otherwise.
   ReservationHandle findLive(std::uint64_t id) const;
+
+  /// Every live (non-terminal) reservation, sorted by id — a deterministic
+  /// view for invariant monitors and chaos churn (cancel/modify storms).
+  std::vector<ReservationHandle> liveHandles() const;
 
   /// Polling-style monitoring, as in the paper's API.
   ReservationState status(const ReservationHandle& handle) const {

@@ -19,6 +19,7 @@ double SlotTable::usedAt(sim::TimePoint t) const {
 bool SlotTable::available(sim::TimePoint start, sim::TimePoint end,
                           double amount) const {
   if (end <= start || amount < 0.0) return false;
+  if (force_over_admission_) return true;  // planted-bug mode (tests only)
   if (amount > capacity_ + 1e-9) return false;
   // Piecewise-constant usage: the maximum over [start, end) is attained at
   // `start` or at some slot boundary inside the interval.

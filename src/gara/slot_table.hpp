@@ -43,6 +43,12 @@ class SlotTable {
 
   std::size_t slotCount() const { return slots_.size(); }
 
+  /// Test-only: disables the capacity check so insert()/modify() admit
+  /// anything, while usedAt()/capacity() keep reporting the truth. Exists
+  /// to plant an over-admission bug that the chaos InvariantMonitor must
+  /// catch (slot-table conservation); never set in production paths.
+  void forceOverAdmissionForTest(bool on) { force_over_admission_ = on; }
+
  private:
   struct Slot {
     sim::TimePoint start;
@@ -53,6 +59,7 @@ class SlotTable {
   double capacity_;
   std::unordered_map<SlotId, Slot> slots_;
   SlotId next_id_ = 1;
+  bool force_over_admission_ = false;
 };
 
 }  // namespace mgq::gara

@@ -1,5 +1,6 @@
 #include "gq/qos_agent.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.hpp"
@@ -38,6 +39,38 @@ const char* qosRequestStateName(QosRequestState s) {
       return "degraded";
   }
   return "?";
+}
+
+bool qosTransitionLegal(QosRequestState from, QosRequestState to) {
+  using S = QosRequestState;
+  if (from == to) return false;  // self-loops are filtered, never observed
+  switch (to) {
+    case S::kNone:
+      return false;  // initial state only
+    case S::kPending:
+      // A put: either the first request on the communicator or a re-put
+      // (which releases the previous request first).
+      return from == S::kNone || from == S::kReleased;
+    case S::kGranted:
+      // Initial grant, recovery, re-escalation, or a best-effort put
+      // (granted immediately, nothing to reserve).
+      return from == S::kPending || from == S::kRecovering ||
+             from == S::kDegraded || from == S::kNone || from == S::kReleased;
+    case S::kDenied:
+      // Initial denial, retries exhausted without degrade, or an
+      // unrecoverable loss when retrying is disabled.
+      return from == S::kPending || from == S::kRecovering ||
+             from == S::kGranted;
+    case S::kReleased:
+      return true;  // release() applies from any state
+    case S::kRecovering:
+      // A lost reservation, or an initial denial entering the retry loop.
+      return from == S::kGranted || from == S::kPending;
+    case S::kDegraded:
+      // Retries exhausted, or an immediate degrade when retrying is off.
+      return from == S::kRecovering || from == S::kGranted;
+  }
+  return false;
 }
 
 double protocolOverheadFactor(int max_message_size, int mss) {
@@ -83,6 +116,14 @@ QosAgent::StatusKey QosAgent::keyOf(const mpi::Comm& comm) {
   return {comm.context(), comm.worldRank(comm.rank())};
 }
 
+void QosAgent::setState(const StatusKey& key, QosRequestState next) {
+  auto& status = statuses_[key];
+  const auto from = status.state;
+  if (from == next) return;
+  status.state = next;
+  if (state_observer_) state_observer_(key.first, from, next);
+}
+
 QosStatus QosAgent::status(const mpi::Comm& comm) const {
   const auto it = statuses_.find(keyOf(comm));
   return it == statuses_.end() ? QosStatus{} : it->second;
@@ -113,14 +154,18 @@ void QosAgent::onPut(mpi::Comm& comm, void* value) {
   countEvent("qos.requests");
   traceEvent("requested", static_cast<std::uint64_t>(comm.context()),
              attr.bandwidth_kbps, qosClassName(attr.qosclass));
+  auto& status = statuses_[key];
+  status.error.clear();
+  status.reservations.clear();
+  status.recovery_attempts = 0;
   if (attr.qosclass == QosClass::kBestEffort) {
-    statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}};
+    setState(key, QosRequestState::kGranted);
     if (const auto it = settled_.find(key); it != settled_.end()) {
       it->second->notifyAll();
     }
     return;
   }
-  statuses_[key] = QosStatus{QosRequestState::kPending, {}, {}};
+  setState(key, QosRequestState::kPending);
   // The put itself is synchronous (MPI semantics); flow establishment and
   // reservation proceed as a simulated process. attrGet / status() report
   // the outcome, exactly as the paper describes. The generation must be
@@ -167,7 +212,7 @@ void QosAgent::grant(const mpi::Comm& comm, const QosAttribute& attr,
     countEvent("qos.granted");
     traceEvent("granted", id, attr.bandwidth_kbps, {});
   }
-  status.state = QosRequestState::kGranted;
+  setState(key, QosRequestState::kGranted);
   status.error.clear();
   status.reservations = std::move(handles);
   // Watch every leg: losing any one of them mid-lifetime triggers the
@@ -208,7 +253,7 @@ void QosAgent::onReservationFailed(const mpi::Comm& comm,
   if (policy.max_retries <= 0 && policy.degrade_to_best_effort &&
       policy.reescalate_interval <= sim::Duration::zero()) {
     // Recovery fully disabled: fall to best effort for good.
-    status.state = QosRequestState::kDegraded;
+    setState(key, QosRequestState::kDegraded);
     countEvent("qos.degraded");
     traceEvent("degraded", static_cast<std::uint64_t>(comm.context()),
                attr.bandwidth_kbps, reason);
@@ -216,14 +261,14 @@ void QosAgent::onReservationFailed(const mpi::Comm& comm,
     return;
   }
   if (policy.max_retries <= 0 && !policy.degrade_to_best_effort) {
-    status.state = QosRequestState::kDenied;
+    setState(key, QosRequestState::kDenied);
     countEvent("qos.denied");
     traceEvent("denied", static_cast<std::uint64_t>(comm.context()),
                attr.bandwidth_kbps, reason);
     notifySettled(key);
     return;
   }
-  status.state = QosRequestState::kRecovering;
+  setState(key, QosRequestState::kRecovering);
   world_.simulator().spawn(recover(comm, attr, generation));
 }
 
@@ -236,11 +281,16 @@ sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
   for (;;) {
     sim::Duration backoff;
     if (attempt < policy.max_retries) {
-      backoff = policy.initial_backoff;
-      for (int i = 0; i < attempt && backoff < policy.max_backoff; ++i) {
-        backoff = backoff * policy.backoff_multiplier;
+      // Exponentiate in double seconds and clamp before converting back:
+      // multiplying Durations directly can overflow their int64 nanosecond
+      // representation for large multipliers/attempt counts (the backoff
+      // must saturate at max_backoff, never wrap to a bogus TimePoint).
+      const double cap = policy.max_backoff.toSeconds();
+      double seconds = policy.initial_backoff.toSeconds();
+      for (int i = 0; i < attempt && seconds < cap; ++i) {
+        seconds *= policy.backoff_multiplier;
       }
-      if (backoff > policy.max_backoff) backoff = policy.max_backoff;
+      backoff = sim::Duration::seconds(std::min(seconds, cap));
     } else {
       backoff = policy.reescalate_interval;  // degraded background probing
     }
@@ -277,7 +327,7 @@ sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
     status.error = outcome.error;
     if (attempt < policy.max_retries) continue;
     if (!policy.degrade_to_best_effort) {
-      status.state = QosRequestState::kDenied;
+      setState(key, QosRequestState::kDenied);
       countEvent("qos.denied");
       traceEvent("denied", static_cast<std::uint64_t>(comm.context()),
                  attr.bandwidth_kbps, outcome.error);
@@ -287,7 +337,7 @@ sim::Task<> QosAgent::recover(mpi::Comm comm, QosAttribute attr,
       co_return;
     }
     if (status.state != QosRequestState::kDegraded) {
-      status.state = QosRequestState::kDegraded;
+      setState(key, QosRequestState::kDegraded);
       countEvent("qos.degraded");
       traceEvent("degraded", static_cast<std::uint64_t>(comm.context()),
                  attr.bandwidth_kbps, outcome.error);
@@ -307,14 +357,13 @@ sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
 
   if (flows.empty()) {
     // All peers share this host; nothing to reserve on the network.
-    statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}, 0};
+    setState(key, QosRequestState::kGranted);
     notifySettled(key);
     co_return;
   }
 
   auto outcome = tryReserve(flows, attr);
   if (outcome) {
-    statuses_[key] = QosStatus{QosRequestState::kGranted, {}, {}, 0};
     grant(comm, attr, generation, std::move(outcome.handles));
     co_return;
   }
@@ -323,15 +372,15 @@ sim::Task<> QosAgent::applyQos(mpi::Comm comm, QosAttribute attr,
   countEvent("qos.denied");
   traceEvent("denied", static_cast<std::uint64_t>(comm.context()),
              attr.bandwidth_kbps, outcome.error);
+  statuses_[key].error = outcome.error;
   if (config_.recovery.max_retries > 0) {
     // Initial denial also goes through the retry loop: capacity may free
     // up (another job's reservation expiring) moments later.
-    statuses_[key] =
-        QosStatus{QosRequestState::kRecovering, outcome.error, {}, 0};
+    setState(key, QosRequestState::kRecovering);
     world_.simulator().spawn(recover(std::move(comm), attr, generation));
     co_return;
   }
-  statuses_[key] = QosStatus{QosRequestState::kDenied, outcome.error, {}, 0};
+  setState(key, QosRequestState::kDenied);
   notifySettled(key);
 }
 
@@ -383,7 +432,7 @@ void QosAgent::release(const mpi::Comm& comm) {
     gara_.cancel(handle);
   }
   it->second.reservations.clear();
-  it->second.state = QosRequestState::kReleased;
+  setState(key, QosRequestState::kReleased);
 }
 
 }  // namespace mgq::gq

@@ -107,6 +107,17 @@ class QosAgent {
   void attachObservability(obs::MetricsRegistry* metrics,
                            obs::TraceBuffer* trace);
 
+  /// Invariant hook: fired synchronously on every request-state
+  /// transition (from != to), with the communicator context as id. Chaos
+  /// monitors validate each edge against qosTransitionLegal(). Pass an
+  /// empty function to detach; the observer must outlive the agent or be
+  /// detached before it dies.
+  using StateObserver = std::function<void(
+      std::int32_t context, QosRequestState from, QosRequestState to)>;
+  void setStateObserver(StateObserver observer) {
+    state_observer_ = std::move(observer);
+  }
+
  private:
   using StatusKey = std::pair<std::int32_t, int>;  // (context, world rank)
   static StatusKey keyOf(const mpi::Comm& comm);
@@ -134,6 +145,10 @@ class QosAgent {
   /// The retry/degrade/re-escalate loop (spawned as a process).
   sim::Task<> recover(mpi::Comm comm, QosAttribute attr,
                       std::uint64_t generation);
+  /// The single choke point for request-state writes: updates the status
+  /// and fires the state observer. Every transition in the agent goes
+  /// through here so the observer sees the complete edge history.
+  void setState(const StatusKey& key, QosRequestState next);
   void notifySettled(const StatusKey& key);
   bool settled(const StatusKey& key) const;
   void countEvent(const char* counter);
@@ -149,6 +164,7 @@ class QosAgent {
   std::map<StatusKey, std::uint64_t> generations_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
+  StateObserver state_observer_;
 };
 
 }  // namespace mgq::gq

@@ -64,6 +64,12 @@ enum class QosRequestState {
 
 const char* qosRequestStateName(QosRequestState s);
 
+/// The agent's state machine, as a predicate: true when `from -> to` is
+/// one of the defined edges (e.g. kRecovering is entered only from
+/// kGranted or kPending, kDegraded only from kRecovering or kGranted).
+/// Invariant monitors check every observed transition against this table.
+bool qosTransitionLegal(QosRequestState from, QosRequestState to);
+
 struct QosStatus {
   QosRequestState state = QosRequestState::kNone;
   std::string error;

@@ -78,6 +78,8 @@ class DsPolicy {
 
   const DsPolicyStats& stats() const { return stats_; }
   std::size_t ruleCount() const { return rules_.size(); }
+  /// Read-only rule view (invariant monitors watch the rule buckets).
+  const std::vector<MarkingRule>& rules() const { return rules_; }
 
  private:
   std::vector<MarkingRule> rules_;

@@ -37,6 +37,15 @@ std::optional<Packet> DropTailQueue::dequeue() {
 }
 #pragma GCC diagnostic pop
 
+std::string DropTailQueue::invariantError() const {
+  std::int64_t sum = 0;
+  for (const auto& p : items_) sum += p.size_bytes;
+  if (bytes_ < 0) return "queue byte counter negative";
+  if (bytes_ > capacity_bytes_) return "queue bytes exceed capacity";
+  if (bytes_ != sum) return "queue byte counter out of sync with contents";
+  return {};
+}
+
 DsQdisc::DsQdisc(std::int64_t ef_capacity, std::int64_t ll_capacity,
                  std::int64_t be_capacity)
     : queues_{DropTailQueue(be_capacity), DropTailQueue(ll_capacity),

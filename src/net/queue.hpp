@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 
 #include "net/packet.hpp"
 
@@ -45,6 +46,11 @@ class DropTailQueue {
   std::int64_t bytes() const { return bytes_; }
   std::int64_t capacityBytes() const { return capacity_bytes_; }
   const QueueStats& stats() const { return stats_; }
+
+  /// Internal-consistency check for invariant monitors: the byte counter
+  /// must be non-negative, within capacity, and equal to the sum of the
+  /// queued packets' sizes. Returns an empty string when consistent.
+  std::string invariantError() const;
 
  private:
   std::int64_t capacity_bytes_;

@@ -64,6 +64,13 @@ double TokenBucket::tokens() {
   return tokens_;
 }
 
+double TokenBucket::peekTokens() const {
+  const double elapsed = (sim_.now() - last_refill_).toSeconds();
+  if (elapsed <= 0.0) return tokens_;
+  return std::min(static_cast<double>(depth_bytes_),
+                  tokens_ + elapsed * rate_bps_ / 8.0);
+}
+
 void TokenBucket::configure(double rate_bps, std::int64_t depth_bytes) {
   assert(rate_bps > 0.0);
   assert(depth_bytes > 0);

@@ -49,6 +49,11 @@ class TokenBucket {
   /// Current token count after lazy refill.
   double tokens();
 
+  /// Read-only view of the current token count: computes the lazy refill
+  /// without committing it, so invariant monitors can observe the level
+  /// (which must stay within [-depth, depth]) without perturbing state.
+  double peekTokens() const;
+
   /// Reconfigures the bucket (e.g. when a reservation is modified). The
   /// current fill level is clamped to the new depth.
   void configure(double rate_bps, std::int64_t depth_bytes);

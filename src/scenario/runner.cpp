@@ -23,10 +23,12 @@ double measurementSeconds(const ScenarioSpec& spec) {
       spec.workload);
 }
 
+}  // namespace
+
 /// Default stop time: the workload deadline plus a drain margin matching
 /// the hand-written benches (ping-pong +60 s, visualization +120 s so
 /// late backlogs finish before teardown).
-double runUntilSeconds(const ScenarioSpec& spec) {
+double defaultRunUntilSeconds(const ScenarioSpec& spec) {
   if (spec.run_until_seconds > 0) return spec.run_until_seconds;
   return std::visit(
       [](const auto& w) -> double {
@@ -43,8 +45,6 @@ double runUntilSeconds(const ScenarioSpec& spec) {
       },
       spec.workload);
 }
-
-}  // namespace
 
 double ScenarioResult::meanKbps(double from_seconds, double to_seconds) const {
   double sum = 0;
@@ -65,12 +65,17 @@ bool ScenarioResult::checksPassed() const {
   return true;
 }
 
-ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
+                                   const RunHooks& hooks) {
   ScenarioBuilder builder;
   auto built = builder.build(spec);
   auto& rig = built->rig;
 
-  rig.sim.runUntil(sim::TimePoint::fromSeconds(runUntilSeconds(spec)));
+  if (hooks.on_built) hooks.on_built(*built);
+
+  rig.sim.runUntil(sim::TimePoint::fromSeconds(defaultRunUntilSeconds(spec)));
+
+  if (hooks.before_teardown) hooks.before_teardown(*built);
 
   if (built->sampler != nullptr) {
     built->sampler->stop();

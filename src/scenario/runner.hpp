@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -61,17 +62,38 @@ struct ScenarioResult {
   bool checksPassed() const;
 };
 
+struct BuiltScenario;  // builder.hpp
+
+/// Optional instrumentation points around a run — how the chaos subsystem
+/// attaches fault targets and invariant monitors without the runner
+/// depending on it.
+struct RunHooks {
+  /// After build(), before the simulator runs: attach injectors, swap in
+  /// fault proxies, arm monitors. The rig has not processed any event yet.
+  std::function<void(BuiltScenario&)> on_built;
+  /// After runUntil() returns, while the rig is still alive: teardown
+  /// invariant sweeps, final state collection.
+  std::function<void(BuiltScenario&)> before_teardown;
+};
+
 class ScenarioRunner {
  public:
   /// `echo`, when set, receives one PASS/FAIL line per spec check as the
   /// run finishes. Sweep workers pass nullptr so output never interleaves.
   explicit ScenarioRunner(std::ostream* echo = nullptr) : echo_(echo) {}
 
-  ScenarioResult run(const ScenarioSpec& spec);
+  ScenarioResult run(const ScenarioSpec& spec) { return run(spec, {}); }
+  ScenarioResult run(const ScenarioSpec& spec, const RunHooks& hooks);
 
  private:
   std::ostream* echo_;
 };
+
+/// The stop time a spec's run will use: spec.run_until_seconds when set,
+/// otherwise the workload deadline plus its drain margin. Exported so the
+/// chaos subsystem can generate fault plans over the exact horizon the
+/// runner will execute.
+double defaultRunUntilSeconds(const ScenarioSpec& spec);
 
 /// Rows for obs::writeMultiRunJson — one per result that carries a
 /// per-run registry, labelled by scenario name. The results must outlive

@@ -20,6 +20,17 @@ const char* faultActionName(FaultAction a) {
   return "?";
 }
 
+bool faultActionFromName(const std::string& name, FaultAction& out) {
+  for (FaultAction a : {FaultAction::kDown, FaultAction::kUp,
+                        FaultAction::kLossStart, FaultAction::kLossStop}) {
+    if (name == faultActionName(a)) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, std::uint64_t seed)
     : sim_(sim), rng_(seed) {}
 
@@ -74,26 +85,41 @@ void FaultInjector::fire(const FaultEvent& event) {
 
   const auto it = targets_.find(event.target);
   if (it == targets_.end()) {
+    ++skipped_;
     log_.push_back(std::string(line) + " (unregistered)");
     MGQ_LOG(kWarn) << "fault injector: no target '" << event.target << "'";
+    return;
+  }
+
+  const FaultTarget& target = it->second;
+  const bool actionable =
+      (event.action == FaultAction::kDown && target.down) ||
+      (event.action == FaultAction::kUp && target.up) ||
+      (event.action == FaultAction::kLossStart && target.loss_start) ||
+      (event.action == FaultAction::kLossStop && target.loss_stop);
+  if (!actionable) {
+    ++skipped_;
+    log_.push_back(std::string(line) + " (no-op)");
+    MGQ_LOG(kWarn) << "fault injector: target '" << event.target
+                   << "' has no " << faultActionName(event.action)
+                   << " action";
     return;
   }
   log_.push_back(line);
   MGQ_LOG(kDebug) << "fault injector: " << log_.back();
 
-  const FaultTarget& target = it->second;
   switch (event.action) {
     case FaultAction::kDown:
-      if (target.down) target.down();
+      target.down();
       break;
     case FaultAction::kUp:
-      if (target.up) target.up();
+      target.up();
       break;
     case FaultAction::kLossStart:
-      if (target.loss_start) target.loss_start(event.param);
+      target.loss_start(event.param);
       break;
     case FaultAction::kLossStop:
-      if (target.loss_stop) target.loss_stop();
+      target.loss_stop();
       break;
   }
 }
@@ -105,6 +131,15 @@ std::string FaultInjector::logText() const {
     text += '\n';
   }
   return text;
+}
+
+std::string FaultInjector::logFooter() const {
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "fired=%llu skipped_actions=%llu\n",
+                static_cast<unsigned long long>(fired_),
+                static_cast<unsigned long long>(skipped_));
+  return line;
 }
 
 }  // namespace mgq::sim

@@ -44,6 +44,10 @@ enum class FaultAction {
 
 const char* faultActionName(FaultAction a);
 
+/// Inverse of faultActionName; returns false for unknown names (replay
+/// files carry actions by name).
+bool faultActionFromName(const std::string& name, FaultAction& out);
+
 /// One entry of a fault plan.
 struct FaultEvent {
   TimePoint at;
@@ -89,7 +93,15 @@ class FaultInjector {
   const std::vector<std::string>& log() const { return log_; }
   /// The log joined with newlines — for byte-identical replay checks.
   std::string logText() const;
+  /// Fixed-format summary line ("fired=N skipped_actions=N"). Kept out of
+  /// logText() so existing per-line expectations stay valid; chaos logs
+  /// append it so a shrink step cannot silently drift a repro onto unset
+  /// actions without the log changing.
+  std::string logFooter() const;
   std::uint64_t firedCount() const { return fired_; }
+  /// Plan entries that fired but drove nothing: the target was
+  /// unregistered, or its callback for the requested action was unset.
+  std::uint64_t skippedActions() const { return skipped_; }
 
   Rng& rng() { return rng_; }
 
@@ -99,6 +111,7 @@ class FaultInjector {
   std::map<std::string, FaultTarget> targets_;
   std::vector<std::string> log_;
   std::uint64_t fired_ = 0;
+  std::uint64_t skipped_ = 0;
 };
 
 }  // namespace mgq::sim

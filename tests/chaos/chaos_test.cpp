@@ -1,0 +1,169 @@
+// End-to-end chaos runner: determinism, skipped-action accounting, the
+// planted over-admission bug (caught, shrunk to a minimal schedule, and
+// replayed byte-identically), and the 200-seed soaks over the paper
+// scenarios.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/runner.hpp"
+#include "gara/slot_table.hpp"
+#include "scenario/builder.hpp"
+
+namespace mgq::chaos {
+namespace {
+
+/// A category mix that only issues reservation-modify storms, with scale
+/// factors guaranteed to blow past the premium capacity share when
+/// admission is sabotaged (fault_recovery_on reserves ~31.8 Mb/s of the
+/// 44 Mb/s premium share; any factor >= 2 exceeds it).
+ChaosProfile modifyOnlyProfile() {
+  ChaosProfile profile;
+  profile.link_flaps_per_100s = 0.0;
+  profile.loss_episodes_per_100s = 0.0;
+  profile.manager_outages_per_100s = 0.0;
+  profile.cpu_hog_bursts_per_100s = 0.0;
+  profile.reservation_cancels_per_100s = 0.0;
+  profile.reservation_modifies_per_100s = 60.0;
+  profile.modify_min = 2.0;
+  profile.modify_max = 4.0;
+  return profile;
+}
+
+TEST(ChaosRunnerTest, SameSeedProducesByteIdenticalLogAndReplay) {
+  ChaosOptions options;
+  options.horizon_seconds = 3.0;
+  const ChaosPlanGenerator generator{options.profile};
+  const auto plan = generator.generate("fault_recovery_on", 11, 3.0);
+
+  ChaosRunner runner;
+  const auto a = runner.runPlan(plan, options);
+  const auto b = runner.runPlan(plan, options);
+  EXPECT_TRUE(a.ok()) << a.log;
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.injector_fired, b.injector_fired);
+  EXPECT_EQ(serializeReplay(plan), serializeReplay(plan));
+}
+
+TEST(ChaosRunnerTest, UnhandledChurnActionsCountAsSkippedInTheLogFooter) {
+  // reservation-churn only handles down (cancel) and loss_start (modify);
+  // up/loss_stop stay unset by design, so a replay containing them must
+  // surface skipped actions in the footer, not vanish.
+  ChaosPlan plan;
+  plan.scenario = "fig1_under";
+  plan.seed = 5;
+  plan.horizon_seconds = 3.0;
+  sim::FaultEvent cancel;
+  cancel.at = sim::TimePoint::fromSeconds(1.0);
+  cancel.target = "reservation-churn";
+  cancel.action = sim::FaultAction::kDown;
+  plan.events.push_back(cancel);
+  sim::FaultEvent restore = cancel;
+  restore.at = sim::TimePoint::fromSeconds(1.5);
+  restore.action = sim::FaultAction::kUp;
+  plan.events.push_back(restore);
+  sim::FaultEvent stop = cancel;
+  stop.at = sim::TimePoint::fromSeconds(2.0);
+  stop.action = sim::FaultAction::kLossStop;
+  plan.events.push_back(stop);
+
+  ChaosOptions options;
+  options.horizon_seconds = 3.0;
+  ChaosRunner runner;
+  const auto report = runner.runPlan(plan, options);
+  EXPECT_TRUE(report.ok()) << report.log;
+  EXPECT_EQ(report.injector_fired, 3u);
+  EXPECT_EQ(report.injector_skipped, 2u);
+  EXPECT_NE(report.log.find("fired=3 skipped_actions=2"), std::string::npos)
+      << report.log;
+}
+
+TEST(ChaosRunnerTest, PlantedOverAdmissionIsCaughtShrunkAndReplayed) {
+  // Sabotage admission control: the fault proxies' slot tables accept
+  // anything while still reporting truthful usage. A modify storm then
+  // over-admits past the premium capacity, which only the
+  // slot-conservation invariant can notice.
+  ChaosOptions options;
+  options.profile = modifyOnlyProfile();
+  options.horizon_seconds = 3.0;
+  options.prepare = [](scenario::BuiltScenario&, ChaosTargets& targets) {
+    targets.net_forward->slots().forceOverAdmissionForTest(true);
+    targets.net_reverse->slots().forceOverAdmissionForTest(true);
+  };
+
+  ChaosRunner runner;
+  const auto outcome = runner.runSeeds("fault_recovery_on", 1, 200, options);
+  ASSERT_FALSE(outcome.ok())
+      << "the planted bug must be caught within 200 seeds";
+  const auto& failure = *outcome.failure();
+  ASSERT_FALSE(failure.violations.empty());
+  EXPECT_EQ(failure.violations.front().name, "slot-conservation");
+  EXPECT_FALSE(failure.violations.front().trace_tail.empty())
+      << "violations must carry the trace-buffer tail";
+
+  // Shrink: one modify event suffices to reproduce, so the minimal plan
+  // is exactly one event.
+  int steps = 0;
+  const auto minimal = runner.shrink(failure.plan, options, &steps);
+  EXPECT_EQ(minimal.events.size(), 1u) << serializeReplay(minimal);
+  EXPECT_GT(steps, 0);
+
+  // The replay file reproduces the shrunk run byte-identically.
+  const auto replay_text = serializeReplay(minimal);
+  ChaosPlan reparsed;
+  std::string error;
+  ASSERT_TRUE(parseReplay(replay_text, reparsed, error)) << error;
+  const auto direct = runner.runPlan(minimal, options);
+  const auto replayed = runner.runPlan(reparsed, options);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.violations.front().name, "slot-conservation");
+  EXPECT_EQ(replayed.log, direct.log);
+  EXPECT_EQ(serializeReplay(reparsed), replay_text);
+}
+
+TEST(ChaosRunnerTest, UnsabotagedRunNeverTripsSlotConservation) {
+  // The same modify storm without the planted bug: admission control
+  // rejects oversized modifies, so the invariants hold.
+  ChaosOptions options;
+  options.profile = modifyOnlyProfile();
+  options.horizon_seconds = 3.0;
+  ChaosRunner runner;
+  const auto outcome = runner.runSeeds("fault_recovery_on", 1, 20, options);
+  EXPECT_TRUE(outcome.ok())
+      << (outcome.failure() != nullptr ? outcome.failure()->log
+                                       : std::string{});
+}
+
+// --- 200-seed soaks over the stock paper scenarios -----------------------
+// Shortened horizons keep the suite tractable on one core while every
+// seed still sees several fault episodes (the full-horizon runs are the
+// CLI's job: tools/mgq_chaos --scenario ... --seeds N).
+
+void soak(const std::string& scenario, double horizon) {
+  ChaosOptions options;
+  options.horizon_seconds = horizon;
+  ChaosRunner runner;
+  const auto outcome = runner.runSeeds(scenario, 1, 200, options);
+  EXPECT_TRUE(outcome.ok())
+      << scenario << " seed "
+      << (outcome.failure() != nullptr ? outcome.failure()->plan.seed : 0)
+      << " violated invariants:\n"
+      << (outcome.failure() != nullptr ? outcome.failure()->log
+                                       : std::string{});
+  EXPECT_EQ(outcome.reports.size(), 200u);
+}
+
+TEST(ChaosSoakTest, Fig1UnderHoldsInvariantsOver200Seeds) {
+  soak("fig1_under", 2.5);
+}
+
+TEST(ChaosSoakTest, Fig9CombinedHoldsInvariantsOver200Seeds) {
+  soak("fig9_combined", 3.0);
+}
+
+TEST(ChaosSoakTest, FaultRecoveryHoldsInvariantsOver200Seeds) {
+  soak("fault_recovery_on", 3.0);
+}
+
+}  // namespace
+}  // namespace mgq::chaos

@@ -1,0 +1,101 @@
+// ChaosPlanGenerator: deterministic, horizon-respecting, well-formed
+// schedules.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chaos/generator.hpp"
+
+namespace mgq::chaos {
+namespace {
+
+using sim::FaultAction;
+using sim::TimePoint;
+
+TEST(ChaosGeneratorTest, SameSeedYieldsByteIdenticalPlans) {
+  const ChaosPlanGenerator generator{ChaosProfile{}};
+  const auto a = generator.generate("fig1_under", 7, 30.0);
+  const auto b = generator.generate("fig1_under", 7, 30.0);
+  EXPECT_EQ(serializeReplay(a), serializeReplay(b));
+  EXPECT_FALSE(a.events.empty());
+
+  const auto c = generator.generate("fig1_under", 8, 30.0);
+  EXPECT_NE(serializeReplay(a), serializeReplay(c));
+}
+
+TEST(ChaosGeneratorTest, EventsAreSortedWithinWarmupAndHorizon) {
+  const double horizon = 25.0;
+  ChaosProfile profile;
+  profile.warmup_seconds = 1.0;
+  const ChaosPlanGenerator generator{profile};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto plan = generator.generate("fig9_combined", seed, horizon);
+    TimePoint prev = TimePoint::zero();
+    for (const auto& e : plan.events) {
+      EXPECT_GE(e.at, prev) << "plan must be sorted";
+      prev = e.at;
+      EXPECT_GE(e.at.toSeconds(), profile.warmup_seconds);
+      EXPECT_LE(e.at.toSeconds(), horizon);
+    }
+  }
+}
+
+TEST(ChaosGeneratorTest, PairedEpisodesAlwaysRestoreByHorizon) {
+  const double horizon = 40.0;
+  const ChaosPlanGenerator generator{ChaosProfile{}};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto plan = generator.generate("fig1_under", seed, horizon);
+    // Per paired target, down/up and loss_start/loss_stop must
+    // alternate, ending restored.
+    std::map<std::string, int> depth;
+    for (const auto& e : plan.events) {
+      if (e.target == "reservation-churn") continue;  // unpaired by design
+      switch (e.action) {
+        case FaultAction::kDown:
+        case FaultAction::kLossStart:
+          EXPECT_EQ(depth[e.target], 0) << e.target << " double-failed";
+          ++depth[e.target];
+          break;
+        case FaultAction::kUp:
+        case FaultAction::kLossStop:
+          EXPECT_EQ(depth[e.target], 1) << e.target << " restored twice";
+          --depth[e.target];
+          break;
+      }
+    }
+    for (const auto& [target, d] : depth) {
+      EXPECT_EQ(d, 0) << target << " left failed at the horizon";
+    }
+  }
+}
+
+TEST(ChaosGeneratorTest, RatesGateCategoriesAndParamsStayInRange) {
+  ChaosProfile profile;
+  profile.link_flaps_per_100s = 0.0;
+  profile.manager_outages_per_100s = 0.0;
+  profile.cpu_hog_bursts_per_100s = 0.0;
+  profile.reservation_cancels_per_100s = 0.0;
+  profile.reservation_modifies_per_100s = 40.0;
+  profile.loss_episodes_per_100s = 40.0;
+  profile.modify_min = 2.0;
+  profile.modify_max = 4.0;
+  const ChaosPlanGenerator generator{profile};
+  const auto plan = generator.generate("fault_recovery_on", 3, 50.0);
+  ASSERT_FALSE(plan.events.empty());
+  for (const auto& e : plan.events) {
+    if (e.target == "reservation-churn") {
+      EXPECT_EQ(e.action, FaultAction::kLossStart);  // modify, no cancels
+      EXPECT_GE(e.param, profile.modify_min);
+      EXPECT_LT(e.param, profile.modify_max);
+    } else {
+      EXPECT_EQ(e.target, "premium-edge-loss");
+      if (e.action == FaultAction::kLossStart) {
+        EXPECT_GE(e.param, profile.loss_min);
+        EXPECT_LT(e.param, profile.loss_max);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgq::chaos

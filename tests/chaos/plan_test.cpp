@@ -1,0 +1,87 @@
+// Replay-file format: byte-exact round-trips and malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include "chaos/plan.hpp"
+
+namespace mgq::chaos {
+namespace {
+
+using sim::Duration;
+using sim::FaultAction;
+using sim::FaultEvent;
+using sim::TimePoint;
+
+ChaosPlan samplePlan() {
+  ChaosPlan plan;
+  plan.scenario = "fig1_under";
+  plan.seed = 123456789ULL;
+  plan.horizon_seconds = 12.125;
+  FaultEvent down;
+  down.at = TimePoint::fromSeconds(1.5);
+  down.target = "premium-edge-link";
+  down.action = FaultAction::kDown;
+  plan.events.push_back(down);
+  FaultEvent loss;
+  loss.at = TimePoint::zero() + Duration::nanos(2'000'000'001);
+  loss.target = "premium-edge-loss";
+  loss.action = FaultAction::kLossStart;
+  loss.param = 0.1234567890123456789;  // exercises %.17g round-trip
+  plan.events.push_back(loss);
+  return plan;
+}
+
+TEST(ChaosPlanTest, SerializeParseRoundTripsExactly) {
+  const auto plan = samplePlan();
+  const auto text = serializeReplay(plan);
+
+  ChaosPlan parsed;
+  std::string error;
+  ASSERT_TRUE(parseReplay(text, parsed, error)) << error;
+  EXPECT_EQ(parsed.scenario, plan.scenario);
+  EXPECT_EQ(parsed.seed, plan.seed);
+  EXPECT_EQ(parsed.horizon_seconds, plan.horizon_seconds);
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].at, plan.events[i].at);
+    EXPECT_EQ(parsed.events[i].target, plan.events[i].target);
+    EXPECT_EQ(parsed.events[i].action, plan.events[i].action);
+    EXPECT_EQ(parsed.events[i].param, plan.events[i].param);
+  }
+  // Byte-exact: re-serializing the parsed plan reproduces the file.
+  EXPECT_EQ(serializeReplay(parsed), text);
+}
+
+TEST(ChaosPlanTest, RejectsMalformedInput) {
+  ChaosPlan out;
+  std::string error;
+  EXPECT_FALSE(parseReplay("", out, error));
+  EXPECT_FALSE(parseReplay("not-a-replay\n", out, error));
+  EXPECT_FALSE(parseReplay("mgq-chaos-replay v1\nscenario x\n", out, error));
+  // Truncated event list: header promises one event, body has none.
+  EXPECT_FALSE(parseReplay(
+      "mgq-chaos-replay v1\nscenario x\nseed 1\nhorizon_s 1\nevents 1\n",
+      out, error));
+  EXPECT_FALSE(error.empty());
+  // Unknown action name.
+  EXPECT_FALSE(parseReplay(
+      "mgq-chaos-replay v1\nscenario x\nseed 1\nhorizon_s 1\nevents 1\n"
+      "1000 t explode 0\n",
+      out, error));
+}
+
+TEST(ChaosPlanTest, FaultActionNamesRoundTrip) {
+  for (const auto action :
+       {FaultAction::kDown, FaultAction::kUp, FaultAction::kLossStart,
+        FaultAction::kLossStop}) {
+    sim::FaultAction parsed;
+    ASSERT_TRUE(sim::faultActionFromName(sim::faultActionName(action),
+                                         parsed));
+    EXPECT_EQ(parsed, action);
+  }
+  sim::FaultAction parsed;
+  EXPECT_FALSE(sim::faultActionFromName("detonate", parsed));
+}
+
+}  // namespace
+}  // namespace mgq::chaos

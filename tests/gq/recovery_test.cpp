@@ -3,7 +3,11 @@
 // are exhausted, and re-escalates to premium when capacity returns.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "apps/garnet_rig.hpp"
+#include "gara/flaky_resource_manager.hpp"
 #include "net/faults.hpp"
 
 namespace mgq::gq {
@@ -164,6 +168,100 @@ TEST(QosRecoveryTest, LinkFlapRecoveryEndToEnd) {
   EXPECT_EQ(h.rig.net_forward.activeOn(
                 *h.rig.garnet.ingressEdgeInterface()),
             1u);
+}
+
+TEST(QosRecoveryTest, RetriesAreCappedAtMaxRetries) {
+  QosAgent::RecoveryPolicy policy = fastRetries(3);
+  policy.reescalate_interval = Duration::zero();  // no background probing
+  Harness h(policy);
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  // Fail the held leg, then immediately occupy the whole premium share so
+  // every retry is denied, and let the retry loop run far past its budget.
+  h.failLeg("preempted");
+  gara::ReservationRequest request;
+  request.start = h.rig.sim.now();
+  request.amount = h.rig.net_forward.slots().capacity();
+  auto blocker = h.rig.gara.reserve("net-forward", request);
+  ASSERT_TRUE(static_cast<bool>(blocker)) << blocker.error;
+  h.rig.sim.runUntil(TimePoint::fromSeconds(60));
+
+  const auto status = h.status();
+  EXPECT_EQ(status.state, QosRequestState::kDegraded);
+  EXPECT_EQ(status.recovery_attempts, 3) << "retries must stop at the cap";
+}
+
+TEST(QosRecoveryTest, HugeBackoffMultiplierSaturatesAtMaxBackoff) {
+  // A pathological multiplier used to overflow the int64 nanosecond
+  // Duration before the max_backoff clamp applied; the backoff must
+  // saturate at max_backoff instead, keeping retries on schedule.
+  QosAgent::RecoveryPolicy policy = fastRetries(3);
+  policy.initial_backoff = Duration::millis(100);
+  policy.backoff_multiplier = 1e12;
+  policy.max_backoff = Duration::millis(500);
+  policy.reescalate_interval = Duration::zero();
+  Harness h(policy);
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  h.failLeg("preempted");
+  gara::ReservationRequest request;
+  request.start = h.rig.sim.now();
+  request.amount = h.rig.net_forward.slots().capacity();
+  auto blocker = h.rig.gara.reserve("net-forward", request);
+  ASSERT_TRUE(static_cast<bool>(blocker)) << blocker.error;
+  // Three retries at <= 500 ms apart all fit well inside 4 s; an
+  // overflowed backoff would park the retry loop forever (or crash).
+  h.rig.sim.runUntil(TimePoint::fromSeconds(6));
+  const auto status = h.status();
+  EXPECT_EQ(status.state, QosRequestState::kDegraded);
+  EXPECT_EQ(status.recovery_attempts, 3);
+}
+
+TEST(QosRecoveryTest, RepeatedManagerFlapsDriveRecoveringToDegraded) {
+  // Manager-level chaos: a FlakyResourceManager proxy re-registered under
+  // "net-forward" (replace semantics) revokes the granted reservation and
+  // denies the retries while in outage — the request must walk
+  // kGranted -> kRecovering -> kDegraded, then re-escalate once the
+  // manager comes back.
+  Harness h(fastRetries(2));
+  gara::FlakyResourceManager proxy(h.rig.net_forward);
+  h.rig.gara.registerManager("net-forward", proxy);
+
+  std::vector<std::pair<QosRequestState, QosRequestState>> edges;
+  h.rig.agent.setStateObserver(
+      [&edges](std::int32_t, QosRequestState from, QosRequestState to) {
+        edges.emplace_back(from, to);
+      });
+
+  h.rig.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_TRUE(h.granted);
+
+  // Outage at t=5 (revoking the active reservation), restored at t=8 —
+  // long enough that both retries are denied by the unreachable manager.
+  auto target = proxy.faultTarget();
+  h.rig.sim.schedule(Duration::seconds(3), [&] { target.down(); });
+  h.rig.sim.schedule(Duration::seconds(6), [&] { target.up(); });
+
+  h.rig.sim.runUntil(TimePoint::fromSeconds(7.5));
+  EXPECT_EQ(h.status().state, QosRequestState::kDegraded);
+
+  auto has_edge = [&edges](QosRequestState from, QosRequestState to) {
+    for (const auto& e : edges) {
+      if (e.first == from && e.second == to) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_edge(QosRequestState::kGranted,
+                       QosRequestState::kRecovering));
+  EXPECT_TRUE(has_edge(QosRequestState::kRecovering,
+                       QosRequestState::kDegraded));
+
+  // Manager restored: the degraded request's background probe re-grants.
+  h.rig.sim.runUntil(TimePoint::fromSeconds(12));
+  EXPECT_EQ(h.status().state, QosRequestState::kGranted);
+  h.rig.agent.setStateObserver({});
 }
 
 TEST(QosRecoveryTest, AwaitSettledDeadlineExpiresWhileRecovering) {

@@ -1,0 +1,207 @@
+// mgq_chaos: randomized chaos/soak runs over the registered scenarios,
+// with deterministic shrink-to-minimal replay.
+//
+//   mgq_chaos --scenario NAME [--seeds N] [--first-seed S] [--horizon SEC]
+//             [--shrink] [--threads N] [--json-dir DIR]
+//   mgq_chaos --replay FILE [--json-dir DIR]
+//
+// The seed sweep generates one randomized fault plan per seed and runs it
+// under the invariant monitors; the sweep stops at the first violation.
+// With --shrink, the failing plan is delta-debugged down to a minimal
+// reproducing schedule and written as a replay file
+// (chaos_<scenario>_seed<seed>.replay in --json-dir) that --replay
+// re-runs byte-identically. Exit code: 0 when every seed held its
+// invariants, 1 on a violation (including a reproducing replay), 2 on
+// usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "chaos/runner.hpp"
+
+namespace {
+
+using namespace mgq;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --scenario NAME [--seeds N] [--first-seed S]\n"
+               "          [--horizon SEC] [--shrink] [--threads N]\n"
+               "          [--json-dir DIR]\n"
+               "       %s --replay FILE [--json-dir DIR]\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+void printViolations(const chaos::ChaosRunReport& report) {
+  for (const auto& v : report.violations) {
+    std::printf("  t=%.6f %s: %s\n", v.t_seconds, v.name.c_str(),
+                v.message.c_str());
+    for (const auto& line : v.trace_tail) {
+      std::printf("    trace: %s\n", line.c_str());
+    }
+  }
+}
+
+int replayFile(const std::string& path, const std::string& json_dir) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read replay file '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  chaos::ChaosPlan plan;
+  std::string error;
+  if (!chaos::parseReplay(buffer.str(), plan, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+
+  chaos::ChaosRunner runner;
+  chaos::ChaosRunReport report;
+  try {
+    report = runner.runPlan(plan);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("replayed %s seed=%llu events=%zu: %s\n",
+              plan.scenario.c_str(),
+              static_cast<unsigned long long>(plan.seed), plan.events.size(),
+              report.ok() ? "no violations" : "VIOLATIONS");
+  printViolations(report);
+  const auto log_path = json_dir + "/chaos_replay.log";
+  if (writeFile(log_path, report.log)) {
+    std::printf("chaos log: %s\n", log_path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int sweepSeeds(const std::string& scenario, std::uint64_t first_seed,
+               int seeds, double horizon, bool shrink, int threads,
+               const std::string& json_dir) {
+  chaos::ChaosOptions options;
+  options.horizon_seconds = horizon;
+  options.threads = threads;
+
+  chaos::ChaosRunner runner;
+  chaos::ChaosOutcome outcome;
+  try {
+    std::printf("chaos: %s seeds [%llu, %llu) horizon %.3gs\n",
+                scenario.c_str(),
+                static_cast<unsigned long long>(first_seed),
+                static_cast<unsigned long long>(first_seed) + seeds,
+                runner.resolveHorizon(scenario, options));
+    outcome = runner.runSeeds(scenario, first_seed, seeds, options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  if (outcome.ok()) {
+    std::printf("%zu seed(s): all invariants held\n",
+                outcome.reports.size());
+    return 0;
+  }
+
+  const auto& failure = *outcome.failure();
+  std::printf("seed %llu VIOLATED invariants after %zu clean seed(s):\n",
+              static_cast<unsigned long long>(failure.plan.seed),
+              outcome.reports.size() - 1);
+  printViolations(failure);
+
+  auto minimal = failure.plan;
+  if (shrink) {
+    int steps = 0;
+    minimal = runner.shrink(failure.plan, options, &steps);
+    std::printf("shrunk %zu -> %zu event(s) in %d run(s)\n",
+                failure.plan.events.size(), minimal.events.size(), steps);
+  }
+  const auto replay_path = json_dir + "/chaos_" + scenario + "_seed" +
+                           std::to_string(failure.plan.seed) + ".replay";
+  if (writeFile(replay_path, chaos::serializeReplay(minimal))) {
+    std::printf("replay file: %s\n", replay_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", replay_path.c_str());
+  }
+  const auto log_path = json_dir + "/chaos_" + scenario + "_seed" +
+                        std::to_string(failure.plan.seed) + ".log";
+  if (writeFile(log_path, failure.log)) {
+    std::printf("chaos log:   %s\n", log_path.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::string replay;
+  std::uint64_t first_seed = 1;
+  int seeds = 50;
+  double horizon = 0.0;
+  bool shrink = false;
+  int threads = 0;
+  std::string json_dir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    try {
+      if (arg == "--scenario") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        scenario = v;
+      } else if (arg == "--replay") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        replay = v;
+      } else if (arg == "--seeds") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        seeds = std::stoi(v);
+      } else if (arg == "--first-seed") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        first_seed = std::stoull(v);
+      } else if (arg == "--horizon") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        horizon = std::stod(v);
+      } else if (arg == "--shrink") {
+        shrink = true;
+      } else if (arg == "--threads") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        threads = std::stoi(v);
+      } else if (arg == "--json-dir") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        json_dir = v;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay.empty()) return replayFile(replay, json_dir);
+  if (scenario.empty() || seeds <= 0) return usage(argv[0]);
+  return sweepSeeds(scenario, first_seed, seeds, horizon, shrink, threads,
+                    json_dir);
+}

@@ -36,9 +36,10 @@ using namespace mgq;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --list [--filter SUBSTR]\n"
-               "       %s --run NAME[,NAME...] [--threads N] [--json-dir D]\n"
+               "       %s --run NAME[,NAME...] [--seed N] [--threads N]\n"
+               "          [--json-dir D]\n"
                "       %s --sweep NAME --param KEY=V1,V2,... [--param ...]\n"
-               "          [--threads N] [--json-dir D]\n",
+               "          [--seed N] [--threads N] [--json-dir D]\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -84,8 +85,20 @@ void printHeadline(const scenario::ScenarioResult& r) {
               r.goodput_kbps, r.checks.size());
 }
 
-int runScenarios(const std::vector<std::string>& names, int threads,
-                 const std::string& json_dir) {
+/// --seed override: retunes a spec's simulation seed via the sweep
+/// parameter machinery so the CLI and `--param seed=...` behave alike.
+bool applySeedOverride(scenario::ScenarioSpec& spec, const double* seed) {
+  if (seed == nullptr) return true;
+  if (!scenario::applyParam(spec, "seed", *seed)) {
+    std::fprintf(stderr, "scenario '%s' does not accept a seed override\n",
+                 spec.name.c_str());
+    return false;
+  }
+  return true;
+}
+
+int runScenarios(const std::vector<std::string>& names, const double* seed,
+                 int threads, const std::string& json_dir) {
   const auto& registry = scenario::ScenarioRegistry::paper();
   std::vector<scenario::ScenarioSpec> specs;
   for (const auto& name : names) {
@@ -96,6 +109,7 @@ int runScenarios(const std::vector<std::string>& names, int threads,
       return 2;
     }
     specs.push_back(info->make());
+    if (!applySeedOverride(specs.back(), seed)) return 2;
   }
 
   scenario::SweepRunner pool(threads);
@@ -121,7 +135,8 @@ int runScenarios(const std::vector<std::string>& names, int threads,
 
 int sweepScenario(const std::string& name,
                   const std::vector<scenario::SweepParam>& params,
-                  int threads, const std::string& json_dir) {
+                  const double* seed, int threads,
+                  const std::string& json_dir) {
   const auto& registry = scenario::ScenarioRegistry::paper();
   const auto* info = registry.find(name);
   if (info == nullptr) {
@@ -130,7 +145,11 @@ int sweepScenario(const std::string& name,
   }
   std::vector<scenario::ScenarioSpec> specs;
   try {
-    specs = scenario::expandSweep(info->make(), params);
+    // The override lands on the base spec, so every sweep expansion
+    // inherits it (a swept seed parameter still wins per variant).
+    auto base = info->make();
+    if (!applySeedOverride(base, seed)) return 2;
+    specs = scenario::expandSweep(base, params);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -173,6 +192,8 @@ int main(int argc, char** argv) {
   std::vector<scenario::SweepParam> params;
   int threads = 0;
   std::string json_dir = ".";
+  bool has_seed = false;
+  double seed = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -204,6 +225,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       threads = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      try {
+        seed = static_cast<double>(std::stoull(v));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+      has_seed = true;
     } else if (arg == "--json-dir") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -218,10 +248,12 @@ int main(int argc, char** argv) {
       return listScenarios(filter);
     case Mode::kRun:
       if (run_names.empty()) return usage(argv[0]);
-      return runScenarios(run_names, threads, json_dir);
+      return runScenarios(run_names, has_seed ? &seed : nullptr, threads,
+                          json_dir);
     case Mode::kSweep:
       if (params.empty()) return usage(argv[0]);
-      return sweepScenario(sweep_name, params, threads, json_dir);
+      return sweepScenario(sweep_name, params, has_seed ? &seed : nullptr,
+                           threads, json_dir);
     case Mode::kNone:
       break;
   }
