@@ -128,6 +128,22 @@ ChaosPlan ChaosPlanGenerator::generate(const std::string& scenario,
                    FaultAction::kLossStart, profile_.modify_min,
                    profile_.modify_max, events);
   }
+  // Control-plane categories draw LAST so enabling them never reshuffles
+  // the six original streams — existing soak plans stay byte-identical.
+  {
+    auto rng = categoryRng();
+    generateEpisodes(rng, profile_.agent_target,
+                     profile_.agent_crashes_per_100s,
+                     profile_.mean_crash_downtime_seconds, warmup, horizon,
+                     FaultAction::kDown, FaultAction::kUp, nullptr, events);
+  }
+  {
+    auto rng = categoryRng();
+    generateEpisodes(rng, profile_.renewal_target,
+                     profile_.renewal_storms_per_100s,
+                     profile_.mean_storm_seconds, warmup, horizon,
+                     FaultAction::kDown, FaultAction::kUp, nullptr, events);
+  }
 
   // Stable: equal-timestamp events keep the fixed category order above,
   // so the plan (and hence the run) is byte-deterministic.

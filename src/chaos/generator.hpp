@@ -30,12 +30,21 @@ struct ChaosProfile {
   double cpu_hog_bursts_per_100s = 2.0;
   double reservation_cancels_per_100s = 2.0;
   double reservation_modifies_per_100s = 2.0;
+  /// Control-plane chaos (zero by default so existing plans stay
+  /// byte-identical): QoS-agent crash/restart episodes and lease-renewal
+  /// outages ("renewal storms" — the holder is alive but cannot renew,
+  /// so leases hard-expire). Only meaningful against specs that wired the
+  /// resilience stack; the targets warn-and-skip otherwise.
+  double agent_crashes_per_100s = 0.0;
+  double renewal_storms_per_100s = 0.0;
 
   // Mean episode durations (seconds, exponential).
   double mean_flap_seconds = 0.4;
   double mean_loss_seconds = 1.5;
   double mean_outage_seconds = 0.8;
   double mean_hog_seconds = 2.0;
+  double mean_crash_downtime_seconds = 1.0;
+  double mean_storm_seconds = 2.0;
 
   /// Drop probability of a loss episode: uniform in [loss_min, loss_max].
   double loss_min = 0.05;
@@ -56,6 +65,8 @@ struct ChaosProfile {
                                               "net-reverse-manager"};
   std::string hog_target = "sender-cpu-hog";
   std::string churn_target = "reservation-churn";
+  std::string agent_target = "qos-agent";
+  std::string renewal_target = "lease-renewals";
 };
 
 class ChaosPlanGenerator {

@@ -182,6 +182,57 @@ void attachStandardInvariants(InvariantMonitor& monitor,
     return {};
   });
 
+  // Control-plane resilience invariants, only when the spec wired the
+  // stack.
+  if (built.hasResilience()) {
+    if (built.resil.leases != nullptr) {
+      // Lease safety: no lease outlives deadline + grace — the guard
+      // timer must have hard-expired it by then. 1 ms slack absorbs
+      // same-timestamp guard/sweep ordering.
+      auto* leases = built.resil.leases.get();
+      monitor.addCheck("lease-safety", [leases, sim]() -> std::string {
+        const auto now = sim->now();
+        const auto limit = leases->config().grace + sim::Duration::millis(1);
+        for (const auto& lease : leases->leases()) {
+          if (now > lease.deadline + limit) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "reservation %llu: lease %.3fs past deadline+grace "
+                "without hard expiry",
+                static_cast<unsigned long long>(lease.handle->id()),
+                (now - lease.deadline).toSeconds());
+            return buf;
+          }
+        }
+        return {};
+      });
+    }
+    // No zombie enforcement: every id a manager is enforcing must be live
+    // in the journal (journal-live ⊇ enforced). Terminal lifecycle ops
+    // fire after enforcement release, and the journal survives crashes,
+    // so this holds at every observable instant — including mid-crash.
+    auto* journal = built.resil.journal.get();
+    monitor.addCheck("no-zombie-enforcement", [gara, journal]() -> std::string {
+      for (const auto& name : gara->resourceNames()) {
+        const auto* manager = gara->findManager(name);
+        if (manager == nullptr) continue;
+        for (const auto id : manager->enforcedIds()) {
+          if (!journal->isLive(id)) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "%s: enforcing reservation %llu the journal "
+                          "says is retired",
+                          name.c_str(),
+                          static_cast<unsigned long long>(id));
+            return buf;
+          }
+        }
+      }
+      return {};
+    });
+  }
+
   // QoS request-state legality: event-driven — the agent fires the
   // observer synchronously on every edge, so an illegal transition is
   // caught the moment it happens, not at the next sweep.

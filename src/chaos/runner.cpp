@@ -73,6 +73,9 @@ ChaosRunReport ChaosRunner::runPlan(const ChaosPlan& plan,
   // for fault-free runs) are dropped.
   spec.faults.clear();
   spec.checks.clear();
+  // Scripted agent crashes belong to the plan too (the "qos-agent"
+  // target); resilience wiring itself stays on via spec.resil.
+  spec.agent_crashes.clear();
   if (plan.horizon_seconds > 0) spec.run_until_seconds = plan.horizon_seconds;
   // The monitor attaches violation context from the run's trace buffer.
   spec.observe = true;

@@ -68,6 +68,32 @@ ChaosTargets registerChaosTargets(scenario::BuiltScenario& built,
     injector.registerTarget("reservation-churn", std::move(target));
   }
 
+  // Control-plane chaos, only for specs that wired the resilience stack:
+  // crash/restart the QoS agent + GARA through the builder's orchestration
+  // (so chaos crashes and scripted AgentCrashSpecs are the same code
+  // path), and pause lease renewals — a "renewal storm" where the holder
+  // is alive but cannot renew, so leases hard-expire enforcement.
+  if (built.hasResilience()) {
+    {
+      sim::FaultTarget target;
+      auto* resil = &built.resil;
+      target.down = [resil] {
+        if (resil->crash) resil->crash();
+      };
+      target.up = [resil] {
+        if (resil->restart) resil->restart();
+      };
+      injector.registerTarget("qos-agent", std::move(target));
+    }
+    if (built.resil.leases != nullptr) {
+      sim::FaultTarget target;
+      auto* leases = built.resil.leases.get();
+      target.down = [leases] { leases->suspendRenewals(); };
+      target.up = [leases] { leases->resumeRenewals(); };
+      injector.registerTarget("lease-renewals", std::move(target));
+    }
+  }
+
   return t;
 }
 

@@ -1,5 +1,6 @@
 #include "gara/flaky_resource_manager.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace mgq::gara {
@@ -26,8 +27,15 @@ void FlakyResourceManager::release(Reservation& reservation) {
 
 void FlakyResourceManager::revokeActive(const std::string& reason) {
   // reportFailure() re-enters release() and erases from active_.
-  const std::vector<std::uint64_t> victims(active_.begin(), active_.end());
+  std::vector<std::uint64_t> victims(active_.begin(), active_.end());
+  std::sort(victims.begin(), victims.end());  // deterministic revoke order
   for (const auto id : victims) reportFailure(id, reason);
+}
+
+std::vector<std::uint64_t> FlakyResourceManager::enforcedIds() const {
+  std::vector<std::uint64_t> ids(active_.begin(), active_.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 sim::FaultTarget FlakyResourceManager::faultTarget() {

@@ -31,6 +31,9 @@ class FlakyResourceManager : public ResourceManager {
   void reconfigure(Reservation& reservation) override {
     inner_->reconfigure(reservation);
   }
+  /// Heartbeat probes fail while the injected outage is active.
+  bool reachable() const override { return !outage_; }
+  std::vector<std::uint64_t> enforcedIds() const override;
 
   // --- fault controls ----------------------------------------------------
   /// While in outage, every validate() fails ("manager unreachable").

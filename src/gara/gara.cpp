@@ -120,14 +120,9 @@ ReserveOutcome Gara::reserve(const std::string& resource,
   live_[handle->id()] = handle;
   countEvent("gara.admitted");
   traceEvent("admitted", handle->id(), request.amount, resource);
+  notifyLifecycle("admitted", handle);
   updateUtilization(*manager);
-  if (request.start <= sim_.now()) {
-    activate(handle);
-  } else {
-    sim_.scheduleAt(request.start, [this, handle] {
-      if (handle->state() == ReservationState::kPending) activate(handle);
-    });
-  }
+  armTimers(handle);
   return {handle, {}};
 }
 
@@ -186,6 +181,7 @@ bool Gara::modify(const ReservationHandle& handle, double new_amount,
   countEvent("gara.modified");
   traceEvent("modified", handle->id(), new_amount,
              resourceNameOf(&handle->manager()));
+  notifyLifecycle("modified", handle);
   updateUtilization(handle->manager());
   return true;
 }
@@ -247,6 +243,13 @@ void Gara::retire(const ReservationHandle& handle,
              handle->request().amount,
              terminal == ReservationState::kFailed ? handle->failureReason()
                  : resourceNameOf(&handle->manager()));
+  // Listeners (journal, leases) see the terminal op after enforcement is
+  // released but before the state-change callbacks run, so journal-live
+  // always covers enforced ids at every observable instant.
+  notifyLifecycle(reservationStateName(terminal), handle,
+                  terminal == ReservationState::kFailed
+                      ? handle->failureReason()
+                      : std::string{});
   updateUtilization(handle->manager());
   handle->transition(terminal);
 }
@@ -256,13 +259,82 @@ void Gara::activate(const ReservationHandle& handle) {
   countEvent("gara.activated");
   traceEvent("activated", handle->id(), handle->request().amount,
              resourceNameOf(&handle->manager()));
+  notifyLifecycle("activated", handle);
   handle->transition(ReservationState::kActive);
   const auto end = endOf(handle->request());
   if (handle->request().duration < sim::Duration::infinite()) {
-    sim_.scheduleAt(end, [this, handle] {
-      if (handle->state() == ReservationState::kActive) expire(handle);
+    const auto epoch = epoch_;
+    sim_.scheduleAt(end, [this, handle, epoch] {
+      if (epoch == epoch_ && handle->state() == ReservationState::kActive) {
+        expire(handle);
+      }
     });
   }
+}
+
+void Gara::armTimers(const ReservationHandle& handle) {
+  const auto epoch = epoch_;
+  if (handle->state() == ReservationState::kPending) {
+    if (handle->request().start <= sim_.now()) {
+      activate(handle);
+    } else {
+      sim_.scheduleAt(handle->request().start, [this, handle, epoch] {
+        if (epoch == epoch_ &&
+            handle->state() == ReservationState::kPending) {
+          activate(handle);
+        }
+      });
+    }
+    return;
+  }
+  if (handle->state() != ReservationState::kActive) return;
+  if (handle->request().duration >= sim::Duration::infinite()) return;
+  const auto end = endOf(handle->request());
+  if (end <= sim_.now()) {
+    expire(handle);
+    return;
+  }
+  sim_.scheduleAt(end, [this, handle, epoch] {
+    if (epoch == epoch_ && handle->state() == ReservationState::kActive) {
+      expire(handle);
+    }
+  });
+}
+
+void Gara::addLifecycleListener(LifecycleListener listener) {
+  lifecycle_listeners_.push_back(std::move(listener));
+}
+
+void Gara::notifyLifecycle(const char* op, const ReservationHandle& handle,
+                           const std::string& detail) {
+  if (lifecycle_listeners_.empty()) return;
+  const auto resource = resourceNameOf(&handle->manager());
+  for (const auto& listener : lifecycle_listeners_) {
+    listener(op, handle, resource, detail);
+  }
+}
+
+void Gara::crash() {
+  ++epoch_;
+  live_.clear();
+  countEvent("gara.crashes");
+  traceEvent("crashed", 0, 0.0, "control plane crashed: live index dropped");
+  MGQ_LOG(kWarn) << "gara: simulated crash (epoch " << epoch_ << ")";
+}
+
+void Gara::adopt(const ReservationHandle& handle) {
+  assert(handle != nullptr);
+  if (isTerminal(handle->state())) return;
+  live_[handle->id()] = handle;
+  countEvent("gara.adopted");
+  traceEvent("adopted", handle->id(), handle->request().amount,
+             resourceNameOf(&handle->manager()));
+  notifyLifecycle("adopted", handle);
+  armTimers(handle);
+}
+
+void Gara::restartWithNextId(std::uint64_t next_id) {
+  next_reservation_id_ = std::max(next_reservation_id_, next_id);
 }
 
 void Gara::expire(const ReservationHandle& handle) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -101,6 +102,42 @@ class Gara {
   void attachObservability(obs::MetricsRegistry* metrics,
                            obs::TraceBuffer* trace);
 
+  /// Lifecycle listeners observe every reservation state event, in the
+  /// same order the trace buffer sees them: `op` is one of "admitted",
+  /// "activated", "modified", "adopted", "expired", "cancelled",
+  /// "failed"; `detail` carries the failure reason for "failed" events.
+  /// The resilience layer's StateJournal and LeaseManager subscribe here,
+  /// which keeps gara/ free of any dependency on resil/.
+  using LifecycleListener =
+      std::function<void(const char* op, const ReservationHandle& handle,
+                         const std::string& resource,
+                         const std::string& detail)>;
+  void addLifecycleListener(LifecycleListener listener);
+
+  /// Simulated control-plane crash: this Gara forgets every live
+  /// reservation (amnesia) but the object itself stays put — destroying
+  /// it mid-run would dangle suspended coroutines and scheduled timers.
+  /// Enforcement already installed at the managers is deliberately left
+  /// in place: that is exactly the zombie state leases and the
+  /// Reconciler exist to clean up. Pending/active timers armed before
+  /// the crash are epoch-guarded and become no-ops.
+  void crash();
+
+  /// Re-adopts a reservation handle that survived a crash() (e.g. held
+  /// by the lease manager or replayed from the journal): re-inserts it
+  /// into the live index and re-arms its activation/expiry timers.
+  /// No-op on terminal handles.
+  void adopt(const ReservationHandle& handle);
+
+  /// Restart after crash(): resume id allocation at `next_id` (typically
+  /// journal.maxReservationId() + 1) so replayed history and new
+  /// admissions never collide. Never moves the counter backwards.
+  void restartWithNextId(std::uint64_t next_id);
+
+  /// Crash epoch — bumped by crash(); timers armed under an older epoch
+  /// do nothing when they fire.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   void activate(const ReservationHandle& handle);
   void expire(const ReservationHandle& handle);
@@ -108,6 +145,9 @@ class Gara {
   void countEvent(const char* counter);
   void traceEvent(const char* event, std::uint64_t id, double value,
                   const std::string& detail);
+  void notifyLifecycle(const char* op, const ReservationHandle& handle,
+                       const std::string& detail = {});
+  void armTimers(const ReservationHandle& handle);
   void updateUtilization(const ResourceManager& manager);
   std::string resourceNameOf(const ResourceManager* manager) const;
   static sim::TimePoint endOf(const ReservationRequest& r) {
@@ -120,6 +160,8 @@ class Gara {
   /// which carry only an id — can be resolved back to a handle.
   std::unordered_map<std::uint64_t, std::weak_ptr<Reservation>> live_;
   std::uint64_t next_reservation_id_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::vector<LifecycleListener> lifecycle_listeners_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
 };

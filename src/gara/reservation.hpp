@@ -47,6 +47,11 @@ struct ReservationRequest {
   sim::TimePoint start;  // == now for immediate reservations
   sim::Duration duration = sim::Duration::infinite();
   double amount = 0.0;
+  /// Lease duration for control-plane resilience: when non-zero (and a
+  /// resil::LeaseManager is attached), the holder must renew within this
+  /// window or enforcement is hard-expired with reason "lease_expired".
+  /// Zero = unleased (legacy behaviour, or the lease manager's default).
+  sim::Duration lease = sim::Duration::zero();
 
   // --- network-specific -------------------------------------------------
   net::FlowMatch flow;  // which packets the premium service applies to

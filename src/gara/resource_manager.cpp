@@ -1,5 +1,6 @@
 #include "gara/resource_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mgq::gara {
@@ -44,6 +45,14 @@ void NetworkResourceManager::release(Reservation& reservation) {
   edge.ingressPolicy().removeRule(reservation.enforcement_rule_id);
   reservation.enforcement_rule_id = 0;
   reservation.bucket.reset();
+}
+
+std::vector<std::uint64_t> NetworkResourceManager::enforcedIds() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(active_.size());
+  for (const auto& [id, edge] : active_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 std::size_t NetworkResourceManager::activeOn(
@@ -94,10 +103,16 @@ void CpuResourceManager::enforce(Reservation& reservation) {
   // this cannot fail unless reservations were made behind GARA's back.
   assert(ok && "scheduler rejected an admitted CPU reservation");
   (void)ok;
+  enforced_.insert(reservation.id());
 }
 
 void CpuResourceManager::release(Reservation& reservation) {
   cpu_->clearReservation(reservation.request().cpu_job);
+  enforced_.erase(reservation.id());
+}
+
+std::vector<std::uint64_t> CpuResourceManager::enforcedIds() const {
+  return {enforced_.begin(), enforced_.end()};
 }
 
 }  // namespace mgq::gara

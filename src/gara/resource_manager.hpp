@@ -47,6 +47,17 @@ class ResourceManager {
     enforce(reservation);
   }
 
+  /// Heartbeat probe target: true when the manager's control channel
+  /// would answer a probe right now. Fault proxies override this to model
+  /// an unreachable per-domain manager.
+  virtual bool reachable() const { return true; }
+
+  /// Reservation ids with device enforcement currently installed, sorted.
+  /// The Reconciler and the no-zombie-enforcement chaos invariant compare
+  /// this against journal-live state; managers that do not track per-id
+  /// enforcement report nothing (and are skipped by those sweeps).
+  virtual std::vector<std::uint64_t> enforcedIds() const { return {}; }
+
   SlotTable& slots() { return slots_; }
   const SlotTable& slots() const { return slots_; }
 
@@ -90,6 +101,7 @@ class NetworkResourceManager : public ResourceManager {
   std::string validate(const ReservationRequest& request) const override;
   void enforce(Reservation& reservation) override;
   void release(Reservation& reservation) override;
+  std::vector<std::uint64_t> enforcedIds() const override;
 
   net::Interface& defaultEdge() { return *edge_; }
 
@@ -122,11 +134,13 @@ class CpuResourceManager : public ResourceManager {
   std::string validate(const ReservationRequest& request) const override;
   void enforce(Reservation& reservation) override;
   void release(Reservation& reservation) override;
+  std::vector<std::uint64_t> enforcedIds() const override;
 
   cpu::CpuScheduler& scheduler() { return *cpu_; }
 
  private:
   cpu::CpuScheduler* cpu_;
+  std::set<std::uint64_t> enforced_;
 };
 
 }  // namespace mgq::gara

@@ -1,5 +1,6 @@
 #include "gara/slot_table.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mgq::gara {
@@ -41,6 +42,14 @@ SlotId SlotTable::insert(sim::TimePoint start, sim::TimePoint end,
 }
 
 bool SlotTable::remove(SlotId id) { return slots_.erase(id) != 0; }
+
+std::vector<SlotId> SlotTable::ids() const {
+  std::vector<SlotId> out;
+  out.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 bool SlotTable::modify(SlotId id, sim::TimePoint start, sim::TimePoint end,
                        double amount) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -42,6 +43,10 @@ class SlotTable {
   double usedAt(sim::TimePoint t) const;
 
   std::size_t slotCount() const { return slots_.size(); }
+
+  /// Every claimed slot id, sorted — a deterministic view for the
+  /// anti-entropy Reconciler's orphan-slot sweep.
+  std::vector<SlotId> ids() const;
 
   /// Test-only: disables the capacity check so insert()/modify() admit
   /// anything, while usedAt()/capacity() keep reporting the truth. Exists

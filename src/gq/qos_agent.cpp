@@ -85,8 +85,26 @@ double protocolOverheadFactor(int max_message_size, int mss) {
   return std::max(wire / max_message_size, 1.03);
 }
 
+QosAgent::RecoveryPolicy QosAgent::sanitizeRecoveryPolicy(
+    RecoveryPolicy policy) {
+  if (policy.max_retries < 0) policy.max_retries = 0;
+  if (policy.initial_backoff <= sim::Duration::zero()) {
+    policy.initial_backoff = sim::Duration::millis(1);
+  }
+  if (policy.backoff_multiplier < 1.0) policy.backoff_multiplier = 1.0;
+  if (policy.max_backoff < policy.initial_backoff) {
+    policy.max_backoff = policy.initial_backoff;
+  }
+  policy.jitter = std::clamp(policy.jitter, 0.0, 0.9);
+  if (policy.reescalate_interval < sim::Duration::zero()) {
+    policy.reescalate_interval = sim::Duration::zero();
+  }
+  return policy;
+}
+
 QosAgent::QosAgent(mpi::World& world, gara::Gara& gara, Config config)
     : world_(world), gara_(gara), config_(std::move(config)) {
+  config_.recovery = sanitizeRecoveryPolicy(config_.recovery);
   // QoS attributes never propagate silently to duplicated communicators:
   // reservations belong to the communicator they were requested on.
   keyval_ = world_.attributes().create(
@@ -151,6 +169,15 @@ void QosAgent::onPut(mpi::Comm& comm, void* value) {
 
   if (value == nullptr) return;
   const auto attr = *static_cast<const QosAttribute*>(value);  // snapshot
+  if (journal_ != nullptr) {
+    journal_->recordQosPut(key.first, key.second,
+                           static_cast<std::uint32_t>(attr.qosclass),
+                           attr.bandwidth_kbps,
+                           attr.max_message_size > 0
+                               ? static_cast<std::size_t>(attr.max_message_size)
+                               : 0,
+                           attr.bucket_divisor);
+  }
   countEvent("qos.requests");
   traceEvent("requested", static_cast<std::uint64_t>(comm.context()),
              attr.bandwidth_kbps, qosClassName(attr.qosclass));
@@ -182,6 +209,7 @@ gara::Gara::CoOutcome QosAgent::tryReserve(
     gara::ReservationRequest request;
     request.start = world_.simulator().now();
     request.amount = networkReservationBps(attr);
+    request.lease = reservation_lease_;
     request.flow = net::FlowMatch::exact(flow);
     request.bucket_divisor = attr.bucket_divisor;
     if (attr.qosclass == QosClass::kPremium) {
@@ -428,11 +456,55 @@ void QosAgent::release(const mpi::Comm& comm) {
   const auto key = keyOf(comm);
   const auto it = statuses_.find(key);
   if (it == statuses_.end()) return;
+  if (journal_ != nullptr) journal_->recordQosRelease(key.first, key.second);
   for (auto& handle : it->second.reservations) {
     gara_.cancel(handle);
   }
   it->second.reservations.clear();
   setState(key, QosRequestState::kReleased);
+}
+
+void QosAgent::crash() {
+  // Supersede every in-flight coroutine and armed failure watcher: each
+  // one compares its captured generation against this map before acting,
+  // and bumping in place keeps the counters monotonic so a post-restart
+  // re-put can never collide with a stale generation.
+  for (auto& [key, generation] : generations_) ++generation;
+  statuses_.clear();
+  countEvent("qos.agent_crashes");
+  traceEvent("agent_crashed", 0, 0.0, "per-communicator state dropped");
+  MGQ_LOG(kWarn) << "QoS agent: simulated crash (all request state lost)";
+}
+
+int QosAgent::reissueLiveIntents(const resil::StateJournal& journal,
+                                 const CommResolver& resolver) {
+  int reissued = 0;
+  for (const auto& intent : journal.liveIntents()) {
+    auto* comm = resolver ? resolver(intent.context, intent.world_rank)
+                          : nullptr;
+    if (comm == nullptr) {
+      countEvent("resil.reissue_skipped");
+      traceEvent("reissue_skipped",
+                 static_cast<std::uint64_t>(intent.context),
+                 intent.bandwidth_kbps, "communicator not resolvable");
+      continue;
+    }
+    QosAttribute attr;
+    attr.qosclass = static_cast<QosClass>(intent.qos_class);
+    attr.bandwidth_kbps = intent.bandwidth_kbps;
+    attr.max_message_size = static_cast<int>(intent.max_message_size);
+    attr.bucket_divisor = intent.bucket_divisor;
+    // attrPut records the pointer on the communicator, so the attribute
+    // needs a stable home for the communicator's lifetime.
+    auto& stored =
+        reissued_attrs_[{intent.context, intent.world_rank}] = attr;
+    ++reissued;
+    countEvent("resil.reissued_intents");
+    traceEvent("reissued", static_cast<std::uint64_t>(intent.context),
+               intent.bandwidth_kbps, qosClassName(attr.qosclass));
+    comm->attrPut(keyval_, &stored);  // normal request path from here
+  }
+  return reissued;
 }
 
 }  // namespace mgq::gq

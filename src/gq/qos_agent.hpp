@@ -22,6 +22,7 @@
 #include "gara/gara.hpp"
 #include "gq/qos_attribute.hpp"
 #include "mpi/world.hpp"
+#include "resil/journal.hpp"
 
 namespace mgq::obs {
 class MetricsRegistry;
@@ -54,6 +55,15 @@ class QosAgent {
     /// disables re-escalation (a degraded communicator stays degraded).
     sim::Duration reescalate_interval = sim::Duration::zero();
   };
+
+  /// Clamps a policy into its sane domain instead of letting nonsense
+  /// values produce silent timing bugs: negative retries → 0, zero or
+  /// negative initial_backoff → 1ms, multiplier < 1 → 1 (no shrinkage),
+  /// max_backoff below initial → initial, jitter clamped to [0, 0.9]
+  /// (jitter ≥ 1 could scale a backoff to zero or negative), negative
+  /// reescalate_interval → disabled. Applied to Config::recovery at
+  /// construction; exposed for direct testing.
+  static RecoveryPolicy sanitizeRecoveryPolicy(RecoveryPolicy policy);
 
   struct Config {
     /// GARA resource used for a flow when `resource_resolver` is unset or
@@ -99,6 +109,40 @@ class QosAgent {
   double networkReservationBps(const QosAttribute& attr) const;
 
   gara::Gara& gara() { return gara_; }
+
+  /// The sanitized failure-handling policy in effect.
+  const RecoveryPolicy& recoveryPolicy() const { return config_.recovery; }
+
+  // --- control-plane resilience -------------------------------------------
+
+  /// Journals every QoS intent (attrPut/release) so a restarted agent can
+  /// re-issue them. The journal must outlive the agent.
+  void attachJournal(resil::StateJournal* journal) { journal_ = journal; }
+
+  /// Lease stamped on every reservation this agent requests (zero =
+  /// unleased); set by the resilience wiring alongside the LeaseManager.
+  void setReservationLease(sim::Duration lease) {
+    reservation_lease_ = lease;
+  }
+
+  /// Simulated crash: the agent forgets all per-communicator request
+  /// state. Every in-flight apply/recover coroutine and armed failure
+  /// watcher is superseded (their captured generations become stale), but
+  /// the object stays alive — workload coroutines suspended in
+  /// awaitSettled keep their Conditions and simply wait for the restarted
+  /// agent to re-grant. The keyval registration also survives: it is the
+  /// agent's identity on the MPI side.
+  void crash();
+
+  /// Restart half of crash-recovery: re-issues every journal-live QoS
+  /// intent as a fresh attrPut through the normal request path. The
+  /// resolver maps an intent back to its communicator (nullptr = the
+  /// communicator no longer exists; the intent is skipped and counted
+  /// under "resil.reissue_skipped"). Returns the number re-issued.
+  using CommResolver =
+      std::function<mpi::Comm*(std::int32_t context, int world_rank)>;
+  int reissueLiveIntents(const resil::StateJournal& journal,
+                         const CommResolver& resolver);
 
   /// Wires agent-level QoS events into the observability layer: counters
   /// for requests/grants/denials/retries/degrades/re-escalations plus one
@@ -162,6 +206,11 @@ class QosAgent {
   std::map<StatusKey, QosStatus> statuses_;
   std::map<StatusKey, std::unique_ptr<sim::Condition>> settled_;
   std::map<StatusKey, std::uint64_t> generations_;
+  resil::StateJournal* journal_ = nullptr;
+  sim::Duration reservation_lease_ = sim::Duration::zero();
+  /// Attribute storage for re-issued intents: attrPut records the pointer
+  /// on the communicator, so it must stay stable per (context, rank).
+  std::map<StatusKey, QosAttribute> reissued_attrs_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   StateObserver state_observer_;

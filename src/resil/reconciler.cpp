@@ -1,0 +1,116 @@
+#include "resil/reconciler.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mgq::resil {
+
+void Reconciler::attachObservability(obs::MetricsRegistry* metrics,
+                                     obs::TraceBuffer* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
+void Reconciler::count(const char* counter, int n) {
+  if (metrics_ == nullptr) return;
+  for (int i = 0; i < n; ++i) metrics_->counter(counter).inc();
+}
+
+void Reconciler::trace(const char* event, std::uint64_t id, double value,
+                       const std::string& detail) {
+  if (trace_ != nullptr) trace_->record("resil", event, id, value, detail);
+}
+
+Reconciler::Report Reconciler::reconcile(UnclaimedPolicy policy) {
+  Report report;
+  count("resil.reconcile.runs");
+
+  // Handle registry: Gara's live index plus lease-held survivors (the
+  // only objects that outlive a Gara crash).
+  std::map<std::uint64_t, gara::ReservationHandle> handles;
+  for (const auto& handle : gara_.liveHandles()) {
+    handles[handle->id()] = handle;
+  }
+  if (leases_ != nullptr) {
+    for (const auto& lease : leases_->leases()) {
+      handles.emplace(lease.handle->id(), lease.handle);
+    }
+  }
+
+  // 1. Zombie enforcement: a manager enforces an id the journal says is
+  //    terminal. Repair by failing the surviving handle (release +
+  //    slot-free); without a handle we can only count the divergence.
+  for (const auto& resource : gara_.resourceNames()) {
+    auto* manager = gara_.findManager(resource);
+    if (manager == nullptr) continue;
+    for (const auto id : manager->enforcedIds()) {
+      if (journal_.isLive(id)) continue;
+      const auto it = handles.find(id);
+      if (it == handles.end() || gara::isTerminal(it->second->state())) {
+        ++report.unrepairable;
+        count("resil.reconcile.unrepairable");
+        trace("zombie_unrepairable", id, 0.0, resource);
+        continue;
+      }
+      ++report.zombies_failed;
+      count("resil.reconcile.zombies");
+      trace("zombie_failed", id, it->second->request().amount, resource);
+      gara_.fail(it->second, "reconcile: zombie enforcement");
+    }
+  }
+
+  // 2. Unclaimed journal-live reservations: live on the record, unknown
+  //    to the (restarted) Gara.
+  for (const auto& live : journal_.liveReservations()) {
+    if (gara_.findLive(live.id) != nullptr) continue;  // claimed: fine
+    const auto it = handles.find(live.id);
+    const bool has_handle =
+        it != handles.end() && !gara::isTerminal(it->second->state());
+    if (!has_handle) {
+      // No surviving object: correct the record so the journal converges
+      // (the slot sweep below frees any leftover claim).
+      journal_.forceRetire(live.id, "reconcile: no surviving handle");
+      ++report.unrepairable;
+      count("resil.reconcile.unrepairable");
+      trace("unclaimed_retired", live.id, live.amount, live.resource);
+      continue;
+    }
+    if (policy == UnclaimedPolicy::kAdopt) {
+      ++report.unclaimed_adopted;
+      count("resil.reconcile.adopted");
+      trace("unclaimed_adopted", live.id, live.amount, live.resource);
+      gara_.adopt(it->second);
+    } else {
+      ++report.unclaimed_failed;
+      count("resil.reconcile.refreshed");
+      trace("unclaimed_failed", live.id, live.amount, live.resource);
+      gara_.fail(it->second, "reconcile: lost across crash restart");
+    }
+  }
+
+  // 3. Orphaned slot-table claims: slots owned by no journal-live
+  //    reservation (the fails above already updated journal-live).
+  for (const auto& resource : gara_.resourceNames()) {
+    auto* manager = gara_.findManager(resource);
+    if (manager == nullptr) continue;
+    std::set<gara::SlotId> owned;
+    for (const auto& live : journal_.liveReservations()) {
+      if (live.resource == resource) owned.insert(live.slot);
+    }
+    for (const auto slot : manager->slots().ids()) {
+      if (owned.count(slot) != 0) continue;
+      manager->slots().remove(slot);
+      ++report.orphan_slots_removed;
+      count("resil.reconcile.orphan_slots");
+      trace("orphan_slot_removed", slot, 0.0, resource);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace mgq::resil

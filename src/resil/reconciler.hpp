@@ -1,0 +1,79 @@
+// Anti-entropy reconciliation between the journal (what the control plane
+// believes) and the managers (what is actually enforced).
+//
+// After a crash-restart — or opportunistically at any time — the
+// Reconciler sweeps for the two divergence shapes a dead controller
+// leaves behind:
+//   * zombie enforcement: a manager still enforces a reservation the
+//     journal considers terminal (repair: Gara::fail tears it down);
+//   * unclaimed state: the journal says a reservation is live but the
+//     restarted Gara has no record of it (repair: fail-and-refresh, so
+//     the agent's re-issued intents re-reserve cleanly, or adopt the
+//     surviving handle as-is);
+//   * orphaned slots: slot-table claims owned by no journal-live
+//     reservation (repair: remove the claim).
+// Every repair increments an obs counter and records a trace event.
+#pragma once
+
+#include <cstdint>
+
+#include "gara/gara.hpp"
+#include "resil/journal.hpp"
+#include "resil/lease.hpp"
+
+namespace mgq::obs {
+class MetricsRegistry;
+class TraceBuffer;
+}  // namespace mgq::obs
+
+namespace mgq::resil {
+
+class Reconciler {
+ public:
+  /// What to do with journal-live reservations the restarted Gara no
+  /// longer claims.
+  enum class UnclaimedPolicy {
+    /// Fail them (freeing slots and enforcement) and let the re-issued
+    /// QoS intents reserve afresh — the default restart path.
+    kFailAndRefresh,
+    /// Re-adopt the surviving handles in place (no re-reservation).
+    kAdopt,
+  };
+
+  /// `leases` may be null; lease-held handles are the registry of
+  /// reservation objects that survived a Gara crash.
+  Reconciler(gara::Gara& gara, StateJournal& journal, LeaseManager* leases)
+      : gara_(gara), journal_(journal), leases_(leases) {}
+  Reconciler(const Reconciler&) = delete;
+  Reconciler& operator=(const Reconciler&) = delete;
+
+  void attachObservability(obs::MetricsRegistry* metrics,
+                           obs::TraceBuffer* trace);
+
+  struct Report {
+    int zombies_failed = 0;      // enforced but journal-terminal
+    int unclaimed_failed = 0;    // journal-live, unclaimed, failed fresh
+    int unclaimed_adopted = 0;   // journal-live, unclaimed, re-adopted
+    int orphan_slots_removed = 0;
+    int unrepairable = 0;        // divergence with no surviving handle
+    int total() const {
+      return zombies_failed + unclaimed_failed + unclaimed_adopted +
+             orphan_slots_removed;
+    }
+  };
+
+  Report reconcile(UnclaimedPolicy policy);
+
+ private:
+  void count(const char* counter, int n = 1);
+  void trace(const char* event, std::uint64_t id, double value,
+             const std::string& detail);
+
+  gara::Gara& gara_;
+  StateJournal& journal_;
+  LeaseManager* leases_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+};
+
+}  // namespace mgq::resil

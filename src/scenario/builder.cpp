@@ -206,6 +206,95 @@ std::unique_ptr<BuiltScenario> ScenarioBuilder::build(
     built->sampler->start();
   }
 
+  // Control-plane resilience: the journal must subscribe to GARA's
+  // lifecycle events before any reservation exists, so wire it right
+  // after observability and before every script below.
+  const bool resil_on = spec.resil.enabled() || !spec.agent_crashes.empty();
+  if (resil_on) {
+    auto& resil = built->resil;
+    resil.journal = std::make_unique<resil::StateJournal>(rig.sim);
+    resil.journal->attach(rig.gara);
+    if (spec.resil.lease.enabled) {
+      resil::LeaseManager::Config lc;
+      lc.default_duration =
+          Duration::seconds(spec.resil.lease.duration_seconds);
+      lc.renew_fraction = spec.resil.lease.renew_fraction;
+      lc.grace = Duration::seconds(spec.resil.lease.grace_seconds);
+      resil.leases = std::make_unique<resil::LeaseManager>(rig.sim,
+                                                           rig.gara, lc);
+      resil.leases->attachObservability(built->metrics.get(),
+                                        built->trace.get());
+      rig.agent.setReservationLease(
+          Duration::seconds(spec.resil.lease.duration_seconds));
+    }
+    if (spec.resil.heartbeats) {
+      resil::HeartbeatMonitor::Config hc;
+      hc.interval = Duration::seconds(spec.resil.heartbeat_interval_seconds);
+      hc.phi_threshold = spec.resil.phi_threshold;
+      resil.heartbeats =
+          std::make_unique<resil::HeartbeatMonitor>(rig.sim, hc);
+      resil.heartbeats->attachObservability(built->metrics.get(),
+                                            built->trace.get());
+      resil::attachManagerHeartbeats(*resil.heartbeats, rig.gara);
+    }
+    resil.reconciler = std::make_unique<resil::Reconciler>(
+        rig.gara, *resil.journal, resil.leases.get());
+    resil.reconciler->attachObservability(built->metrics.get(),
+                                          built->trace.get());
+    rig.agent.attachJournal(resil.journal.get());
+
+    resil.crash = [b] {
+      auto& r = b->resil;
+      if (r.crashed) return;
+      r.crashed = true;
+      r.journal->recordCrash("control plane crashed");
+      b->rig.agent.crash();
+      b->rig.gara.crash();
+      if (r.leases != nullptr) r.leases->suspendRenewals();
+      if (r.heartbeats != nullptr) r.heartbeats->suspend();
+      if (b->metrics != nullptr) b->metrics->counter("resil.crashes").inc();
+    };
+    resil.restart = [b] {
+      auto& r = b->resil;
+      if (!r.crashed) return;
+      r.crashed = false;
+      r.journal->recordRestart("control plane restarted");
+      // Replay: resume id allocation above everything ever journaled,
+      // then reconcile divergence with the managers before re-issuing
+      // intents — fail-and-refresh frees pre-crash slots so the re-put
+      // reservations admit cleanly.
+      b->rig.gara.restartWithNextId(r.journal->maxReservationId() + 1);
+      r.last_reconcile = r.reconciler->reconcile(
+          resil::Reconciler::UnclaimedPolicy::kFailAndRefresh);
+      if (r.heartbeats != nullptr) r.heartbeats->resume();
+      if (r.leases != nullptr) r.leases->resumeRenewals();
+      const int reissued = b->rig.agent.reissueLiveIntents(
+          *r.journal,
+          [b](std::int32_t context, int world_rank) -> mpi::Comm* {
+            if (world_rank < 0 || world_rank >= b->rig.world.size()) {
+              return nullptr;
+            }
+            auto& comm = b->rig.world.worldComm(world_rank);
+            return comm.context() == context ? &comm : nullptr;
+          });
+      if (b->metrics != nullptr) {
+        b->metrics->counter("resil.restarts").inc();
+      }
+      if (b->trace != nullptr) {
+        b->trace->record("resil", "restarted", 0,
+                         static_cast<double>(reissued),
+                         "journal replayed; live intents re-issued");
+      }
+    };
+    for (const auto& c : spec.agent_crashes) {
+      rig.sim.schedule(Duration::seconds(c.at_seconds),
+                       [b] { b->resil.crash(); });
+      rig.sim.schedule(
+          Duration::seconds(c.at_seconds + c.restart_after_seconds),
+          [b] { b->resil.restart(); });
+    }
+  }
+
   if (spec.contention.enabled) {
     if (spec.contention.at_seconds <= 0) {
       rig.startContention(spec.contention.rate_bps);

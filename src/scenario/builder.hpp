@@ -18,6 +18,10 @@
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "resil/heartbeat.hpp"
+#include "resil/journal.hpp"
+#include "resil/lease.hpp"
+#include "resil/reconciler.hpp"
 #include "scenario/spec.hpp"
 #include "sim/fault_injector.hpp"
 #include "tcp/tcp_socket.hpp"
@@ -51,6 +55,26 @@ struct BuiltScenario {
   std::unique_ptr<cpu::CpuHog> hog;
   std::unique_ptr<net::LinkFault> edge_link;
   std::unique_ptr<sim::FaultInjector> injector;
+
+  // Control-plane resilience (spec.resil / spec.agent_crashes): journal,
+  // leases, heartbeats, and the crash/restart orchestration used by both
+  // scripted AgentCrashSpecs and the chaos "qos-agent" fault target.
+  struct ControlPlaneResilience {
+    std::unique_ptr<resil::StateJournal> journal;
+    std::unique_ptr<resil::LeaseManager> leases;
+    std::unique_ptr<resil::HeartbeatMonitor> heartbeats;
+    std::unique_ptr<resil::Reconciler> reconciler;
+    /// Drops agent + GARA state, pauses renewals and heartbeats.
+    /// Idempotent while already crashed.
+    std::function<void()> crash;
+    /// Journal replay, anti-entropy reconcile, heartbeat/lease resume,
+    /// re-issue of journal-live intents. No-op unless crashed.
+    std::function<void()> restart;
+    bool crashed = false;
+    resil::Reconciler::Report last_reconcile;
+  };
+  ControlPlaneResilience resil;
+  bool hasResilience() const { return resil.journal != nullptr; }
 
   // Measurement.
   std::function<std::int64_t()> delivered_fn;  // receiver-side byte count

@@ -356,6 +356,80 @@ ScenarioSpec faultRecoverySpec(const std::string& name, bool recovery_on) {
   return spec;
 }
 
+ScenarioSpec crashRecoverySpec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.title = "Crash recovery: QoS agent dies mid-stream, journal replay "
+               "and reconciliation re-converge to granted QoS";
+  spec.paper_ref = "GARA persistent slot table / restartable gatekeeper "
+                   "(§3.1, §4.2), extended with leases and anti-entropy";
+  spec.rig.recovery.max_retries = 6;
+  spec.rig.recovery.initial_backoff = sim::Duration::millis(250);
+  spec.rig.recovery.backoff_multiplier = 2.0;
+  spec.rig.recovery.max_backoff = sim::Duration::seconds(2.0);
+  spec.rig.recovery.jitter = 0.1;
+  spec.rig.recovery.degrade_to_best_effort = true;
+  spec.rig.recovery.reescalate_interval = sim::Duration::seconds(2.0);
+  VisualizationWorkload w;
+  w.frames_per_second = 100.0;
+  w.frame_bytes = 37'500;  // 100 fps x 37.5 KB = 30 Mb/s
+  w.seconds = 60.0;
+  spec.workload = w;
+  spec.contention.enabled = true;
+  ReservationSpec r;
+  r.network_kbps = 30'000.0;
+  r.max_message_size = 37'500;
+  spec.reservations.push_back(r);
+  // Full control-plane resilience stack: journal + 2 s leases +
+  // heartbeat probing. The crash at t=20 drops the agent and GARA state;
+  // leases hard-expire enforcement ~2.25 s into the outage, and the
+  // restart at t=25 replays the journal, reconciles every manager, and
+  // re-issues the surviving QoS intent.
+  spec.resil.journal = true;
+  spec.resil.lease.enabled = true;
+  spec.resil.lease.duration_seconds = 2.0;
+  spec.resil.heartbeats = true;
+  spec.agent_crashes.push_back(AgentCrashSpec{20.0, 5.0});
+  spec.run_until_seconds = 60.0;
+  const auto pre = [](const ScenarioResult& res) {
+    return res.meanKbps(5.0, 20.0);
+  };
+  const auto post = [](const ScenarioResult& res) {
+    return res.meanKbps(30.0, 60.0);
+  };
+  const auto counter = [](const ScenarioResult& res, const char* name) {
+    return res.metrics == nullptr
+               ? 0.0
+               : res.metrics->counter(name).value();
+  };
+  spec.checks = {
+      {"delivers the reserved rate before the crash",
+       [pre](const ScenarioResult& res) { return pre(res) > 0.9 * 30'000.0; }},
+      {"the control plane crashed and restarted exactly once",
+       [counter](const ScenarioResult& res) {
+         return counter(res, "resil.crashes") == 1.0 &&
+                counter(res, "resil.restarts") == 1.0;
+       }},
+      {"the lease hard-expired enforcement during the outage",
+       [counter](const ScenarioResult& res) {
+         return counter(res, "resil.lease.expired") >= 1.0;
+       }},
+      {"restart re-issued the journalled QoS intent",
+       [counter](const ScenarioResult& res) {
+         return counter(res, "resil.reissued_intents") >= 1.0;
+       }},
+      {"restart re-converges to most of the pre-crash goodput",
+       [pre, post](const ScenarioResult& res) {
+         return post(res) > 0.7 * pre(res);
+       }},
+      {"agent ends re-granted after the restart",
+       [](const ScenarioResult& res) {
+         return res.qos_state == gq::QosRequestState::kGranted;
+       }},
+  };
+  return spec;
+}
+
 void registerPaperScenarios(ScenarioRegistry& registry) {
   registry.add({"fig1_under", "Figure 1: 50 Mb/s offered, 40 Mb/s reserved",
                 "Figure 1 (§5)",
@@ -437,6 +511,12 @@ void registerPaperScenarios(ScenarioRegistry& registry) {
                 "Link flap with the QoS agent's RecoveryPolicy enabled",
                 "§4.2", [] {
                   return faultRecoverySpec("fault_recovery_on", true);
+                }});
+  registry.add({"fault_recovery_crash",
+                "QoS agent crash + restart: journal replay, reconciliation, "
+                "lease expiry, re-granted QoS",
+                "§3.1/§4.2", [] {
+                  return crashRecoverySpec("fault_recovery_crash");
                 }});
   registry.add({"fault_recovery_off",
                 "Link flap with recovery disabled (degrades to best effort)",

@@ -60,4 +60,11 @@ ScenarioSpec pingLatencySpec(const std::string& name, bool low_latency);
 /// RecoveryPolicy on or off. Includes per-run state/goodput checks.
 ScenarioSpec faultRecoverySpec(const std::string& name, bool recovery_on);
 
+/// Crash-recovery scenario: the fault-recovery rig with the full
+/// control-plane resilience stack (journal, 2 s leases, heartbeats); the
+/// QoS agent and GARA crash at t=20 s and restart at t=25 s. Checks that
+/// leases hard-expire enforcement during the outage and the restart
+/// replays the journal, reconciles, re-issues the intent, and re-grants.
+ScenarioSpec crashRecoverySpec(const std::string& name);
+
 }  // namespace mgq::scenario

@@ -92,6 +92,21 @@ bool applyParam(ScenarioSpec& spec, const std::string& key, double value) {
     w->offered_bps = value;
     return true;
   }
+  if (key == "lease_seconds") {
+    spec.resil.lease.enabled = value > 0;
+    if (value > 0) spec.resil.lease.duration_seconds = value;
+    return true;
+  }
+  if (key == "crash_at") {
+    if (spec.agent_crashes.empty()) spec.agent_crashes.emplace_back();
+    spec.agent_crashes.front().at_seconds = value;
+    return true;
+  }
+  if (key == "restart_after") {
+    if (spec.agent_crashes.empty()) spec.agent_crashes.emplace_back();
+    spec.agent_crashes.front().restart_after_seconds = value;
+    return true;
+  }
   if (key == "seconds") {
     if (auto* p = std::get_if<PingPongWorkload>(&spec.workload)) {
       p->seconds = value;

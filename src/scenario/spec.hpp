@@ -144,6 +144,47 @@ struct FaultSpec {
 };
 
 // --------------------------------------------------------------------------
+// Control-plane resilience
+// --------------------------------------------------------------------------
+
+/// Reservation leases: agent-made reservations must be renewed within the
+/// lease window or enforcement hard-expires (reason "lease_expired") —
+/// what lets the data plane shed zombie reservations when their
+/// controller dies.
+struct LeaseSpec {
+  bool enabled = false;
+  double duration_seconds = 2.0;
+  double renew_fraction = 0.5;
+  double grace_seconds = 0.25;
+};
+
+/// A scripted control-plane crash: at `at_seconds` the QoS agent and GARA
+/// drop their in-memory state (lease renewals and heartbeats pause);
+/// `restart_after_seconds` later the control plane restarts — journal
+/// replay, anti-entropy reconciliation against every manager, then
+/// re-issue of the journal-live QoS intents.
+struct AgentCrashSpec {
+  double at_seconds = 0.0;
+  double restart_after_seconds = 1.0;
+};
+
+struct ResilienceSpec {
+  /// Journal + reconciler wiring. Leases, heartbeats, or any scripted
+  /// agent crash imply it.
+  bool journal = false;
+  LeaseSpec lease;
+  /// Heartbeat probing of every registered manager, with phi-accrual
+  /// suspicion driving manager-down events into the RecoveryPolicy.
+  bool heartbeats = false;
+  double heartbeat_interval_seconds = 0.25;
+  double phi_threshold = 2.0;
+
+  bool enabled() const {
+    return journal || lease.enabled || heartbeats;
+  }
+};
+
+// --------------------------------------------------------------------------
 // Declarative shape checks
 // --------------------------------------------------------------------------
 
@@ -171,6 +212,8 @@ struct ScenarioSpec {
   ContentionSpec contention;
   std::vector<CpuHogSpec> cpu_hogs;
   std::vector<FaultSpec> faults;
+  ResilienceSpec resil;
+  std::vector<AgentCrashSpec> agent_crashes;  // forces resil wiring on
 
   /// Simulated stop time; 0 derives it from the workload (its deadline
   /// plus a drain margin).
@@ -193,7 +236,9 @@ struct ScenarioSpec {
 /// Applies a named sweep parameter. Known keys: seed, seconds,
 /// reservation_kbps, bucket_divisor, message_bytes, frame_bytes, fps,
 /// cpu_seconds_per_frame, offered_bps, flow_rate_bps, contention_bps,
-/// cpu_fraction. message_bytes/frame_bytes also retune the first
+/// cpu_fraction, lease_seconds, crash_at, restart_after (the last two
+/// retune the first scripted agent crash, creating one when absent).
+/// message_bytes/frame_bytes also retune the first
 /// reservation's max_message_size (they are coupled in every paper
 /// experiment). Returns false for an unknown key or one that does not
 /// apply to the spec's workload.

@@ -165,5 +165,58 @@ TEST(ChaosSoakTest, FaultRecoveryHoldsInvariantsOver200Seeds) {
   soak("fault_recovery_on", 3.0);
 }
 
+// --- control-plane resilience ---------------------------------------------
+
+TEST(ChaosRunnerTest, ManagerRevocationReentersReleaseUnderTheMonitors) {
+  // A manager outage mid-run drives FlakyResourceManager::revokeActive,
+  // whose reportFailure() re-enters release() for every victim while the
+  // lease-safety and no-zombie-enforcement invariants sweep — the
+  // re-entrant erase from active_ must leave no zombie behind.
+  ChaosPlan plan;
+  plan.scenario = "fault_recovery_crash";
+  plan.seed = 3;
+  plan.horizon_seconds = 3.0;
+  sim::FaultEvent down;
+  down.at = sim::TimePoint::fromSeconds(1.0);
+  down.target = "net-forward-manager";
+  down.action = sim::FaultAction::kDown;
+  plan.events.push_back(down);
+  sim::FaultEvent up = down;
+  up.at = sim::TimePoint::fromSeconds(1.5);
+  up.action = sim::FaultAction::kUp;
+  plan.events.push_back(up);
+
+  ChaosOptions options;
+  options.horizon_seconds = 3.0;
+  ChaosRunner runner;
+  const auto report = runner.runPlan(plan, options);
+  EXPECT_TRUE(report.ok()) << report.log;
+  EXPECT_EQ(report.injector_fired, 2u);
+}
+
+TEST(ChaosSoakTest, CrashRestartHoldsLeaseAndZombieInvariantsOver200Seeds) {
+  // fault_recovery_crash wires the full resilience stack, so every run
+  // sweeps the lease-safety and no-zombie-enforcement invariants; the
+  // profile adds agent crash/restart episodes and renewal storms on top
+  // of the stock fault mix (the scripted t=20 crash is outside the
+  // shortened horizon and is cleared by the runner anyway).
+  ChaosOptions options;
+  options.horizon_seconds = 4.0;
+  options.profile.agent_crashes_per_100s = 60.0;
+  options.profile.mean_crash_downtime_seconds = 0.6;
+  options.profile.renewal_storms_per_100s = 40.0;
+  options.profile.mean_storm_seconds = 0.8;
+  ChaosRunner runner;
+  const auto outcome =
+      runner.runSeeds("fault_recovery_crash", 1, 200, options);
+  EXPECT_TRUE(outcome.ok())
+      << "seed "
+      << (outcome.failure() != nullptr ? outcome.failure()->plan.seed : 0)
+      << " violated invariants:\n"
+      << (outcome.failure() != nullptr ? outcome.failure()->log
+                                       : std::string{});
+  EXPECT_EQ(outcome.reports.size(), 200u);
+}
+
 }  // namespace
 }  // namespace mgq::chaos

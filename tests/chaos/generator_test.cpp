@@ -97,5 +97,42 @@ TEST(ChaosGeneratorTest, RatesGateCategoriesAndParamsStayInRange) {
   }
 }
 
+TEST(ChaosGeneratorTest, ControlPlaneCategoriesNeverReshuffleTheOthers) {
+  // The agent-crash and renewal-storm categories draw from their own Rng
+  // streams appended after the original six, so enabling them must leave
+  // every pre-existing category's events byte-identical — soak results
+  // from before the control-plane categories existed stay reproducible.
+  ChaosProfile with_crashes;
+  with_crashes.agent_crashes_per_100s = 30.0;
+  with_crashes.renewal_storms_per_100s = 20.0;
+  const auto base =
+      ChaosPlanGenerator{ChaosProfile{}}.generate("fault_recovery_crash", 7,
+                                                  40.0);
+  const auto extended =
+      ChaosPlanGenerator{with_crashes}.generate("fault_recovery_crash", 7,
+                                                40.0);
+
+  std::vector<sim::FaultEvent> extended_without_new;
+  bool saw_crash = false, saw_storm = false;
+  for (const auto& e : extended.events) {
+    if (e.target == "qos-agent") {
+      saw_crash = true;
+    } else if (e.target == "lease-renewals") {
+      saw_storm = true;
+    } else {
+      extended_without_new.push_back(e);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_storm);
+  ASSERT_EQ(extended_without_new.size(), base.events.size());
+  for (std::size_t i = 0; i < base.events.size(); ++i) {
+    EXPECT_EQ(base.events[i].at, extended_without_new[i].at) << i;
+    EXPECT_EQ(base.events[i].target, extended_without_new[i].target) << i;
+    EXPECT_EQ(base.events[i].action, extended_without_new[i].action) << i;
+    EXPECT_EQ(base.events[i].param, extended_without_new[i].param) << i;
+  }
+}
+
 }  // namespace
 }  // namespace mgq::chaos

@@ -320,6 +320,73 @@ TEST(FlakyResourceManagerTest, FaultTargetDrivesOutageAndRevocation) {
   EXPECT_TRUE(f.gara.reserve("flaky", f.request(5e6)));
 }
 
+TEST(ReservationIdempotenceTest, DoubleFailKeepsFirstReasonAndFiresOnce) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6));
+  ASSERT_TRUE(outcome);
+  int terminal_events = 0;
+  f.gara.addLifecycleListener([&](const char* op, const ReservationHandle&,
+                                  const std::string&, const std::string&) {
+    if (std::string(op) == "failed") ++terminal_events;
+  });
+  f.gara.fail(outcome.handle, "first failure");
+  f.gara.fail(outcome.handle, "second failure");
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kFailed);
+  EXPECT_EQ(outcome.handle->failureReason(), "first failure");
+  EXPECT_EQ(terminal_events, 1);
+  // Capacity was released exactly once: the full pool reserves cleanly.
+  EXPECT_TRUE(f.gara.reserve("net", f.request(40e6)));
+}
+
+TEST(ReservationIdempotenceTest, CancelAfterExpiryIsASilentNoOp) {
+  Fixture f;
+  auto outcome = f.gara.reserve("net", f.request(10e6, 0, 1));
+  ASSERT_TRUE(outcome);
+  f.sim.runUntil(TimePoint::fromSeconds(2));
+  ASSERT_EQ(outcome.handle->state(), ReservationState::kExpired);
+
+  int events_after_expiry = 0;
+  f.gara.addLifecycleListener([&](const char*, const ReservationHandle&,
+                                  const std::string&, const std::string&) {
+    ++events_after_expiry;
+  });
+  f.gara.cancel(outcome.handle);
+  f.gara.cancel(outcome.handle);
+  EXPECT_EQ(outcome.handle->state(), ReservationState::kExpired);
+  EXPECT_EQ(events_after_expiry, 0);  // no resurrection, no re-transition
+  EXPECT_EQ(f.gara.findLive(outcome.handle->id()), nullptr);
+}
+
+TEST(ReservationIdempotenceTest, FailDuringCoReserveRollbackStaysFailed) {
+  Fixture f;
+  PreemptingManager trap(100.0);
+  f.gara.registerManager("trap", trap);
+
+  // The trap's enforce() fails leg 1 while leg 2 is being set up; the
+  // coReserve rollback then cancels every admitted leg, including the
+  // already-failed one — that cancel must be a no-op, not a double
+  // release or a kFailed -> kCancelled re-transition.
+  std::vector<std::string> terminal_ops;
+  f.gara.addLifecycleListener([&](const char* op, const ReservationHandle& h,
+                                  const std::string&, const std::string&) {
+    const std::string name = op;
+    if (h->id() == 1 &&
+        (name == "failed" || name == "cancelled" || name == "expired")) {
+      terminal_ops.push_back(name);
+    }
+  });
+  trap.preemptOnEnforce(1);
+  auto outcome = f.gara.coReserve({
+      {"net", f.request(10e6)},
+      {"trap", f.request(1.0)},
+  });
+  EXPECT_FALSE(outcome);
+  ASSERT_EQ(terminal_ops.size(), 1u);
+  EXPECT_EQ(terminal_ops[0], "failed");
+  EXPECT_DOUBLE_EQ(f.manager->slots().usedAt(f.sim.now()), 0.0);
+  EXPECT_TRUE(f.gara.reserve("net", f.request(40e6)));
+}
+
 TEST(ReservationFailureTest, StaleFailureReportIsIgnored) {
   Fixture f;
   PreemptingManager trap(100.0);

@@ -1,0 +1,94 @@
+// RecoveryPolicy sanitization: every clamp in
+// QosAgent::sanitizeRecoveryPolicy, plus the agent applying it at
+// construction — nonsense knob values must not produce silent timing
+// bugs (zero backoffs, shrinking retries, jitter scaling to zero).
+#include <gtest/gtest.h>
+
+#include "apps/garnet_rig.hpp"
+#include "gq/qos_agent.hpp"
+
+namespace mgq::gq {
+namespace {
+
+using sim::Duration;
+
+TEST(RecoveryPolicySanitizeTest, NegativeRetriesClampToZero) {
+  QosAgent::RecoveryPolicy policy;
+  policy.max_retries = -3;
+  const auto out = QosAgent::sanitizeRecoveryPolicy(policy);
+  EXPECT_EQ(out.max_retries, 0);
+}
+
+TEST(RecoveryPolicySanitizeTest, NonPositiveInitialBackoffClampsToOneMs) {
+  QosAgent::RecoveryPolicy policy;
+  policy.initial_backoff = Duration::zero();
+  EXPECT_EQ(QosAgent::sanitizeRecoveryPolicy(policy).initial_backoff,
+            Duration::millis(1));
+  policy.initial_backoff = Duration::seconds(-2.0);
+  EXPECT_EQ(QosAgent::sanitizeRecoveryPolicy(policy).initial_backoff,
+            Duration::millis(1));
+}
+
+TEST(RecoveryPolicySanitizeTest, MultiplierBelowOneClampsToOne) {
+  QosAgent::RecoveryPolicy policy;
+  policy.backoff_multiplier = 0.5;  // would shrink every retry
+  EXPECT_DOUBLE_EQ(
+      QosAgent::sanitizeRecoveryPolicy(policy).backoff_multiplier, 1.0);
+}
+
+TEST(RecoveryPolicySanitizeTest, MaxBackoffIsRaisedToInitial) {
+  QosAgent::RecoveryPolicy policy;
+  policy.initial_backoff = Duration::seconds(4.0);
+  policy.max_backoff = Duration::seconds(1.0);
+  const auto out = QosAgent::sanitizeRecoveryPolicy(policy);
+  EXPECT_EQ(out.max_backoff, Duration::seconds(4.0));
+}
+
+TEST(RecoveryPolicySanitizeTest, JitterClampsIntoZeroToPointNine) {
+  QosAgent::RecoveryPolicy policy;
+  policy.jitter = -0.5;
+  EXPECT_DOUBLE_EQ(QosAgent::sanitizeRecoveryPolicy(policy).jitter, 0.0);
+  policy.jitter = 1.5;  // 1 - jitter would scale a backoff negative
+  EXPECT_DOUBLE_EQ(QosAgent::sanitizeRecoveryPolicy(policy).jitter, 0.9);
+}
+
+TEST(RecoveryPolicySanitizeTest, NegativeReescalateIntervalIsDisabled) {
+  QosAgent::RecoveryPolicy policy;
+  policy.reescalate_interval = Duration::seconds(-1.0);
+  EXPECT_EQ(QosAgent::sanitizeRecoveryPolicy(policy).reescalate_interval,
+            Duration::zero());
+}
+
+TEST(RecoveryPolicySanitizeTest, SanePoliciesPassThroughUnchanged) {
+  QosAgent::RecoveryPolicy policy;
+  policy.max_retries = 6;
+  policy.initial_backoff = Duration::millis(250);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = Duration::seconds(2.0);
+  policy.jitter = 0.1;
+  policy.reescalate_interval = Duration::seconds(2.0);
+  const auto out = QosAgent::sanitizeRecoveryPolicy(policy);
+  EXPECT_EQ(out.max_retries, 6);
+  EXPECT_EQ(out.initial_backoff, Duration::millis(250));
+  EXPECT_DOUBLE_EQ(out.backoff_multiplier, 2.0);
+  EXPECT_EQ(out.max_backoff, Duration::seconds(2.0));
+  EXPECT_DOUBLE_EQ(out.jitter, 0.1);
+  EXPECT_EQ(out.reescalate_interval, Duration::seconds(2.0));
+}
+
+TEST(RecoveryPolicySanitizeTest, AgentConstructorAppliesTheClamps) {
+  apps::GarnetRig::Config config;
+  config.recovery.max_retries = -1;
+  config.recovery.initial_backoff = Duration::zero();
+  config.recovery.backoff_multiplier = 0.25;
+  config.recovery.jitter = 2.0;
+  apps::GarnetRig rig(config);
+  const auto& applied = rig.agent.recoveryPolicy();
+  EXPECT_EQ(applied.max_retries, 0);
+  EXPECT_EQ(applied.initial_backoff, Duration::millis(1));
+  EXPECT_DOUBLE_EQ(applied.backoff_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(applied.jitter, 0.9);
+}
+
+}  // namespace
+}  // namespace mgq::gq

@@ -1,0 +1,78 @@
+// End-to-end crash-restart: the fault_recovery_crash catalog scenario
+// kills the QoS agent and GARA mid-stream, leases shed the orphaned
+// enforcement, and the restart replays the journal, reconciles every
+// manager, re-issues the QoS intent, and re-converges to granted QoS.
+#include <gtest/gtest.h>
+
+#include "scenario/catalog.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace mgq::scenario {
+namespace {
+
+double counterOf(const ScenarioResult& res, const char* name) {
+  return res.metrics == nullptr ? 0.0 : res.metrics->counter(name).value();
+}
+
+TEST(CrashRestartScenarioTest, RegistryCarriesTheCrashScenario) {
+  ScenarioRegistry registry;
+  registerPaperScenarios(registry);
+  const auto* info = registry.find("fault_recovery_crash");
+  ASSERT_NE(info, nullptr);
+  const auto spec = info->make();
+  EXPECT_TRUE(spec.resil.enabled());
+  EXPECT_TRUE(spec.resil.lease.enabled);
+  ASSERT_EQ(spec.agent_crashes.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.agent_crashes[0].at_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(spec.agent_crashes[0].restart_after_seconds, 5.0);
+}
+
+TEST(CrashRestartScenarioTest, CrashRestartReconvergesToGrantedQos) {
+  const auto spec = crashRecoverySpec("fault_recovery_crash");
+  ScenarioRunner runner;
+  const auto res = runner.run(spec);
+
+  // Every declarative check — pre-crash goodput, exactly one
+  // crash/restart, lease expiry during the outage, intent re-issue,
+  // post-restart goodput recovery, final kGranted — must pass.
+  for (const auto& check : res.checks) {
+    EXPECT_TRUE(check.ok) << check.what;
+  }
+  EXPECT_TRUE(res.checksPassed());
+
+  // The restart went through the full reconciliation pipeline.
+  EXPECT_EQ(counterOf(res, "resil.crashes"), 1.0);
+  EXPECT_EQ(counterOf(res, "resil.restarts"), 1.0);
+  EXPECT_EQ(counterOf(res, "resil.reconcile.runs"), 1.0);
+  EXPECT_GE(counterOf(res, "resil.reissued_intents"), 1.0);
+  EXPECT_GE(counterOf(res, "resil.lease.expired"), 1.0);
+  EXPECT_GE(counterOf(res, "gara.crashes"), 1.0);
+  EXPECT_EQ(res.qos_state, gq::QosRequestState::kGranted);
+}
+
+TEST(CrashRestartScenarioTest, CrashTimingIsTunableViaParams) {
+  auto spec = crashRecoverySpec("fault_recovery_crash");
+  EXPECT_TRUE(applyParam(spec, "crash_at", 12.0));
+  EXPECT_TRUE(applyParam(spec, "restart_after", 2.0));
+  EXPECT_TRUE(applyParam(spec, "lease_seconds", 1.0));
+  ASSERT_EQ(spec.agent_crashes.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.agent_crashes[0].at_seconds, 12.0);
+  EXPECT_DOUBLE_EQ(spec.agent_crashes[0].restart_after_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(spec.resil.lease.duration_seconds, 1.0);
+}
+
+TEST(CrashRestartScenarioTest, SameSeedIsDeterministic) {
+  ScenarioRunner runner;
+  const auto a = runner.run(crashRecoverySpec("fault_recovery_crash"));
+  const auto b = runner.run(crashRecoverySpec("fault_recovery_crash"));
+  EXPECT_EQ(a.goodput_kbps, b.goodput_kbps);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(counterOf(a, "resil.lease.expired"),
+            counterOf(b, "resil.lease.expired"));
+  EXPECT_EQ(counterOf(a, "resil.reissued_intents"),
+            counterOf(b, "resil.reissued_intents"));
+}
+
+}  // namespace
+}  // namespace mgq::scenario

@@ -89,9 +89,10 @@ TEST(ScenarioRegistry, PaperRegistryLookup) {
 
   // Filtered listing is sorted and matches by substring.
   const auto faults = registry.list("fault_");
-  ASSERT_EQ(faults.size(), 2u);
-  EXPECT_EQ(faults[0]->name, "fault_recovery_off");
-  EXPECT_EQ(faults[1]->name, "fault_recovery_on");
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_EQ(faults[0]->name, "fault_recovery_crash");
+  EXPECT_EQ(faults[1]->name, "fault_recovery_off");
+  EXPECT_EQ(faults[2]->name, "fault_recovery_on");
 }
 
 TEST(Sweep, ExpandsCrossProductWithLabels) {

@@ -30,6 +30,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario NAME [--seeds N] [--first-seed S]\n"
                "          [--horizon SEC] [--shrink] [--threads N]\n"
+               "          [--crash-rate PER100S] "
+               "[--renewal-storm-rate PER100S]\n"
                "          [--json-dir DIR]\n"
                "       %s --replay FILE [--json-dir DIR]\n",
                argv0, argv0);
@@ -91,10 +93,13 @@ int replayFile(const std::string& path, const std::string& json_dir) {
 
 int sweepSeeds(const std::string& scenario, std::uint64_t first_seed,
                int seeds, double horizon, bool shrink, int threads,
+               double crash_rate, double renewal_storm_rate,
                const std::string& json_dir) {
   chaos::ChaosOptions options;
   options.horizon_seconds = horizon;
   options.threads = threads;
+  options.profile.agent_crashes_per_100s = crash_rate;
+  options.profile.renewal_storms_per_100s = renewal_storm_rate;
 
   chaos::ChaosRunner runner;
   chaos::ChaosOutcome outcome;
@@ -154,6 +159,8 @@ int main(int argc, char** argv) {
   double horizon = 0.0;
   bool shrink = false;
   int threads = 0;
+  double crash_rate = 0.0;
+  double renewal_storm_rate = 0.0;
   std::string json_dir = ".";
 
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +195,14 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         threads = std::stoi(v);
+      } else if (arg == "--crash-rate") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        crash_rate = std::stod(v);
+      } else if (arg == "--renewal-storm-rate") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        renewal_storm_rate = std::stod(v);
       } else if (arg == "--json-dir") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
@@ -203,5 +218,5 @@ int main(int argc, char** argv) {
   if (!replay.empty()) return replayFile(replay, json_dir);
   if (scenario.empty() || seeds <= 0) return usage(argv[0]);
   return sweepSeeds(scenario, first_seed, seeds, horizon, shrink, threads,
-                    json_dir);
+                    crash_rate, renewal_storm_rate, json_dir);
 }
