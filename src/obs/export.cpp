@@ -239,6 +239,22 @@ bool exportBenchJson(const std::string& bench_name,
   return out.good();
 }
 
+std::string renderMultiRunJson(const std::string& bench_name,
+                               const std::vector<RunExport>& runs) {
+  std::ostringstream out;
+  writeMultiRunJson(out, bench_name, runs);
+  return std::move(out).str();
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 bool exportMultiRunBenchJson(const std::string& bench_name,
                              const std::vector<RunExport>& runs,
                              const std::string& directory) {

@@ -24,8 +24,10 @@
 // the container has no JSON dependency and must not gain one.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -60,6 +62,15 @@ void writeMultiRunJson(std::ostream& os, const std::string& bench_name,
 bool exportMultiRunBenchJson(const std::string& bench_name,
                              const std::vector<RunExport>& runs,
                              const std::string& directory = ".");
+
+/// writeMultiRunJson rendered to a string — for tests and golden guards
+/// that hash or diff the document instead of writing a file.
+std::string renderMultiRunJson(const std::string& bench_name,
+                               const std::vector<RunExport>& runs);
+
+/// FNV-1a 64-bit hash. Used by the golden-determinism guard to pin BENCH
+/// documents with a short checked-in fingerprint instead of full files.
+std::uint64_t fnv1a64(std::string_view data);
 
 void writeTimelinesCsv(std::ostream& os, const MetricsRegistry& metrics);
 

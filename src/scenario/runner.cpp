@@ -109,6 +109,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
     result.recovery_attempts = status.recovery_attempts;
   }
   if (built->injector != nullptr) result.injector_log = built->injector->logText();
+  result.events_executed = rig.sim.eventsExecuted();
   if (built->metrics != nullptr) {
     apps::recordBandwidthSeries(*built->metrics, "workload.delivered_kbps",
                                 result.series);

@@ -51,6 +51,11 @@ struct ScenarioResult {
   int recovery_attempts = 0;
   std::string injector_log;
 
+  /// Simulator::eventsExecuted() at the end of the run. A pure function
+  /// of the spec — the golden-determinism guard pins it per scenario to
+  /// catch silent event reordering in the kernel.
+  std::uint64_t events_executed = 0;
+
   std::vector<CheckResult> checks;
 
   /// Per-run scoped observability (null when the spec disabled it).

@@ -37,17 +37,21 @@ class Condition {
     return Awaiter{*this};
   }
 
-  /// Wakes the longest-waiting coroutine (if any).
+  /// Wakes the longest-waiting coroutine (if any). The wakeup takes the
+  /// resume-enqueue fast path: no lambda, no allocation.
   void notifyOne() {
     if (waiters_.empty()) return;
     auto h = waiters_.front();
     waiters_.pop_front();
-    sim_.schedule(Duration::zero(), [h] { h.resume(); });
+    sim_.scheduleResume(Duration::zero(), h);
   }
 
-  /// Wakes all currently parked coroutines, in wait order.
+  /// Wakes every coroutine parked *at the call*, in wait order — a
+  /// snapshot, so a waiter that re-waits from inside its (deferred)
+  /// wakeup is woken at most once per notifyAll generation.
   void notifyAll() {
-    while (!waiters_.empty()) notifyOne();
+    const std::size_t parked = waiters_.size();
+    for (std::size_t i = 0; i < parked; ++i) notifyOne();
   }
 
   std::size_t waiterCount() const { return waiters_.size(); }

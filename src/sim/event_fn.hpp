@@ -1,0 +1,152 @@
+// Small-buffer-optimized, move-only callback for the event kernel.
+//
+// std::function heap-allocates for anything beyond a pointer or two and
+// drags in copy machinery the kernel never uses. EventFn keeps callables
+// up to kInlineBytes (sized to fit every hot-path capture: a coroutine
+// handle, a `this` pointer plus an id, a couple of shared_ptrs) inline in
+// the object, falling back to the heap only for large scripted-scenario
+// closures. Move-only, so move-only captures (unique_ptr and friends)
+// work too.
+//
+// EventFn::resume(h) is the dedicated wakeup representation: the
+// delay()/Condition fast paths build it directly, so a coroutine resume
+// costs one inline store — no lambda object, no type erasure beyond the
+// shared ops table, no allocation.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mgq::sim {
+
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    emplace(std::forward<F>(f));
+  }
+
+  /// The coroutine-wakeup fast path: stores the handle inline and resumes
+  /// it on invocation.
+  static EventFn resume(std::coroutine_handle<> h) noexcept {
+    EventFn fn;
+    ::new (static_cast<void*>(fn.storage_)) std::coroutine_handle<>(h);
+    fn.ops_ = &kResumeOps;
+    return fn;
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, o.storage_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, o.storage_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Destroys the held callable (and everything it captures) immediately.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fitsInline() {
+    return sizeof(F) <= kInlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* storage) { (*std::launder(reinterpret_cast<F*>(storage)))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* storage) noexcept {
+      std::launder(reinterpret_cast<F*>(storage))->~F();
+    }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& ptr(void* storage) { return *reinterpret_cast<F**>(storage); }
+    static void invoke(void* storage) { (*ptr(storage))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      *reinterpret_cast<F**>(dst) = ptr(src);
+    }
+    static void destroy(void* storage) noexcept { delete ptr(storage); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  struct ResumeOps {
+    static std::coroutine_handle<>& handle(void* storage) {
+      return *std::launder(reinterpret_cast<std::coroutine_handle<>*>(storage));
+    }
+    static void invoke(void* storage) { handle(storage).resume(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) std::coroutine_handle<>(handle(src));
+    }
+    static void destroy(void*) noexcept {}
+  };
+  static constexpr Ops kResumeOps{&ResumeOps::invoke, &ResumeOps::relocate,
+                                  &ResumeOps::destroy};
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mgq::sim

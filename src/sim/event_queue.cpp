@@ -1,45 +1,161 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace mgq::sim {
+namespace {
 
-EventId EventQueue::push(TimePoint at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(fn)});
-  queued_.insert(id);
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+// Compaction is only worth a full rebuild once the tombstone population
+// is both absolutely non-trivial and at least half the heap.
+constexpr std::size_t kMinDeadForCompaction = 64;
+
+}  // namespace
+
+std::size_t EventQueue::decodeLive(EventId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return kNpos;
+  const Slot& s = slots_[slot];
+  if (!s.armed || s.gen != gen) return kNpos;
+  return slot;
+}
+
+std::uint32_t EventQueue::acquireSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::releaseSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.armed = false;
+  s.resume = false;
+  ++s.gen;  // orphans any heap entry (and id) still carrying the old gen
+  free_slots_.push_back(slot);
+}
+
+EventId EventQueue::pushEntry(TimePoint at, std::uint32_t slot) {
+  heap_.push_back(Entry{at, next_seq_++, slot, slots_[slot].gen});
   siftUp(heap_.size() - 1);
-  return id;
+  return makeId(slots_[slot].gen, slot);
+}
+
+EventId EventQueue::push(TimePoint at, EventFn fn) {
+  const std::uint32_t slot = acquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  return pushEntry(at, slot);
+}
+
+EventId EventQueue::pushResume(TimePoint at, std::coroutine_handle<> h) {
+  const std::uint32_t slot = acquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = EventFn::resume(h);
+  s.armed = true;
+  s.resume = true;
+  return pushEntry(at, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (queued_.count(id) == 0) return false;
-  return cancelled_.insert(id).second;
+  const std::size_t slot = decodeLive(id);
+  if (slot == kNpos) return false;
+  releaseSlot(static_cast<std::uint32_t>(slot));
+  ++dead_;
+  maybeCompact();
+  return true;
+}
+
+EventId EventQueue::reschedule(EventId id, TimePoint at) {
+  const std::size_t slot = decodeLive(id);
+  if (slot == kNpos) return 0;
+  // Bump the generation to tombstone the old entry, keep the callback
+  // armed in place, and enqueue a fresh entry as if just pushed.
+  ++slots_[slot].gen;
+  ++dead_;
+  const EventId fresh = pushEntry(at, static_cast<std::uint32_t>(slot));
+  maybeCompact();
+  return fresh;
+}
+
+std::size_t EventQueue::cancelResumeEvents() {
+  std::size_t cancelled = 0;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].armed && slots_[slot].resume) {
+      releaseSlot(slot);
+      ++dead_;
+      ++cancelled;
+    }
+  }
+  maybeCompact();
+  return cancelled;
 }
 
 TimePoint EventQueue::nextTime() {
-  dropCancelledTop();
+  dropDeadTop();
   assert(!heap_.empty());
   return heap_.front().at;
 }
 
-std::function<void()> EventQueue::pop(TimePoint* at) {
-  dropCancelledTop();
+EventFn EventQueue::pop(TimePoint* at) {
+  dropDeadTop();
   assert(!heap_.empty());
-  if (at != nullptr) *at = heap_.front().at;
-  std::function<void()> fn = std::move(heap_.front().fn);
-  queued_.erase(heap_.front().id);
-  std::swap(heap_.front(), heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) siftDown(0);
+  const Entry& top = heap_.front();
+  if (at != nullptr) *at = top.at;
+  EventFn fn = std::move(slots_[top.slot].fn);
+  releaseSlot(top.slot);
+  popTop();
   return fn;
 }
 
 void EventQueue::clear() {
+  // Release (not reset) every armed slot so generations keep advancing —
+  // an id issued before clear() must never match an event pushed after.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].armed) releaseSlot(slot);
+  }
   heap_.clear();
-  queued_.clear();
-  cancelled_.clear();
+  dead_ = 0;
+}
+
+void EventQueue::popTop() {
+  std::swap(heap_.front(), heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
+}
+
+void EventQueue::dropDeadTop() {
+  while (!heap_.empty() && isDead(heap_.front())) {
+    popTop();
+    assert(dead_ > 0);
+    --dead_;
+  }
+}
+
+void EventQueue::maybeCompact() {
+  if (dead_ >= kMinDeadForCompaction && dead_ * 2 >= heap_.size()) compact();
+}
+
+void EventQueue::compact() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < heap_.size(); ++r) {
+    if (!isDead(heap_[r])) heap_[w++] = heap_[r];
+  }
+  heap_.resize(w);
+  dead_ = 0;
+  // Floyd heapify; legal because (at, seq) is a total order, so the heap's
+  // internal arrangement cannot influence pop order.
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) siftDown(i);
+  ++compactions_;
 }
 
 void EventQueue::siftUp(std::size_t i) {
@@ -62,16 +178,6 @@ void EventQueue::siftDown(std::size_t i) {
     if (smallest == i) break;
     std::swap(heap_[i], heap_[smallest]);
     i = smallest;
-  }
-}
-
-void EventQueue::dropCancelledTop() {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
-    cancelled_.erase(heap_.front().id);
-    queued_.erase(heap_.front().id);
-    std::swap(heap_.front(), heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) siftDown(0);
   }
 }
 

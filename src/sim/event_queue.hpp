@@ -2,15 +2,29 @@
 //
 // A binary min-heap ordered by (time, insertion sequence); the sequence
 // tie-break makes same-timestamp events fire in FIFO order, which is what
-// keeps coroutine wakeups deterministic. Cancellation is lazy: cancelled
-// ids are remembered and the event is skipped when it surfaces.
+// keeps coroutine wakeups deterministic. Heap entries are 24-byte PODs —
+// the callback itself lives in a stable generation-tagged slot table, so
+// sift operations never move a callable and cancel() is O(1): it bumps
+// the slot's generation (orphaning the heap entry as a tombstone) and
+// destroys the callback *immediately*, releasing everything it captured.
+//
+// Tombstones are skipped when they surface, and eagerly compacted away
+// whenever they outnumber live entries (>= 50% dead) — so cancel-heavy
+// callers (RTO restarts in src/tcp/) never grow the heap beyond ~2x the
+// live set. Compaction cannot change pop order: the (time, seq) key is a
+// total order, so the pop sequence is a function of the entry set alone,
+// not of the heap's internal layout.
+//
+// EventIds encode (generation << 32 | slot). Generations start at 1 and
+// bump on every release, so stale ids — including id 0, the callers'
+// "no event" sentinel — never match a reused slot.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace mgq::sim {
@@ -20,11 +34,29 @@ using EventId = std::uint64_t;
 class EventQueue {
  public:
   /// Enqueues `fn` to run at `at`. Returns an id usable with cancel().
-  EventId push(TimePoint at, std::function<void()> fn);
+  EventId push(TimePoint at, EventFn fn);
 
-  /// Marks a still-queued event as cancelled; it is dropped when it
-  /// surfaces. Returns false if the event already fired or was cancelled.
+  /// Wakeup fast path: enqueues a coroutine resume without constructing a
+  /// lambda. The entry is tagged so cancelResumeEvents() can find it.
+  EventId pushResume(TimePoint at, std::coroutine_handle<> h);
+
+  /// Marks a still-queued event as cancelled and destroys its callback
+  /// (and captures) immediately; the tombstone is dropped when it
+  /// surfaces or at the next compaction. Returns false if the event
+  /// already fired or was cancelled.
   bool cancel(EventId id);
+
+  /// Atomically retargets a still-pending event to fire at `at` instead,
+  /// reusing its callback (no destroy/rebuild) and giving it a fresh FIFO
+  /// sequence — observably identical to cancel()+push() of the same
+  /// callable. Returns the new id, or 0 if `id` already fired/cancelled
+  /// (in which case nothing is scheduled).
+  EventId reschedule(EventId id, TimePoint at);
+
+  /// Cancels every pending resume-tagged event (delay()/Condition/spawn
+  /// wakeups). Called by Simulator::destroyProcesses() so no timer can
+  /// fire into a destroyed coroutine frame. Returns the number cancelled.
+  std::size_t cancelResumeEvents();
 
   bool empty() const { return liveCount() == 0; }
   std::size_t size() const { return liveCount(); }
@@ -34,32 +66,63 @@ class EventQueue {
 
   /// Removes and returns the earliest live event's action, advancing past
   /// cancelled entries. Requires !empty().
-  std::function<void()> pop(TimePoint* at = nullptr);
+  EventFn pop(TimePoint* at = nullptr);
 
   void clear();
+
+  /// Introspection for tests and the perf harness.
+  std::size_t heapEntries() const { return heap_.size(); }
+  std::size_t tombstones() const { return dead_; }
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
     TimePoint at;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;   // global insertion order: the FIFO tie-break
+    std::uint32_t slot;  // index into slots_
+    std::uint32_t gen;   // must match slots_[slot].gen to be live
   };
 
-  // Min-heap predicate: true when a fires *after* b.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    bool armed = false;   // a live heap entry references this slot
+    bool resume = false;  // armed via pushResume
+  };
+
+  // Min-heap predicate: true when a fires *after* b. (at, seq) is a
+  // strict total order — seq is unique — so pop order is deterministic.
   static bool later(const Entry& a, const Entry& b) {
     if (a.at != b.at) return a.at > b.at;
-    return a.id > b.id;
+    return a.seq > b.seq;
   }
 
+  static EventId makeId(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  bool isDead(const Entry& e) const { return slots_[e.slot].gen != e.gen; }
+  /// Decodes `id`; returns the slot index when it names a live event,
+  /// npos otherwise.
+  std::size_t decodeLive(EventId id) const;
+
+  std::uint32_t acquireSlot();
+  void releaseSlot(std::uint32_t slot);
+  EventId pushEntry(TimePoint at, std::uint32_t slot);
+  void popTop();
+  void dropDeadTop();
+  void maybeCompact();
+  void compact();
   void siftUp(std::size_t i);
   void siftDown(std::size_t i);
-  void dropCancelledTop();
-  std::size_t liveCount() const { return heap_.size() - cancelled_.size(); }
+  std::size_t liveCount() const { return heap_.size() - dead_; }
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> queued_;     // ids currently in heap_
-  std::unordered_set<EventId> cancelled_;  // subset of queued_
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t dead_ = 0;  // tombstones currently in heap_
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace mgq::sim

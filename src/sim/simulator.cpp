@@ -13,22 +13,32 @@ Simulator::~Simulator() {
   queue_.clear();
 }
 
-EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+EventId Simulator::schedule(Duration delay, EventFn fn) {
   assert(delay >= Duration::zero());
   return queue_.push(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::scheduleAt(TimePoint at, std::function<void()> fn) {
+EventId Simulator::scheduleAt(TimePoint at, EventFn fn) {
   assert(at >= now_);
   return queue_.push(at, std::move(fn));
 }
 
+EventId Simulator::scheduleResume(Duration delay, std::coroutine_handle<> h) {
+  assert(delay >= Duration::zero());
+  return queue_.pushResume(now_ + delay, h);
+}
+
 bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+EventId Simulator::reschedule(EventId id, Duration delay) {
+  assert(delay >= Duration::zero());
+  return queue_.reschedule(id, now_ + delay);
+}
 
 void Simulator::spawn(Task<> task) {
   auto handle = task.handle();
   processes_.push_back(std::move(task));
-  schedule(Duration::zero(), [handle] { handle.resume(); });
+  queue_.pushResume(now_, handle);
 }
 
 void Simulator::run() {

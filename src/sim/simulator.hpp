@@ -4,7 +4,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,10 +25,20 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedules `fn` to run after `delay` of simulated time.
-  EventId schedule(Duration delay, std::function<void()> fn);
-  EventId scheduleAt(TimePoint at, std::function<void()> fn);
+  EventId schedule(Duration delay, EventFn fn);
+  EventId scheduleAt(TimePoint at, EventFn fn);
+  /// Wakeup fast path: schedules `h` to be resumed — no lambda, no
+  /// type-erased allocation. delay()/Condition/spawn enqueue through
+  /// this, and destroyProcesses() cancels everything scheduled this way.
+  EventId scheduleResume(Duration delay, std::coroutine_handle<> h);
   /// Cancels a pending event; returns false if it already fired.
   bool cancel(EventId id);
+  /// Retargets a still-pending event to `delay` from now, reusing its
+  /// callback — observably identical to cancel()+schedule() of the same
+  /// callable, without destroying/rebuilding it. Returns the new id, or
+  /// 0 if `id` already fired/cancelled (nothing is scheduled). The timer
+  /// restart path for TCP's per-ACK RTO churn.
+  EventId reschedule(EventId id, Duration delay);
 
   /// Launches a detached root process at the current simulated time. The
   /// simulator keeps the coroutine frame alive until it completes (or the
@@ -45,12 +54,20 @@ class Simulator {
   /// Requests that run()/runUntil() return after the current event.
   void stop() { stopped_ = true; }
 
-  /// Destroys every spawned process frame immediately. Infrastructure
-  /// objects (networks, MPI worlds) call this from their destructors so
-  /// that suspended coroutines — whose locals may own sockets referring to
-  /// that infrastructure — are unwound while it is still alive, instead of
-  /// at Simulator destruction when it is already gone.
-  void destroyProcesses() { processes_.clear(); }
+  /// Destroys every spawned process frame immediately, then cancels every
+  /// pending coroutine wakeup (delay timers, Condition notifies, spawn
+  /// kickoffs) so none can fire on a dangling frame afterwards.
+  /// Infrastructure objects (networks, MPI worlds) call this from their
+  /// destructors so that suspended coroutines — whose locals may own
+  /// sockets referring to that infrastructure — are unwound while it is
+  /// still alive, instead of at Simulator destruction when it is already
+  /// gone. Frame destructors may themselves enqueue wakeups (e.g. an
+  /// AsyncMutex guard unlocking), which is why the frames go first and
+  /// the cancellation sweep second.
+  void destroyProcesses() {
+    processes_.clear();
+    queue_.cancelResumeEvents();
+  }
 
   /// Awaitable: suspends the calling coroutine for `d` simulated time.
   auto delay(Duration d) {
@@ -59,7 +76,7 @@ class Simulator {
       Duration d;
       bool await_ready() const noexcept { return d <= Duration::zero(); }
       void await_suspend(std::coroutine_handle<> h) {
-        sim.schedule(d, [h] { h.resume(); });
+        sim.scheduleResume(d, h);
       }
       void await_resume() const noexcept {}
     };

@@ -316,6 +316,18 @@ void TcpSocket::armRto() {
   });
 }
 
+// Per-ACK timer restart: retarget the pending RTO event in place instead
+// of cancel+schedule, so the ACK clock's churn neither destroys/rebuilds
+// the callback nor strands a stale capture in the kernel's heap.
+void TcpSocket::restartRto() {
+  if (!rto_armed_) {
+    armRto();
+    return;
+  }
+  rto_event_ = sim_.reschedule(rto_event_, rtt_.rto());
+  assert(rto_event_ != 0);  // rto_armed_ implies the event is pending
+}
+
 void TcpSocket::cancelRto() {
   if (rto_armed_) {
     sim_.cancel(rto_event_);
@@ -467,8 +479,11 @@ void TcpSocket::processAck(std::uint64_t ack, std::uint32_t window,
       }
     }
 
-    cancelRto();
-    if (snd_nxt_ > snd_una_) armRto();
+    if (snd_nxt_ > snd_una_) {
+      restartRto();
+    } else {
+      cancelRto();
+    }
     send_space_cond_.notifyAll();
     if (send_buf_.empty()) acked_cond_.notifyAll();
     trySend();

@@ -122,6 +122,7 @@ class TcpSocket : public net::PacketReceiver {
   void sendAck();
   void maybeSendFin();
   void armRto();
+  void restartRto();
   void cancelRto();
   void onRtoExpired();
   void armPersist();

@@ -254,6 +254,40 @@ TEST(GarnetTopologyTest, AllPartsPresentAndRouted) {
   EXPECT_EQ(garnet.egress_router->stats().forwarded, 1u);
 }
 
+TEST(NetworkTest, RigTeardownWithInFlightDelaysIsClean) {
+  // Regression for the dangling-timer bug: destroying a rig (Network dtor
+  // calls destroyProcesses) while traffic generators still have delay
+  // wakeups queued must not leave events pointing at destroyed coroutine
+  // frames. Running the simulator afterwards would resume them — under
+  // the sanitize preset ASan flags the use-after-free.
+  sim::Simulator s;
+  bool resumed_after_teardown = false;
+  {
+    Network net(s);
+    auto& a = net.addHost("a");
+    auto& b = net.addHost("b");
+    net.connect(a, b, LinkConfig{});
+    net.computeRoutes();
+
+    UdpSink sink(b, 7);
+    UdpSocket sender(a);
+    auto proc = [](sim::Simulator& sim, UdpSocket& sock, NodeId dst,
+                   bool& flag) -> sim::Task<> {
+      sock.sendTo(dst, 7, 1000);
+      co_await sim.delay(Duration::seconds(10));
+      flag = true;  // would dereference a destroyed frame's captures
+    };
+    s.spawn(proc(s, sender, b.id(), resumed_after_teardown));
+    // 100 ms: the datagram has fully drained off the wire (sub-millisecond
+    // on this link), so the only outstanding event is the 10 s delay.
+    s.runFor(Duration::millis(100));
+    EXPECT_EQ(sink.packetsReceived(), 1u);
+    // ~Network tears the processes down with that delay still pending.
+  }
+  s.runFor(Duration::seconds(20));  // must not touch destroyed frames
+  EXPECT_FALSE(resumed_after_teardown);
+}
+
 TEST(NetworkTest, PolicedPremiumFlowIsLimitedAtIngress) {
   // Put an EF rule with a policer on the GARNET ingress edge interface; a
   // 20 Mb/s UDP flow with a 5 Mb/s profile gets ~5 Mb/s through.

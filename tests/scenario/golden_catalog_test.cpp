@@ -1,0 +1,116 @@
+// Golden-determinism guard for the event kernel.
+//
+// Runs every scenario in ScenarioRegistry::paper() and pins, per
+// scenario, (a) Simulator::eventsExecuted() and (b) the FNV-1a hash of
+// the scenario's rendered BENCH JSON document against the checked-in
+// table golden_catalog.txt. Any kernel change that silently reorders
+// same-timestamp events — or perturbs scheduling at all — shows up here
+// as a hash/count mismatch long before a replay file or figure does.
+//
+// Regenerate after an *intentional* behavior change with:
+//   MGQ_UPDATE_GOLDEN=1 ./build/tests/scenario_test
+//       --gtest_filter='GoldenCatalog*'
+// and commit the rewritten golden_catalog.txt alongside the change.
+// MGQ_GOLDEN_SKIP=1 skips the comparison (escape hatch for toolchains
+// with a different libm, which can shift floating-point series).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+#ifndef MGQ_GOLDEN_CATALOG
+#error "MGQ_GOLDEN_CATALOG must point at golden_catalog.txt"
+#endif
+
+namespace mgq::scenario {
+namespace {
+
+struct GoldenRow {
+  std::uint64_t events_executed = 0;
+  std::uint64_t json_hash = 0;
+};
+
+std::map<std::string, GoldenRow> loadGolden(const std::string& path) {
+  std::map<std::string, GoldenRow> rows;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string name;
+    GoldenRow row;
+    ss >> name >> row.events_executed >> std::hex >> row.json_hash;
+    if (!ss.fail()) rows[name] = row;
+  }
+  return rows;
+}
+
+TEST(GoldenCatalog, KernelPreservesEventCountsAndBenchBytes) {
+  if (std::getenv("MGQ_GOLDEN_SKIP") != nullptr) {
+    GTEST_SKIP() << "MGQ_GOLDEN_SKIP set";
+  }
+  const bool update = std::getenv("MGQ_UPDATE_GOLDEN") != nullptr;
+  const std::string golden_path = MGQ_GOLDEN_CATALOG;
+  const auto golden = loadGolden(golden_path);
+
+  std::map<std::string, GoldenRow> measured;
+  ScenarioRunner runner;  // no echo; checks are not the subject here
+  for (const auto* info : ScenarioRegistry::paper().list()) {
+    const auto result = runner.run(info->make());
+    GoldenRow row;
+    row.events_executed = result.events_executed;
+    const auto json =
+        obs::renderMultiRunJson(info->name, runExports({result}));
+    row.json_hash = obs::fnv1a64(json);
+    measured[info->name] = row;
+  }
+
+  if (update) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << "# scenario events_executed fnv1a64(BENCH json), one row per\n"
+        << "# catalog entry; regenerate with MGQ_UPDATE_GOLDEN=1 (see\n"
+        << "# golden_catalog_test.cpp).\n";
+    for (const auto& [name, row] : measured) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(row.json_hash));
+      out << name << " " << row.events_executed << " " << buf << "\n";
+    }
+    SUCCEED() << "golden regenerated with " << measured.size() << " rows";
+    return;
+  }
+
+  ASSERT_FALSE(golden.empty())
+      << "no golden rows in " << golden_path
+      << "; run once with MGQ_UPDATE_GOLDEN=1 to create them";
+  // Every catalog entry must be pinned, and nothing stale may linger.
+  for (const auto& [name, row] : measured) {
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end())
+        << "scenario " << name << " missing from golden; regenerate";
+    EXPECT_EQ(row.events_executed, it->second.events_executed)
+        << name << ": eventsExecuted changed — the kernel executed a "
+        << "different event sequence";
+    EXPECT_EQ(row.json_hash, it->second.json_hash)
+        << name << ": BENCH JSON bytes changed — exported series/trace "
+        << "are no longer identical";
+  }
+  for (const auto& [name, row] : golden) {
+    (void)row;
+    EXPECT_TRUE(measured.count(name) != 0)
+        << "golden row " << name << " no longer in the catalog; regenerate";
+  }
+}
+
+}  // namespace
+}  // namespace mgq::scenario

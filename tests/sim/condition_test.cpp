@@ -72,6 +72,54 @@ TEST(ConditionTest, PredicateTrueUpFrontDoesNotWait) {
   EXPECT_TRUE(done);
 }
 
+TEST(ConditionTest, NotifyAllWakesEachWaiterOncePerGeneration) {
+  // Pin the snapshot semantics: a coroutine that re-waits from inside its
+  // (deferred) wakeup must not be woken again by the same notifyAll
+  // generation.
+  Simulator sim;
+  Condition cond(sim);
+  int first_wakes = 0;
+  int second_wakes = 0;
+  auto waiter = [](Condition& c, int& a, int& b) -> Task<> {
+    co_await c.wait();
+    ++a;
+    co_await c.wait();  // re-wait within the wakeup's event
+    ++b;
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(cond, first_wakes, second_wakes));
+  sim.runFor(Duration::millis(1));
+  ASSERT_EQ(cond.waiterCount(), 3u);
+
+  cond.notifyAll();
+  sim.runFor(Duration::millis(1));
+  EXPECT_EQ(first_wakes, 3);
+  EXPECT_EQ(second_wakes, 0);  // re-waiters parked, not re-woken
+  EXPECT_EQ(cond.waiterCount(), 3u);
+
+  cond.notifyAll();  // the next generation wakes them
+  sim.runFor(Duration::millis(1));
+  EXPECT_EQ(second_wakes, 3);
+  EXPECT_EQ(cond.waiterCount(), 0u);
+}
+
+TEST(ConditionTest, PendingNotifyDiesWithDestroyedProcesses) {
+  // A notify whose wakeup event is still in flight when the processes are
+  // torn down must not resume a destroyed frame.
+  Simulator sim;
+  Condition cond(sim);
+  bool woke = false;
+  auto waiter = [](Condition& c, bool& flag) -> Task<> {
+    co_await c.wait();
+    flag = true;
+  };
+  sim.spawn(waiter(cond, woke));
+  sim.runFor(Duration::millis(1));
+  cond.notifyOne();        // wakeup event queued but not yet executed
+  sim.destroyProcesses();  // frame destroyed; wakeup must be cancelled
+  sim.run();
+  EXPECT_FALSE(woke);
+}
+
 TEST(ChannelTest, PushThenPop) {
   Simulator sim;
   Channel<int> chan(sim);

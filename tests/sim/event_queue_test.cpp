@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <coroutine>
+#include <memory>
 #include <vector>
 
 namespace mgq::sim {
@@ -121,6 +123,172 @@ TEST(EventQueueTest, ManyRandomOrderInsertionsPopSorted) {
     EXPECT_GE(at, prev);
     prev = at;
   }
+}
+
+TEST(EventQueueTest, CancelReleasesCapturedStateImmediately) {
+  // Regression: a cancelled entry's callback (and everything it captured
+  // — sockets, shared_ptrs) used to stay alive in the heap until the
+  // tombstone surfaced, extending object lifetimes unpredictably.
+  EventQueue q;
+  auto sentinel = std::make_shared<int>(7);
+  const auto id = q.push(TimePoint::fromSeconds(1), [sentinel] {});
+  q.push(TimePoint::fromSeconds(2), [] {});
+  EXPECT_EQ(sentinel.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  // Destroyed at cancel time, not when the tombstone would surface.
+  EXPECT_EQ(sentinel.use_count(), 1);
+  EXPECT_EQ(q.tombstones(), 1u);
+}
+
+TEST(EventQueueTest, ClearReleasesCapturedState) {
+  EventQueue q;
+  auto sentinel = std::make_shared<int>(7);
+  q.push(TimePoint::fromSeconds(1), [sentinel] {});
+  q.clear();
+  EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+TEST(EventQueueTest, IdsAreNotResurrectedBySlotReuse) {
+  EventQueue q;
+  const auto a = q.push(TimePoint::fromSeconds(1), [] {});
+  q.pop()();  // frees a's slot
+  bool b_ran = false;
+  const auto b = q.push(TimePoint::fromSeconds(2), [&] { b_ran = true; });
+  EXPECT_NE(a, b);
+  // Cancelling the stale id must not touch the slot's new occupant.
+  EXPECT_FALSE(q.cancel(a));
+  q.pop()();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EventQueueTest, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  const auto a = q.push(TimePoint::fromSeconds(1), [] {});
+  q.clear();
+  const auto b = q.push(TimePoint::fromSeconds(1), [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+}
+
+TEST(EventQueueTest, RescheduleRetargetsPendingEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto a = q.push(TimePoint::fromSeconds(1), [&] { order.push_back(1); });
+  q.push(TimePoint::fromSeconds(2), [&] { order.push_back(2); });
+  const auto moved = q.reschedule(a, TimePoint::fromSeconds(3));
+  EXPECT_NE(moved, 0u);
+  EXPECT_NE(moved, a);
+  EXPECT_EQ(q.size(), 2u);
+  std::vector<TimePoint> times;
+  while (!q.empty()) {
+    TimePoint at;
+    q.pop(&at)();
+    times.push_back(at);
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(times.back(), TimePoint::fromSeconds(3));
+}
+
+TEST(EventQueueTest, RescheduleInvalidatesOldIdAndKeepsCallbackAlive) {
+  EventQueue q;
+  auto sentinel = std::make_shared<int>(7);
+  const auto a = q.push(TimePoint::fromSeconds(1), [sentinel] {});
+  const auto moved = q.reschedule(a, TimePoint::fromSeconds(2));
+  EXPECT_EQ(sentinel.use_count(), 2);  // callback reused, not rebuilt
+  EXPECT_FALSE(q.cancel(a));           // old id is dead
+  EXPECT_TRUE(q.cancel(moved));
+  EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+TEST(EventQueueTest, RescheduleOfFiredOrCancelledEventFails) {
+  EventQueue q;
+  const auto a = q.push(TimePoint::fromSeconds(1), [] {});
+  q.pop()();
+  EXPECT_EQ(q.reschedule(a, TimePoint::fromSeconds(2)), 0u);
+  const auto b = q.push(TimePoint::fromSeconds(1), [] {});
+  q.cancel(b);
+  EXPECT_EQ(q.reschedule(b, TimePoint::fromSeconds(2)), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RescheduleIsFifoAsIfFreshlyPushed) {
+  // A rescheduled event landing on an existing timestamp fires after the
+  // events already queued there — same as cancel()+push() would.
+  EventQueue q;
+  std::vector<int> order;
+  const auto a = q.push(TimePoint::fromSeconds(1), [&] { order.push_back(1); });
+  q.push(TimePoint::fromSeconds(5), [&] { order.push_back(2); });
+  q.push(TimePoint::fromSeconds(5), [&] { order.push_back(3); });
+  q.reschedule(a, TimePoint::fromSeconds(5));
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueueTest, CancelChurnCompactsTombstonesEagerly) {
+  // RTO-style churn: one live timer is cancelled and re-pushed thousands
+  // of times without ever firing. The heap must stay bounded by the live
+  // set (plus at most the <50% dead fraction), not grow with the churn.
+  EventQueue q;
+  EventId id = q.push(TimePoint::fromSeconds(1), [] {});
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(q.cancel(id));
+    id = q.push(TimePoint::fromSeconds(1 + i), [] {});
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_GT(q.compactions(), 0u);
+  EXPECT_LE(q.heapEntries(), 128u);
+  EXPECT_LT(q.tombstones(), q.heapEntries());
+}
+
+TEST(EventQueueTest, CompactionPreservesPopOrder) {
+  // Interleave cancels with pushes across duplicate timestamps, forcing
+  // compactions, and check the survivors still pop in (time, FIFO) order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> cancel_me;
+  for (int round = 0; round < 300; ++round) {
+    const auto t = TimePoint::fromSeconds(1 + round % 3);
+    q.push(t, [&order, round] { order.push_back(round); });
+    for (int j = 0; j < 2; ++j) {
+      cancel_me.push_back(q.push(t, [] { FAIL() << "cancelled event ran"; }));
+    }
+  }
+  for (const auto id : cancel_me) EXPECT_TRUE(q.cancel(id));
+  EXPECT_GT(q.compactions(), 0u);
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(order.size(), 300u);
+  // Rounds grouped by timestamp (1s, 2s, 3s), FIFO within each group.
+  std::vector<int> expected;
+  for (int rem = 0; rem < 3; ++rem) {
+    for (int round = rem; round < 300; round += 3) expected.push_back(round);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, CancelResumeEventsOnlyTouchesResumeEntries) {
+  EventQueue q;
+  bool plain_ran = false;
+  q.push(TimePoint::fromSeconds(1), [&] { plain_ran = true; });
+  q.pushResume(TimePoint::fromSeconds(2), std::noop_coroutine());
+  q.pushResume(TimePoint::fromSeconds(3), std::noop_coroutine());
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.cancelResumeEvents(), 2u);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop()();
+  EXPECT_TRUE(plain_ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, MoveOnlyCapturesAreAccepted) {
+  // EventFn is move-only, so unique_ptr captures work (std::function
+  // rejected them).
+  EventQueue q;
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  q.push(TimePoint::fromSeconds(1),
+         [p = std::move(owned), &got] { got = *p + 1; });
+  q.pop()();
+  EXPECT_EQ(got, 42);
 }
 
 }  // namespace

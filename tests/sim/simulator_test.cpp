@@ -167,6 +167,56 @@ TEST(SimulatorTest, MultipleProcessesInterleaveDeterministically) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
 }
 
+TEST(SimulatorTest, DestroyProcessesCancelsInFlightDelays) {
+  // Regression: a delay awaiter's resume event must not outlive its
+  // process. Destroying processes with a timer in flight and then running
+  // the simulator must neither resume the destroyed frame (ASan would
+  // catch the dangling handle) nor advance the clock to the timer.
+  Simulator sim;
+  bool resumed = false;
+  auto proc = [](Simulator& s, bool& flag) -> Task<> {
+    co_await s.delay(Duration::seconds(10));
+    flag = true;
+  };
+  sim.spawn(proc(sim, resumed));
+  sim.runFor(Duration::seconds(1));
+  sim.destroyProcesses();
+  sim.run();
+  EXPECT_FALSE(resumed);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 1.0);
+}
+
+TEST(SimulatorTest, DestroyProcessesCancelsPendingSpawnKickoff) {
+  // A process spawned but never stepped has its kickoff resume queued;
+  // teardown must cancel that too.
+  Simulator sim;
+  bool started = false;
+  auto proc = [](bool& flag) -> Task<> {
+    flag = true;
+    co_return;
+  };
+  sim.spawn(proc(started));
+  sim.destroyProcesses();
+  sim.run();
+  EXPECT_FALSE(started);
+}
+
+TEST(SimulatorTest, DestroyProcessesKeepsPlainScheduledCallbacks) {
+  // Only coroutine-resume events die with the processes; ordinary
+  // scheduled callbacks (timers owned by non-process objects) survive.
+  Simulator sim;
+  bool fired = false;
+  auto proc = [](Simulator& s) -> Task<> {
+    co_await s.delay(Duration::seconds(10));
+  };
+  sim.spawn(proc(sim));
+  sim.schedule(Duration::seconds(2), [&fired] { fired = true; });
+  sim.destroyProcesses();
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 2.0);
+}
+
 TEST(SimulatorTest, DetachedProcessExceptionPropagatesFromRun) {
   Simulator sim;
   auto proc = [](Simulator& s) -> Task<> {

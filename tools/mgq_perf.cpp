@@ -1,0 +1,153 @@
+// mgq_perf: event-kernel performance harness.
+//
+//   mgq_perf [--quick] [--skip-e2e] [--threads N] [--json-dir DIR]
+//            [--baseline FILE [--max-regress F]]
+//            [--write-baseline FILE]
+//
+// Runs the kernel micro mixes (schedule-heavy, cancel-heavy,
+// wakeup-heavy), then — unless --skip-e2e — the end-to-end probes: one
+// fig9_combined scenario run and a 200-seed chaos batch over fig1_under.
+// Results are printed as a table and exported as BENCH_perf.json through
+// the standard obs exporters, so the perf trajectory lands next to every
+// other bench document.
+//
+// --baseline gates the micro mixes against a checked-in baseline JSON
+// (flat {"mix": ops_per_sec} object): exit 1 when any mix regresses by
+// more than --max-regress (default 0.30). --write-baseline records the
+// current measurements in that format. --quick shrinks every mix for CI
+// smoke runs; baselines should compare like against like.
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "perf_kernel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--skip-e2e] [--threads N]\n"
+               "          [--json-dir DIR] [--baseline FILE]\n"
+               "          [--max-regress F] [--write-baseline FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgq;
+
+  bool quick = false;
+  bool skip_e2e = false;
+  int threads = 0;
+  std::string json_dir = ".";
+  std::string baseline;
+  std::string write_baseline;
+  double max_regress = 0.30;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--skip-e2e") {
+      skip_e2e = true;
+    } else if (arg == "--threads") {
+      threads = std::atoi(next("--threads"));
+    } else if (arg == "--json-dir") {
+      json_dir = next("--json-dir");
+    } else if (arg == "--baseline") {
+      baseline = next("--baseline");
+    } else if (arg == "--max-regress") {
+      max_regress = std::atof(next("--max-regress"));
+    } else if (arg == "--write-baseline") {
+      write_baseline = next("--write-baseline");
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const int schedule_events = quick ? 20'000 : 100'000;
+  const int schedule_repeat = quick ? 3 : 10;
+  const int cancel_timers = quick ? 1'000 : 4'000;
+  const int cancel_steps = quick ? 200'000 : 1'000'000;
+  const int wakeup_procs = quick ? 200 : 1'000;
+  const int wakeup_rounds = quick ? 200 : 500;
+  const int chaos_seeds = quick ? 25 : 200;
+
+  std::vector<perf::MixResult> mixes;
+  mixes.push_back(perf::runScheduleHeavy(schedule_events, schedule_repeat));
+  mixes.push_back(perf::runCancelHeavy(cancel_timers, cancel_steps));
+  mixes.push_back(perf::runWakeupHeavy(wakeup_procs, wakeup_rounds));
+
+  std::vector<perf::WallResult> walls;
+  if (!skip_e2e) {
+    walls.push_back(perf::runScenarioWall("fig9_combined"));
+    walls.push_back(perf::runChaosBatch("fig1_under", chaos_seeds, threads));
+  }
+
+  util::Table mix_table({"mix", "ops", "events", "wall_s", "ops_per_sec"});
+  for (const auto& m : mixes) {
+    mix_table.addRow({m.name, std::to_string(m.operations),
+                      std::to_string(m.events_executed),
+                      util::Table::num(m.wall_seconds, 3),
+                      util::Table::num(m.ops_per_sec, 0)});
+  }
+  mix_table.renderAscii(std::cout);
+
+  bool e2e_ok = true;
+  if (!walls.empty()) {
+    util::Table wall_table({"probe", "wall_s", "events", "ok"});
+    for (const auto& w : walls) {
+      wall_table.addRow({w.name, util::Table::num(w.wall_seconds, 3),
+                         std::to_string(w.events_executed),
+                         w.ok ? "yes" : "NO"});
+      e2e_ok = e2e_ok && w.ok;
+    }
+    wall_table.renderAscii(std::cout);
+  }
+
+  obs::MetricsRegistry metrics;
+  perf::recordResults(metrics, mixes, walls);
+  if (!obs::exportBenchJson("perf", metrics, nullptr, json_dir)) return 1;
+
+  if (!write_baseline.empty()) {
+    if (!perf::writeBaseline(mixes, write_baseline)) {
+      std::fprintf(stderr, "cannot write baseline %s\n",
+                   write_baseline.c_str());
+      return 1;
+    }
+    std::printf("baseline written to %s\n", write_baseline.c_str());
+  }
+
+  if (!baseline.empty()) {
+    std::string error;
+    const auto regressions =
+        perf::checkBaseline(mixes, baseline, max_regress, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "baseline check failed: %s\n", error.c_str());
+      return 1;
+    }
+    for (const auto& r : regressions) {
+      std::fprintf(stderr, "PERF REGRESSION %s\n", r.c_str());
+    }
+    if (!regressions.empty()) return 1;
+    std::printf("baseline check OK (max regress %.0f%%)\n",
+                max_regress * 100.0);
+  }
+
+  return e2e_ok ? 0 : 1;
+}
