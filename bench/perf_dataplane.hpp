@@ -1,0 +1,42 @@
+// Data-plane performance mixes for the mgq_perf harness.
+//
+// Where perf_kernel.hpp measures the event kernel, these mixes measure the
+// packet path itself — the per-hop forwarding, policing/queueing, TCP
+// stream and MPI message costs that dominate the paper's contention runs
+// (millions of per-hop events in the Fig. 1/5/9 workloads):
+//   hop_forward   — TCP-payload packets blasted through the 3-router
+//                   chain; ops = wire hops traversed
+//   police_qdisc  — classify/police + priority-qdisc enqueue/dequeue on
+//                   a rule table with a premium policer; ops = packets
+//   tcp_bulk      — one bulk TCP stream host-to-host over a fast link,
+//                   sendBulk → drain; ops = payload bytes delivered
+//   mpi_pingpong  — two-rank MPI pingpong with real payloads over TCP;
+//                   ops = payload bytes delivered end to end
+// Each returns the same MixResult as the kernel mixes so the baseline
+// gate, table rendering, and BENCH JSON export all apply unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "perf_kernel.hpp"
+
+namespace mgq::perf {
+
+/// Paced stream of `packets` MSS-payload TCP packets through a
+/// host → R1 → R2 → R3 → host chain of fast links, repeated `repeat`
+/// times. Operations count wire hops (4 per packet).
+MixResult runHopForward(int packets, int repeat);
+
+/// Tight classify+police+enqueue+dequeue loop over a 4-rule edge policy
+/// whose last rule (premium, token-bucketed) matches the test flow.
+MixResult runPoliceQdisc(int packets, int repeat);
+
+/// One bulk TCP transfer of `bytes` over a direct 1 Gb/s link;
+/// operations = payload bytes delivered to the receiving app.
+MixResult runTcpBulk(std::int64_t bytes);
+
+/// Two-rank MPI pingpong of `rounds` exchanges of `message_bytes`;
+/// operations = payload bytes delivered (both directions).
+MixResult runMpiPingpong(int rounds, std::int32_t message_bytes);
+
+}  // namespace mgq::perf

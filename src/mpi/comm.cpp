@@ -30,16 +30,34 @@ sim::Task<Message> Comm::recvOnContext(std::int32_t ctx, int src, int tag) {
   return world_->matchingOf(worldRank(my_rank_)).receive(ctx, src, tag);
 }
 
+sim::Task<> Comm::sendSliceOnContext(std::int32_t ctx, int dst, int tag,
+                                     net::BufSlice data) {
+  assert(valid());
+  assert(dst >= 0 && dst < size());
+  return world_->sendBytes(worldRank(my_rank_), worldRank(dst), ctx,
+                           my_rank_, tag, std::move(data));
+}
+
 sim::Task<> Comm::send(int dst, int tag, std::span<const std::uint8_t> data) {
   assert(tag >= 0 && "user tags must be non-negative");
   return sendOnContext(context_, dst, tag, data);
 }
 
+sim::Task<> Comm::sendSlice(int dst, int tag, net::BufSlice data) {
+  assert(tag >= 0 && "user tags must be non-negative");
+  return sendSliceOnContext(context_, dst, tag, std::move(data));
+}
+
 sim::Task<> Comm::sendZeros(int dst, int tag, std::int64_t bytes) {
-  // The payload content is irrelevant for benchmark traffic; one shared
-  // zero block avoids materializing large messages repeatedly.
-  std::vector<std::uint8_t> block(static_cast<std::size_t>(bytes), 0);
-  co_await send(dst, tag, block);
+  // The payload content is irrelevant for benchmark traffic; a pooled
+  // zero-filled slice is written once and adopted by the TCP send ring by
+  // reference. Allocated per call (not cached) so pool-leak assertions
+  // (BufferPool::totalLive() == 0 after teardown) stay meaningful.
+  net::BufSlice block;
+  if (bytes > 0) {
+    block = net::BufSlice::fill(static_cast<std::size_t>(bytes), 0);
+  }
+  co_await sendSliceOnContext(context_, dst, tag, std::move(block));
 }
 
 sim::Task<Message> Comm::recv(int src, int tag) {

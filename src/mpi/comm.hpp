@@ -56,6 +56,9 @@ class Comm {
   sim::Task<> send(int dst, int tag, const std::vector<std::uint8_t>& data) {
     return send(dst, tag, std::span<const std::uint8_t>(data));
   }
+  /// Zero-copy variant: the slice is adopted into the transport by
+  /// reference (see packDoublesSlice / net::BufSlice::copyOf).
+  sim::Task<> sendSlice(int dst, int tag, net::BufSlice data);
   /// Sends `bytes` of zero payload (bulk benchmark traffic).
   sim::Task<> sendZeros(int dst, int tag, std::int64_t bytes);
   sim::Task<Message> recv(int src, int tag);
@@ -145,6 +148,8 @@ class Comm {
 
   sim::Task<> sendOnContext(std::int32_t ctx, int dst, int tag,
                             std::span<const std::uint8_t> data);
+  sim::Task<> sendSliceOnContext(std::int32_t ctx, int dst, int tag,
+                                 net::BufSlice data);
   sim::Task<Message> recvOnContext(std::int32_t ctx, int src, int tag);
   Request isendInternal(int dst, int tag, std::vector<std::uint8_t> data);
   Request irecvInternal(int src, int tag);

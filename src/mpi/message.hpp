@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer.hpp"
+
 namespace mgq::mpi {
 
 inline constexpr int kAnySource = -1;
@@ -72,6 +74,30 @@ inline std::vector<std::int64_t> unpackInts(
   std::vector<std::int64_t> out(bytes.size() / sizeof(std::int64_t));
   std::memcpy(out.data(), bytes.data(), out.size() * sizeof(std::int64_t));
   return out;
+}
+
+// Slice-based pack path: values are serialized once into a pooled buffer
+// and the resulting slice rides the TCP send ring without an intermediate
+// vector (Comm::sendSlice adopts it by reference).
+
+inline net::BufSlice packDoublesSlice(std::span<const double> values) {
+  return net::BufSlice::copyOf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(values.data()),
+      values.size() * sizeof(double)));
+}
+
+inline net::BufSlice packIntsSlice(std::span<const std::int64_t> values) {
+  return net::BufSlice::copyOf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(values.data()),
+      values.size() * sizeof(std::int64_t)));
+}
+
+inline std::vector<double> unpackDoubles(const net::BufSlice& slice) {
+  return unpackDoubles(slice.span());
+}
+
+inline std::vector<std::int64_t> unpackInts(const net::BufSlice& slice) {
+  return unpackInts(slice.span());
 }
 
 }  // namespace mgq::mpi

@@ -1,5 +1,6 @@
 #include "mpi/world.hpp"
 
+#include <array>
 #include <cassert>
 
 #include "util/logging.hpp"
@@ -132,13 +133,31 @@ sim::Task<> World::sendBytes(int src_world, int dst_world,
 
   WireHeader wire{context, comm_source, tag,
                   static_cast<std::int64_t>(payload.size())};
-  std::vector<std::uint8_t> header(WireHeader::kBytes);
+  std::array<std::uint8_t, WireHeader::kBytes> header;
   wire.encode(header);
 
   // Serialize writers so message frames never interleave on the stream.
   co_await conn.write_mutex->lock();
   co_await conn.socket->send(header);
   if (!payload.empty()) co_await conn.socket->send(payload);
+  conn.write_mutex->unlock();
+}
+
+sim::Task<> World::sendBytes(int src_world, int dst_world,
+                             std::int32_t context, std::int32_t comm_source,
+                             std::int32_t tag, net::BufSlice payload) {
+  co_await establishConnection(src_world, dst_world);
+  auto& rank = *ranks_.at(static_cast<std::size_t>(src_world));
+  auto& conn = connectionTo(rank, dst_world);
+
+  WireHeader wire{context, comm_source, tag,
+                  static_cast<std::int64_t>(payload.size())};
+  std::array<std::uint8_t, WireHeader::kBytes> header;
+  wire.encode(header);
+
+  co_await conn.write_mutex->lock();
+  co_await conn.socket->send(header);
+  if (!payload.empty()) co_await conn.socket->sendSlice(std::move(payload));
   conn.write_mutex->unlock();
 }
 

@@ -18,6 +18,7 @@
 #include "mpi/attributes.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/matching.hpp"
+#include "net/buffer.hpp"
 #include "net/host.hpp"
 #include "sim/async_mutex.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +66,11 @@ class World {
   sim::Task<> sendBytes(int src_world, int dst_world, std::int32_t context,
                         std::int32_t comm_source, std::int32_t tag,
                         std::span<const std::uint8_t> payload);
+  /// Zero-copy variant: the payload slice is adopted into the TCP send
+  /// ring by reference; only the fixed header is copied.
+  sim::Task<> sendBytes(int src_world, int dst_world, std::int32_t context,
+                        std::int32_t comm_source, std::int32_t tag,
+                        net::BufSlice payload);
   MatchingEngine& matchingOf(int world_rank) {
     return ranks_.at(static_cast<size_t>(world_rank))->matching;
   }

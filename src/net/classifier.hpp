@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -62,9 +63,19 @@ struct DsPolicyStats {
   std::uint64_t marked = 0;
   std::uint64_t policed_drops = 0;
   std::uint64_t demoted = 0;
+  // Flow-table fast path (not exported to BENCH documents).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 /// Per-ingress-interface DS edge policy.
+///
+/// Classification is cached per FlowKey: the first packet of a flow walks
+/// the ordered rule list, then the winning rule index (or "no rule") is
+/// remembered so later packets of the same flow skip the scan. Policing
+/// stays per-packet — only the *match* is cached, the token bucket is
+/// still consulted for every packet. Any rule mutation invalidates the
+/// whole table, so the cache is behaviourally invisible.
 class DsPolicy {
  public:
   /// Adds a rule; returns its id for later removal.
@@ -76,13 +87,27 @@ class DsPolicy {
   /// re-marked) packet, or nullopt when it was policed away.
   std::optional<Packet> process(Packet p);
 
+  /// Fast-path support: callers on the forwarding hot path skip process()
+  /// (and its two Packet moves) for rule-less policies, recording the
+  /// classification with countBypass() so exported stats are unchanged.
+  bool hasRules() const { return !rules_.empty(); }
+  void countBypass() { ++stats_.classified; }
+
   const DsPolicyStats& stats() const { return stats_; }
   std::size_t ruleCount() const { return rules_.size(); }
   /// Read-only rule view (invariant monitors watch the rule buckets).
   const std::vector<MarkingRule>& rules() const { return rules_; }
 
  private:
+  /// Bound on cached flows; reaching it clears the table (simple and
+  /// deterministic — steady state re-fills with the active flows).
+  static constexpr std::size_t kMaxCachedFlows = 4096;
+  static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
+
+  std::optional<Packet> applyRule(std::size_t index, Packet p);
+
   std::vector<MarkingRule> rules_;
+  std::unordered_map<FlowKey, std::size_t, FlowKeyHash> flow_cache_;
   DsPolicyStats stats_;
   std::uint64_t next_rule_id_ = 1;
 };

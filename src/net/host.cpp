@@ -11,19 +11,28 @@ Host::Host(sim::Simulator& sim, NodeId id, std::string name)
 
 void Host::sendPacket(Packet p) {
   p.id = (static_cast<std::uint64_t>(id_) << 40) | next_packet_id_++;
-  auto processed = egress_policy_.process(std::move(p));
-  if (!processed) return;  // policed at the host edge
+  if (egress_policy_.hasRules()) {
+    auto processed = egress_policy_.process(std::move(p));
+    if (!processed) return;  // policed at the host edge
+    p = std::move(*processed);
+  } else {
+    egress_policy_.countBypass();
+  }
   ++stats_.sent_packets;
-  if (processed->flow.dst == id_) {
+  if (p.flow.dst == id_) {
     // Loopback: deliver locally after a small fixed latency (scheduled, so
     // the caller never re-enters itself synchronously).
-    sim_.schedule(sim::Duration::micros(5),
-                  [this, pkt = std::move(*processed)]() mutable {
-                    deliver(std::move(pkt), nic());
-                  });
+    loopback_.push_back(std::move(p));
+    sim_.schedule(sim::Duration::micros(5), [this] { onLoopbackDelivery(); });
     return;
   }
-  nic().send(std::move(*processed));
+  nic().send(std::move(p));
+}
+
+void Host::onLoopbackDelivery() {
+  Packet pkt = std::move(loopback_.front());
+  loopback_.pop_front();
+  deliver(std::move(pkt), nic());
 }
 
 bool Host::bind(Protocol proto, PortId port, PacketReceiver* receiver) {

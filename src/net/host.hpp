@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 
@@ -62,7 +63,12 @@ class Host : public Node {
     return (static_cast<std::uint64_t>(proto) << 16) | port;
   }
 
+  void onLoopbackDelivery();
+
   std::unordered_map<std::uint64_t, PacketReceiver*> bindings_;
+  // Loopback packets awaiting their fixed-latency delivery event; the
+  // event captures only `this` (FIFO — the delay is constant).
+  std::deque<Packet> loopback_;
   DsPolicy egress_policy_;
   HostStats stats_;
   PortId next_ephemeral_ = 49152;

@@ -24,6 +24,18 @@ void Interface::connect(Interface& peer, double rate_bps,
 void Interface::send(Packet p) {
   assert(connected() && "sending on an unconnected interface");
   p.enqueued_at = sim_.now();
+  // Idle transmitter, nothing queued: the packet would be dequeued again
+  // immediately, so skip the deque round-trip. passThrough keeps the
+  // queue counters exactly as enqueue()+dequeue() would have left them.
+  if (!transmitting_ && up_ && qdisc_.empty()) {
+    if (!qdisc_.passThrough(p)) {
+      ++stats_.drops_overflow;
+      return;
+    }
+    transmitting_ = true;
+    startTransmit(std::move(p));
+    return;
+  }
   // A down interface still queues (the device buffer persists across the
   // outage); transmission resumes on setUp(true).
   if (!qdisc_.enqueue(std::move(p))) {
@@ -56,25 +68,37 @@ void Interface::transmitNext() {
     transmitting_ = false;
     return;
   }
-  const Packet& p = *next;
+  startTransmit(std::move(*next));
+}
+
+void Interface::startTransmit(Packet p) {
   const auto tx_time = sim::transmissionTime(p.size_bytes, rate_bps_);
   ++stats_.tx_packets;
   stats_.tx_bytes += p.size_bytes;
-  // After serialization completes, the packet propagates to the peer and
-  // the transmitter moves on to the next queued packet. An injected loss
-  // episode eats the packet on the wire: bandwidth spent, nothing arrives.
-  sim_.schedule(tx_time,
-                [this, pkt = std::move(*next)]() mutable {
-                  if (loss_hook_ && loss_hook_(pkt)) {
-                    ++stats_.drops_fault;
-                  } else {
-                    sim_.schedule(delay_,
-                                  [this, pkt = std::move(pkt)]() mutable {
-                                    peer_->receive(std::move(pkt));
-                                  });
-                  }
-                  transmitNext();
-                });
+  tx_packet_ = std::move(p);
+  sim_.schedule(tx_time, [this] { onSerialized(); });
+}
+
+// Serialization complete: the packet propagates to the peer and the
+// transmitter moves on to the next queued packet. An injected loss
+// episode eats the packet on the wire: bandwidth spent, nothing arrives.
+// The propagation event is scheduled before the next transmission starts,
+// preserving the exact event order of the pre-pool data plane.
+void Interface::onSerialized() {
+  Packet& pkt = *tx_packet_;
+  if (loss_hook_ && loss_hook_(pkt)) {
+    ++stats_.drops_fault;
+  } else {
+    wire_.push_back(std::move(pkt));
+    sim_.schedule(delay_, [this] { onPropagated(); });
+  }
+  tx_packet_.reset();
+  transmitNext();
+}
+
+void Interface::onPropagated() {
+  peer_->receive(std::move(wire_.front()));
+  wire_.pop_front();
 }
 
 void Interface::receive(Packet p) {
@@ -85,6 +109,11 @@ void Interface::receive(Packet p) {
   }
   ++stats_.rx_packets;
   stats_.rx_bytes += p.size_bytes;
+  if (!ingress_policy_.hasRules()) {
+    ingress_policy_.countBypass();
+    owner_.deliver(std::move(p), *this);
+    return;
+  }
   auto processed = ingress_policy_.process(std::move(p));
   if (!processed) {
     ++stats_.drops_policed;

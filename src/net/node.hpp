@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,9 @@ class Interface {
 
  private:
   void transmitNext();
+  void startTransmit(Packet p);
+  void onSerialized();
+  void onPropagated();
 
   sim::Simulator& sim_;
   Node& owner_;
@@ -99,6 +104,13 @@ class Interface {
   sim::Duration delay_ = sim::Duration::zero();
   DsQdisc qdisc_;
   DsPolicy ingress_policy_;
+  // Packets owned by the interface while their timer events are pending,
+  // so those events capture only `this` and stay within the kernel's
+  // small-buffer callbacks (no heap allocation per transmission). The
+  // wire is FIFO: propagation delay is constant per link, so in-flight
+  // packets complete in the order they entered.
+  std::optional<Packet> tx_packet_;  // serializing onto the wire
+  std::deque<Packet> wire_;          // propagating towards the peer
   bool transmitting_ = false;
   bool up_ = true;
   std::vector<std::function<void(Interface&, bool)>> link_observers_;

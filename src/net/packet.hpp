@@ -1,14 +1,16 @@
 // Packet model. A packet carries a flow key (simulated 5-tuple), a DSCP
 // code point, its wire size, and a protocol-specific header. Payload bytes
-// are carried by value for TCP so transports can verify end-to-end stream
-// integrity under loss.
+// are carried as pooled buffer slices (net/buffer.hpp), so forwarding a
+// packet across layers shares the bytes instead of deep-copying them,
+// while transports can still verify end-to-end stream integrity under
+// loss.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <variant>
-#include <vector>
 
+#include "net/buffer.hpp"
 #include "sim/time.hpp"
 
 namespace mgq::net {
@@ -48,18 +50,28 @@ struct FlowKey {
 };
 
 struct FlowKeyHash {
+  /// splitmix64 finalizer: every input bit avalanches into every output
+  /// bit, so flows differing only in a few low port bits spread evenly
+  /// (the old multiply-xor mixer clustered them into adjacent buckets).
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
   std::size_t operator()(const FlowKey& k) const {
-    std::size_t h = k.src;
-    h = h * 1000003u ^ k.dst;
-    h = h * 1000003u ^ k.src_port;
-    h = h * 1000003u ^ k.dst_port;
-    h = h * 1000003u ^ static_cast<std::size_t>(k.proto);
-    return h;
+    std::uint64_t h = mix((static_cast<std::uint64_t>(k.src) << 32) | k.dst);
+    h = mix(h ^ (static_cast<std::uint64_t>(k.src_port) << 17) ^
+            (static_cast<std::uint64_t>(k.dst_port) << 1) ^
+            static_cast<std::uint64_t>(k.proto));
+    return static_cast<std::size_t>(h);
   }
 };
 
 /// TCP segment metadata. `seq` is the stream offset of the first payload
-/// byte; `payload` carries the actual bytes (possibly empty for pure ACKs).
+/// byte; `payload` is a shared view of the actual bytes (empty — and
+/// allocation-free — for pure ACKs).
 struct TcpHeader {
   std::uint64_t seq = 0;
   std::uint64_t ack = 0;
@@ -67,12 +79,15 @@ struct TcpHeader {
   bool syn = false;
   bool fin = false;
   bool is_ack = false;
-  std::vector<std::uint8_t> payload;
+  BufSlice payload;
 };
 
-/// UDP datagram metadata; payload is size-only (contention traffic).
+/// UDP datagram metadata. Contention traffic is size-only (`payload`
+/// empty); applications that carry real bytes attach a slice, shared
+/// across fragments of the same datagram.
 struct UdpHeader {
   std::uint64_t datagram_id = 0;
+  BufSlice payload;
 };
 
 inline constexpr std::int32_t kIpHeaderBytes = 20;

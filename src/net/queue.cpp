@@ -37,6 +37,20 @@ std::optional<Packet> DropTailQueue::dequeue() {
 }
 #pragma GCC diagnostic pop
 
+bool DropTailQueue::passThrough(const Packet& p) {
+  // With the queue empty the overflow check degenerates to the oversize
+  // check, so one comparison decides both drop counters.
+  if (p.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_oversize;
+    stats_.bytes_dropped += p.size_bytes;
+    return false;
+  }
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.size_bytes;
+  ++stats_.dequeued;
+  return true;
+}
+
 std::string DropTailQueue::invariantError() const {
   std::int64_t sum = 0;
   for (const auto& p : items_) sum += p.size_bytes;
@@ -63,10 +77,17 @@ bool DsQdisc::enqueue(Packet p) {
   return classQueueMutable(p.dscp).enqueue(std::move(p));
 }
 
+bool DsQdisc::passThrough(const Packet& p) {
+  return classQueueMutable(p.dscp).passThrough(p);
+}
+
 std::optional<Packet> DsQdisc::dequeue() {
-  // Strict priority: EF, then LL, then BE.
+  // Strict priority: EF, then LL, then BE. The empty() guard keeps idle
+  // bands from constructing (and the caller from destroying) a disengaged
+  // optional<Packet> apiece on every poll of the transmitter.
   for (Dscp d : {Dscp::kExpedited, Dscp::kLowLatency, Dscp::kBestEffort}) {
-    if (auto p = classQueueMutable(d).dequeue()) return p;
+    auto& q = classQueueMutable(d);
+    if (!q.empty()) return q.dequeue();
   }
   return std::nullopt;
 }

@@ -41,6 +41,12 @@ class DropTailQueue {
   bool enqueue(Packet p);
   std::optional<Packet> dequeue();
 
+  /// Idle-transmitter bypass: performs exactly the bookkeeping an
+  /// enqueue() immediately followed by dequeue() would on an empty queue
+  /// (oversize check, enqueued/dequeued counters) without the deque
+  /// round-trip. Only valid when empty().
+  bool passThrough(const Packet& p);
+
   bool empty() const { return items_.empty(); }
   std::size_t packetCount() const { return items_.size(); }
   std::int64_t bytes() const { return bytes_; }
@@ -67,6 +73,8 @@ class DsQdisc {
 
   bool enqueue(Packet p);
   std::optional<Packet> dequeue();
+  /// See DropTailQueue::passThrough; routed to the packet's class band.
+  bool passThrough(const Packet& p);
 
   bool empty() const;
   std::int64_t bytes() const;

@@ -4,13 +4,14 @@ namespace mgq::net {
 
 void Router::deliver(Packet p, Interface& in) {
   (void)in;
-  const auto it = routes_.find(p.flow.dst);
-  if (it == routes_.end()) {
+  Interface* out =
+      p.flow.dst < routes_.size() ? routes_[p.flow.dst] : nullptr;
+  if (out == nullptr) {
     ++stats_.no_route_drops;
     return;
   }
   ++stats_.forwarded;
-  it->second->send(std::move(p));
+  out->send(std::move(p));
 }
 
 }  // namespace mgq::net

@@ -5,7 +5,7 @@
 // aggregates, as in the DS architecture.
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
 #include "net/node.hpp"
 
@@ -20,7 +20,13 @@ class Router : public Node {
  public:
   using Node::Node;
 
-  void addRoute(NodeId dst, Interface& out) { routes_[dst] = &out; }
+  /// Node ids are small sequential integers (Network hands them out from
+  /// a counter), so the table is a flat vector indexed by destination —
+  /// one bounds check and one load on the per-packet forwarding path.
+  void addRoute(NodeId dst, Interface& out) {
+    if (dst >= routes_.size()) routes_.resize(dst + 1, nullptr);
+    routes_[dst] = &out;
+  }
   void clearRoutes() { routes_.clear(); }
 
   void deliver(Packet p, Interface& in) override;
@@ -28,7 +34,7 @@ class Router : public Node {
   const RouterStats& stats() const { return stats_; }
 
  private:
-  std::unordered_map<NodeId, Interface*> routes_;
+  std::vector<Interface*> routes_;  // dst node id -> egress, null = no route
   RouterStats stats_;
 };
 

@@ -128,9 +128,12 @@ void EventQueue::clear() {
 }
 
 void EventQueue::popTop() {
-  std::swap(heap_.front(), heap_.back());
+  const Entry back = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) siftDown(0);
+  if (!heap_.empty()) {
+    heap_.front() = back;
+    siftDown(0);
+  }
 }
 
 void EventQueue::dropDeadTop() {
@@ -158,27 +161,35 @@ void EventQueue::compact() {
   ++compactions_;
 }
 
+// Both sifts move a hole instead of swapping — one Entry store per level
+// rather than three. (at, seq) is a strict total order, so — as with
+// compact()'s Floyd heapify — the heap's internal arrangement cannot
+// influence pop order and the cheaper sift is observationally identical.
+
 void EventQueue::siftUp(std::size_t i) {
+  const Entry item = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    if (!later(heap_[parent], item)) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = item;
 }
 
 void EventQueue::siftDown(std::size_t i) {
   const std::size_t n = heap_.size();
+  const Entry item = heap_[i];
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    const std::size_t r = child + 1;
+    if (r < n && later(heap_[child], heap_[r])) child = r;
+    if (!later(item, heap_[child])) break;
+    heap_[i] = heap_[child];
+    i = child;
   }
+  heap_[i] = item;
 }
 
 }  // namespace mgq::sim

@@ -1,0 +1,77 @@
+// Chunked ring-buffer over pooled payload buffers — the storage behind a
+// TcpSocket's send and receive streams.
+//
+// The ring is a FIFO byte sequence held as a deque of chunks, each chunk
+// a [begin, end) window of a pooled net::Buffer. Three append paths:
+//   append()        copies bytes into ring-owned tail chunks (16 KB);
+//   appendSlice()   adopts an incoming BufSlice zero-copy — the arriving
+//                   segment's payload becomes a chunk without a copy;
+//   appendPattern() writes the bulk-transfer pattern (byte k of the
+//                   stream = k & 0xff) straight into tail chunks.
+// slice(offset, len) hands a window back out as a BufSlice: zero-copy
+// when the window lies inside one chunk (the common case — segment
+// emission and retransmission re-reference the pooled chunk), a pooled
+// gather-copy when it straddles a boundary.
+//
+// Bytes in [begin, end) of any chunk are immutable once visible: tail
+// growth only ever appends past `end` of a ring-owned chunk, so slices
+// handed out earlier (packets in flight, retransmit references) never
+// change underneath their readers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "net/buffer.hpp"
+
+namespace mgq::tcp {
+
+class StreamRing {
+ public:
+  static constexpr std::int32_t kDefaultChunkBytes = 16 * 1024;
+
+  explicit StreamRing(std::int32_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  std::int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t chunkCount() const { return chunks_.size(); }
+
+  /// Copies `data` onto the tail.
+  void append(std::span<const std::uint8_t> data);
+  /// Adopts `s` as a chunk — no byte copy, the buffer is shared.
+  void appendSlice(net::BufSlice s);
+  /// Appends `n` pattern bytes; byte i of the run is
+  /// (stream_offset + i) & 0xff.
+  void appendPattern(std::int64_t stream_offset, std::int64_t n);
+
+  /// Discards the first `n` bytes (they must exist).
+  void popFront(std::int64_t n);
+
+  std::uint8_t byteAt(std::int64_t offset) const;
+  /// Copies [offset, offset + out.size()) into `out`.
+  void copyOut(std::int64_t offset, std::span<std::uint8_t> out) const;
+  /// A BufSlice view of [offset, offset + len): zero-copy within one
+  /// chunk, pooled gather-copy across chunks.
+  net::BufSlice slice(std::int64_t offset, std::int32_t len) const;
+
+ private:
+  struct Chunk {
+    net::BufferRef buf;
+    std::uint32_t begin = 0;  // first valid byte
+    std::uint32_t end = 0;    // one past the last valid byte
+    bool writable = false;    // ring-owned; may grow past `end`
+    std::uint32_t size() const { return end - begin; }
+  };
+
+  /// The tail chunk if it is ring-owned with spare capacity, else a fresh
+  /// pooled chunk.
+  Chunk& writableTail();
+
+  std::deque<Chunk> chunks_;
+  std::int64_t size_ = 0;
+  std::int32_t chunk_bytes_;
+};
+
+}  // namespace mgq::tcp

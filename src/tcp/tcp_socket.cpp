@@ -84,16 +84,29 @@ sim::Task<> TcpSocket::send(std::span<const std::uint8_t> data) {
   std::size_t offset = 0;
   while (offset < data.size()) {
     co_await awaitUntil(send_space_cond_, [this] {
-      return static_cast<std::int64_t>(send_buf_.size()) <
-             config_.send_buffer_bytes;
+      return send_buf_.size() < config_.send_buffer_bytes;
     });
-    const auto free =
-        config_.send_buffer_bytes - static_cast<std::int64_t>(send_buf_.size());
+    const auto free = config_.send_buffer_bytes - send_buf_.size();
     const auto chunk = std::min<std::int64_t>(
         free, static_cast<std::int64_t>(data.size() - offset));
-    send_buf_.insert(send_buf_.end(), data.begin() + offset,
-                     data.begin() + offset + chunk);
+    send_buf_.append(data.subspan(offset, static_cast<std::size_t>(chunk)));
     offset += static_cast<std::size_t>(chunk);
+    stats_.bytes_sent_app += chunk;
+    trySend();
+  }
+}
+
+sim::Task<> TcpSocket::sendSlice(net::BufSlice data) {
+  std::uint32_t offset = 0;
+  while (offset < data.length) {
+    co_await awaitUntil(send_space_cond_, [this] {
+      return send_buf_.size() < config_.send_buffer_bytes;
+    });
+    const auto free = config_.send_buffer_bytes - send_buf_.size();
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::int64_t>(
+        free, static_cast<std::int64_t>(data.length - offset)));
+    send_buf_.appendSlice(data.subslice(offset, chunk));
+    offset += chunk;
     stats_.bytes_sent_app += chunk;
     trySend();
   }
@@ -103,16 +116,11 @@ sim::Task<> TcpSocket::sendBulk(std::int64_t n) {
   std::int64_t remaining = n;
   while (remaining > 0) {
     co_await awaitUntil(send_space_cond_, [this] {
-      return static_cast<std::int64_t>(send_buf_.size()) <
-             config_.send_buffer_bytes;
+      return send_buf_.size() < config_.send_buffer_bytes;
     });
-    const auto free =
-        config_.send_buffer_bytes - static_cast<std::int64_t>(send_buf_.size());
+    const auto free = config_.send_buffer_bytes - send_buf_.size();
     const auto chunk = std::min(free, remaining);
-    for (std::int64_t i = 0; i < chunk; ++i) {
-      send_buf_.push_back(
-          static_cast<std::uint8_t>((stats_.bytes_sent_app + i) & 0xff));
-    }
+    send_buf_.appendPattern(stats_.bytes_sent_app, chunk);
     stats_.bytes_sent_app += chunk;
     remaining -= chunk;
     trySend();
@@ -129,10 +137,10 @@ sim::Task<std::size_t> TcpSocket::recv(std::span<std::uint8_t> out) {
   if (recv_buf_.empty()) co_return 0;  // EOF
   const bool was_starved =
       advertisedWindow() < static_cast<std::uint32_t>(config_.mss);
-  const auto n = std::min(out.size(), recv_buf_.size());
-  std::copy_n(recv_buf_.begin(), n, out.begin());
-  recv_buf_.erase(recv_buf_.begin(),
-                  recv_buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  const auto n = static_cast<std::size_t>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(out.size()), recv_buf_.size()));
+  recv_buf_.copyOut(0, out.first(n));
+  recv_buf_.popFront(static_cast<std::int64_t>(n));
   stats_.bytes_delivered += static_cast<std::int64_t>(n);
   drain_cursor_ += static_cast<std::uint64_t>(n);
   if (was_starved &&
@@ -184,16 +192,10 @@ void TcpSocket::close() {
 // Sender machinery
 // ---------------------------------------------------------------------------
 
-std::uint8_t TcpSocket::sendBufferByte(std::uint64_t seq) const {
-  assert(seq >= snd_una_);
-  const auto index = static_cast<std::size_t>(seq - snd_una_);
-  assert(index < send_buf_.size());
-  return send_buf_[index];
-}
-
 void TcpSocket::trySend() {
   if (state_ != State::kEstablished) return;
-  const std::uint64_t end_of_data = snd_una_ + send_buf_.size();
+  const std::uint64_t end_of_data =
+      snd_una_ + static_cast<std::uint64_t>(send_buf_.size());
   for (;;) {
     const auto flight = static_cast<std::int64_t>(snd_nxt_ - snd_una_);
     const auto wnd = std::min<std::int64_t>(
@@ -218,16 +220,15 @@ void TcpSocket::trySend() {
 
 void TcpSocket::emitSegment(std::uint64_t seq, std::int32_t len,
                             bool retransmit) {
+  assert(seq >= snd_una_);
   net::TcpHeader h;
   h.seq = seq;
   h.is_ack = true;
   h.ack = rcv_nxt_;
   h.window = advertisedWindow();
-  h.payload.resize(static_cast<std::size_t>(len));
-  for (std::int32_t i = 0; i < len; ++i) {
-    h.payload[static_cast<std::size_t>(i)] =
-        sendBufferByte(seq + static_cast<std::uint64_t>(i));
-  }
+  // Zero-copy reference into the send ring; retransmissions re-reference
+  // the same pooled chunk.
+  h.payload = send_buf_.slice(static_cast<std::int64_t>(seq - snd_una_), len);
 
   // Karn's algorithm: only time segments of entirely new data, one at a
   // time.
@@ -287,7 +288,8 @@ void TcpSocket::sendAck() {
 
 void TcpSocket::maybeSendFin() {
   if (!fin_requested_ || fin_sent_ || state_ != State::kEstablished) return;
-  const std::uint64_t end_of_data = snd_una_ + send_buf_.size();
+  const std::uint64_t end_of_data =
+      snd_una_ + static_cast<std::uint64_t>(send_buf_.size());
   if (snd_nxt_ != end_of_data) return;  // data still unsent
   fin_seq_ = snd_nxt_;
   fin_sent_ = true;
@@ -371,8 +373,8 @@ void TcpSocket::onRtoExpired() {
   snd_nxt_ = snd_una_;
   if (fin_sent_) fin_sent_ = false;  // FIN will be re-emitted after data
   if (!send_buf_.empty()) {
-    const auto len = static_cast<std::int32_t>(std::min<std::int64_t>(
-        static_cast<std::int64_t>(send_buf_.size()), config_.mss));
+    const auto len = static_cast<std::int32_t>(
+        std::min<std::int64_t>(send_buf_.size(), config_.mss));
     emitSegment(snd_nxt_, len, /*retransmit=*/true);
     snd_nxt_ += static_cast<std::uint64_t>(len);
   } else {
@@ -398,7 +400,8 @@ void TcpSocket::onPersistExpired() {
   }
   // One-byte window probe beyond the advertised window; the RTO machinery
   // takes over (with backoff) if it is not accepted.
-  const std::uint64_t end_of_data = snd_una_ + send_buf_.size();
+  const std::uint64_t end_of_data =
+      snd_una_ + static_cast<std::uint64_t>(send_buf_.size());
   if (snd_nxt_ < end_of_data && snd_nxt_ == snd_una_) {
     emitSegment(snd_nxt_, 1, /*retransmit=*/false);
     snd_nxt_ += 1;
@@ -415,8 +418,8 @@ void TcpSocket::enterFastRecovery() {
   timing_active_ = false;  // Karn: retransmission invalidates the sample
   // Retransmit the first unacknowledged segment.
   if (!send_buf_.empty()) {
-    const auto len = static_cast<std::int32_t>(std::min<std::int64_t>(
-        static_cast<std::int64_t>(send_buf_.size()), config_.mss));
+    const auto len = static_cast<std::int32_t>(
+        std::min<std::int64_t>(send_buf_.size(), config_.mss));
     emitSegment(snd_una_, len, /*retransmit=*/true);
   } else if (fin_sent_ && snd_una_ <= fin_seq_) {
     fin_sent_ = false;
@@ -433,10 +436,8 @@ void TcpSocket::processAck(std::uint64_t ack, std::uint32_t window,
 
   if (ack > snd_una_) {
     const auto acked = static_cast<std::int64_t>(ack - snd_una_);
-    const auto data_acked = std::min<std::int64_t>(
-        acked, static_cast<std::int64_t>(send_buf_.size()));
-    send_buf_.erase(send_buf_.begin(),
-                    send_buf_.begin() + static_cast<std::ptrdiff_t>(data_acked));
+    const auto data_acked = std::min(acked, send_buf_.size());
+    send_buf_.popFront(data_acked);
     stats_.bytes_acked += data_acked;
 
     if (timing_active_ && ack >= timed_seq_) {
@@ -458,8 +459,8 @@ void TcpSocket::processAck(std::uint64_t ack, std::uint32_t window,
         snd_una_ = ack;
         if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
         if (!send_buf_.empty()) {
-          const auto len = static_cast<std::int32_t>(std::min<std::int64_t>(
-              static_cast<std::int64_t>(send_buf_.size()), config_.mss));
+          const auto len = static_cast<std::int32_t>(
+              std::min<std::int64_t>(send_buf_.size(), config_.mss));
           emitSegment(snd_una_, len, /*retransmit=*/true);
         }
         cwnd_ = std::max<double>(cwnd_ - static_cast<double>(acked) +
@@ -516,8 +517,7 @@ void TcpSocket::processAck(std::uint64_t ack, std::uint32_t window,
 // ---------------------------------------------------------------------------
 
 std::uint32_t TcpSocket::advertisedWindow() const {
-  const auto used = static_cast<std::int64_t>(recv_buf_.size()) +
-                    out_of_order_bytes_;
+  const auto used = recv_buf_.size() + out_of_order_bytes_;
   return static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, config_.recv_buffer_bytes - used));
 }
@@ -540,8 +540,7 @@ void TcpSocket::scheduleAckForData() {
   }
 }
 
-void TcpSocket::processData(std::uint64_t seq,
-                            const std::vector<std::uint8_t>& data) {
+void TcpSocket::processData(std::uint64_t seq, const net::BufSlice& data) {
   ++stats_.segments_received;
   const auto len = static_cast<std::int64_t>(data.size());
   const std::uint64_t seg_end = seq + static_cast<std::uint64_t>(len);
@@ -553,14 +552,15 @@ void TcpSocket::processData(std::uint64_t seq,
   }
 
   if (seq <= rcv_nxt_) {
-    // In-order (possibly with an old prefix): deliver what fits.
+    // In-order (possibly with an old prefix): deliver what fits. The
+    // arriving payload is adopted into the receive ring zero-copy.
     const auto skip = static_cast<std::int64_t>(rcv_nxt_ - seq);
     auto usable = len - skip;
     const auto free = static_cast<std::int64_t>(advertisedWindow());
     usable = std::min(usable, free);
     if (usable > 0) {
-      recv_buf_.insert(recv_buf_.end(), data.begin() + skip,
-                       data.begin() + skip + usable);
+      recv_buf_.appendSlice(data.subslice(static_cast<std::uint32_t>(skip),
+                                          static_cast<std::uint32_t>(usable)));
       rcv_nxt_ += static_cast<std::uint64_t>(usable);
       // Drain any now-contiguous out-of-order segments.
       for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
@@ -573,8 +573,9 @@ void TcpSocket::processData(std::uint64_t seq,
           continue;
         }
         if (oseq > rcv_nxt_) break;  // still a hole
-        const auto oskip = static_cast<std::ptrdiff_t>(rcv_nxt_ - oseq);
-        recv_buf_.insert(recv_buf_.end(), odata.begin() + oskip, odata.end());
+        const auto oskip = static_cast<std::uint32_t>(rcv_nxt_ - oseq);
+        recv_buf_.appendSlice(
+            odata.subslice(oskip, odata.length - oskip));
         rcv_nxt_ = oend;
         out_of_order_bytes_ -= static_cast<std::int64_t>(odata.size());
         it = out_of_order_.erase(it);

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,6 +33,7 @@
 #include "sim/condition.hpp"
 #include "sim/task.hpp"
 #include "tcp/rtt_estimator.hpp"
+#include "tcp/stream_ring.hpp"
 #include "tcp/tcp_config.hpp"
 
 namespace mgq::tcp {
@@ -61,6 +61,9 @@ class TcpSocket : public net::PacketReceiver {
   // --- sending -----------------------------------------------------------
   /// Copies `data` into the send buffer, suspending while it is full.
   sim::Task<> send(std::span<const std::uint8_t> data);
+  /// Zero-copy variant: the slice's buffer is adopted into the send
+  /// stream (refcount bump, no byte copy), suspending while it is full.
+  sim::Task<> sendSlice(net::BufSlice data);
   /// Sends `n` pattern bytes (stream byte k = k & 0xff) without the app
   /// materializing them.
   sim::Task<> sendBulk(std::int64_t n);
@@ -129,10 +132,9 @@ class TcpSocket : public net::PacketReceiver {
   void onPersistExpired();
   void processAck(std::uint64_t ack, std::uint32_t window, bool pure_ack);
   void enterFastRecovery();
-  std::uint8_t sendBufferByte(std::uint64_t seq) const;
 
   // Receiver path.
-  void processData(std::uint64_t seq, const std::vector<std::uint8_t>& data);
+  void processData(std::uint64_t seq, const net::BufSlice& data);
   void processFin(std::uint64_t fin_seq);
   std::uint32_t advertisedWindow() const;
   void scheduleAckForData();
@@ -149,7 +151,7 @@ class TcpSocket : public net::PacketReceiver {
   net::Dscp dscp_ = net::Dscp::kBestEffort;
 
   // --- sender state (sequence space: SYN = 0, first data byte = 1) ------
-  std::deque<std::uint8_t> send_buf_;  // front corresponds to snd_una_
+  StreamRing send_buf_;  // front corresponds to snd_una_
   std::uint64_t snd_una_ = 1;
   std::uint64_t snd_nxt_ = 1;
   std::uint64_t max_seq_sent_ = 1;  // for Karn's algorithm
@@ -177,8 +179,10 @@ class TcpSocket : public net::PacketReceiver {
 
   // --- receiver state ----------------------------------------------------
   std::uint64_t rcv_nxt_ = 1;
-  std::deque<std::uint8_t> recv_buf_;
-  std::map<std::uint64_t, std::vector<std::uint8_t>> out_of_order_;
+  StreamRing recv_buf_;
+  // Segments beyond rcv_nxt_, held as zero-copy views of their arrival
+  // buffers until the hole fills.
+  std::map<std::uint64_t, net::BufSlice> out_of_order_;
   std::int64_t out_of_order_bytes_ = 0;
   bool peer_fin_ = false;          // FIN consumed; EOF after buffer drains
   bool fin_received_pending_ = false;  // FIN seen but data still missing

@@ -8,6 +8,7 @@
 
 #include "chaos/runner.hpp"
 #include "gara/slot_table.hpp"
+#include "net/buffer.hpp"
 #include "scenario/builder.hpp"
 
 namespace mgq::chaos {
@@ -151,6 +152,11 @@ void soak(const std::string& scenario, double horizon) {
       << (outcome.failure() != nullptr ? outcome.failure()->log
                                        : std::string{});
   EXPECT_EQ(outcome.reports.size(), 200u);
+  // 200 rigs were built, faulted (lost packets, overflowed queues), and
+  // torn down across the worker threads: every pooled payload buffer in
+  // every thread must be back with its pool or freed.
+  EXPECT_EQ(net::BufferPool::totalLive(), 0)
+      << scenario << " leaked pooled payload buffers";
 }
 
 TEST(ChaosSoakTest, Fig1UnderHoldsInvariantsOver200Seeds) {

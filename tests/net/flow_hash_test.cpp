@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace mgq::net {
+namespace {
+
+// The flow-table fast path keys an unordered_map by FlowKey, and real key
+// populations are pathologically regular: same host pair, same well-known
+// destination port, source ports counting up from an ephemeral base. The
+// splitmix64 finalizer must spread exactly that population across hash
+// buckets; the old multiply-xor mixer dropped such keys into adjacent
+// buckets and degraded the table to a linked list.
+
+std::vector<FlowKey> ephemeralSweep(std::size_t n) {
+  std::vector<FlowKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(FlowKey{1, 2, static_cast<PortId>(40000 + i), 5001,
+                           Protocol::kTcp});
+  }
+  return keys;
+}
+
+TEST(FlowKeyHashTest, AdjacentPortsProduceDistinctHashes) {
+  FlowKeyHash hash;
+  std::unordered_set<std::size_t> seen;
+  for (const auto& k : ephemeralSweep(4096)) seen.insert(hash(k));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(FlowKeyHashTest, EphemeralPortSweepSpreadsAcrossBuckets) {
+  constexpr std::size_t kBuckets = 1024;
+  constexpr std::size_t kKeys = 4096;
+  FlowKeyHash hash;
+  std::vector<int> load(kBuckets, 0);
+  for (const auto& k : ephemeralSweep(kKeys)) {
+    ++load[hash(k) & (kBuckets - 1)];
+  }
+  // Perfectly uniform is 4 per bucket; a Poisson(4) tail above 16 has
+  // probability ~1e-6 per bucket. Clustering (the failure mode this
+  // guards) concentrates hundreds of keys in a handful of buckets.
+  int max_load = 0;
+  int occupied = 0;
+  for (int l : load) {
+    max_load = std::max(max_load, l);
+    occupied += l > 0 ? 1 : 0;
+  }
+  EXPECT_LE(max_load, 16);
+  // With 4096 balls in 1024 bins, ~98% of bins are occupied.
+  EXPECT_GE(occupied, static_cast<int>(kBuckets * 9 / 10));
+}
+
+TEST(FlowKeyHashTest, EveryFieldAffectsTheHash) {
+  FlowKeyHash hash;
+  const FlowKey base{10, 20, 1000, 2000, Protocol::kTcp};
+  FlowKey k = base;
+  k.src = 11;
+  EXPECT_NE(hash(k), hash(base));
+  k = base;
+  k.dst = 21;
+  EXPECT_NE(hash(k), hash(base));
+  k = base;
+  k.src_port = 1001;
+  EXPECT_NE(hash(k), hash(base));
+  k = base;
+  k.dst_port = 2001;
+  EXPECT_NE(hash(k), hash(base));
+  k = base;
+  k.proto = Protocol::kUdp;
+  EXPECT_NE(hash(k), hash(base));
+}
+
+}  // namespace
+}  // namespace mgq::net

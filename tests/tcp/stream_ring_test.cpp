@@ -1,0 +1,112 @@
+#include "tcp/stream_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mgq::tcp {
+namespace {
+
+std::vector<std::uint8_t> bytes(int n, int start = 0) {
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), static_cast<std::uint8_t>(start));
+  return v;
+}
+
+// The pool's smallest size class is 256 B, so 256 is the smallest chunk
+// size the ring can actually honour — chunk boundaries land every 256
+// bytes below.
+
+TEST(StreamRingTest, AppendCopyOutRoundTripAcrossChunks) {
+  StreamRing ring(/*chunk_bytes=*/256);
+  const auto data = bytes(1000);
+  ring.append(data);
+  EXPECT_EQ(ring.size(), 1000);
+  EXPECT_EQ(ring.chunkCount(), 4u);
+
+  std::vector<std::uint8_t> out(1000);
+  ring.copyOut(0, out);
+  EXPECT_EQ(out, data);
+
+  std::vector<std::uint8_t> window(300);
+  ring.copyOut(200, window);  // straddles the 256 B boundary
+  EXPECT_EQ(window, bytes(300, 200));
+  EXPECT_EQ(ring.byteAt(0), 0);
+  EXPECT_EQ(ring.byteAt(999), 999 & 0xff);
+}
+
+TEST(StreamRingTest, PopFrontAdvancesTheStream) {
+  StreamRing ring(256);
+  ring.append(bytes(600));
+  ring.popFront(300);  // drops one whole chunk plus part of the next
+  EXPECT_EQ(ring.size(), 300);
+  EXPECT_EQ(ring.chunkCount(), 2u);
+  EXPECT_EQ(ring.byteAt(0), 300 & 0xff);
+  std::vector<std::uint8_t> out(300);
+  ring.copyOut(0, out);
+  EXPECT_EQ(out, bytes(300, 300));
+  ring.popFront(300);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(StreamRingTest, AppendSliceAdoptsBufferWithoutCopy) {
+  StreamRing ring;
+  auto slice = net::BufSlice::fill(500, 0x42);
+  const std::uint8_t* payload_bytes = slice.data();
+  ring.append(bytes(10));
+  ring.appendSlice(std::move(slice));
+  EXPECT_EQ(ring.size(), 510);
+
+  // The adopted window is served from the original buffer: slicing it
+  // back out yields the very same bytes, not a copy.
+  auto back = ring.slice(10, 500);
+  EXPECT_EQ(back.data(), payload_bytes);
+  EXPECT_EQ(back.size(), 500u);
+  EXPECT_EQ(back[0], 0x42);
+}
+
+TEST(StreamRingTest, SliceWithinOneChunkIsZeroCopy) {
+  StreamRing ring(1024);
+  ring.append(bytes(200));
+  auto a = ring.slice(50, 100);
+  auto b = ring.slice(50, 100);
+  EXPECT_EQ(a.data(), b.data()) << "same window must share the chunk";
+  EXPECT_EQ(a[0], 50);
+  EXPECT_EQ(a[99], 149);
+}
+
+TEST(StreamRingTest, SliceAcrossChunksGathersCorrectBytes) {
+  StreamRing ring(256);
+  ring.append(bytes(600));
+  auto s = ring.slice(240, 40);  // spans the 256 B chunk boundary
+  ASSERT_EQ(s.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(s[static_cast<std::size_t>(i)], (240 + i) & 0xff);
+  }
+}
+
+TEST(StreamRingTest, AppendPatternMatchesBulkDefinition) {
+  StreamRing ring(256);
+  // Stream byte k = k & 0xff, appended in two runs at offsets 0 and 300.
+  ring.appendPattern(0, 300);
+  ring.appendPattern(300, 300);
+  EXPECT_EQ(ring.size(), 600);
+  for (std::int64_t k = 0; k < 600; k += 37) {
+    ASSERT_EQ(ring.byteAt(k), static_cast<std::uint8_t>(k & 0xff)) << k;
+  }
+}
+
+TEST(StreamRingTest, SliceHandedOutSurvivesPopFront) {
+  StreamRing ring(64);
+  ring.append(bytes(64));
+  auto s = ring.slice(0, 64);  // a retransmit reference
+  ring.popFront(64);
+  EXPECT_TRUE(ring.empty());
+  // The pooled chunk stays alive through the slice's refcount.
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(s[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace mgq::tcp
