@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "net/buffer.hpp"
+
 namespace mgq::apps {
 namespace {
 
@@ -94,6 +96,26 @@ void snapshotRigCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
     add("tcp.flow01.fast_retransmits", ts.fast_retransmits);
     add("tcp.flow01.timeouts", ts.timeouts);
   }
+}
+
+void snapshotAdversarialCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
+                                 const std::string& prefix) {
+  const auto add = [&](const std::string& name, std::uint64_t value) {
+    metrics.counter(prefix + name).inc(value);
+  };
+  // The adversarial injectors sit on the premium egress wire: the
+  // interface feeding the ingress edge router.
+  const auto& ws = rig.garnet.ingressEdgeInterface()->peer()->stats();
+  add("net.wire.corrupted", ws.corrupted);
+  add("net.wire.duplicated", ws.duplicated);
+  add("net.wire.reordered", ws.reordered);
+  add("net.wire.blackholed", ws.drops_partition);
+  add("net.wire.drops_pool_pressure", ws.drops_pool_pressure);
+  const auto& ps = net::BufferPool::local().stats();
+  add("pool.live_bytes", static_cast<std::uint64_t>(ps.live_bytes));
+  add("pool.high_water_bytes",
+      static_cast<std::uint64_t>(ps.high_water_bytes));
+  add("pool.ceiling_rejections", ps.ceiling_rejections);
 }
 
 void addTcpFlowProbes(obs::Sampler& sampler, mpi::World& world, int src,

@@ -36,6 +36,15 @@ void attachRigObservability(GarnetRig& rig, obs::MetricsRegistry& metrics,
 void snapshotRigCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
                          const std::string& prefix = {});
 
+/// End-of-run adversarial data-plane snapshot under `prefix`: premium-edge
+/// wire-fault counters (corrupted / duplicated / reordered / blackholed /
+/// pool-pressure clone sheds) and the payload pool's live-bytes,
+/// high-water, and ceiling-rejection gauges. Attached separately from
+/// snapshotRigCounters — only scenarios arming an AdversarialSpec call it,
+/// so legacy BENCH exports stay byte-identical.
+void snapshotAdversarialCounters(GarnetRig& rig, obs::MetricsRegistry& metrics,
+                                 const std::string& prefix = {});
+
 /// Installs cwnd/RTO/throughput probes for the TCP connection carrying
 /// world-rank `src` → `dst` traffic:
 ///   <flow_name>.cwnd_bytes, <flow_name>.rto_ms   timelines

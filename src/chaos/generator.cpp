@@ -144,6 +144,54 @@ ChaosPlan ChaosPlanGenerator::generate(const std::string& scenario,
                      profile_.mean_storm_seconds, warmup, horizon,
                      FaultAction::kDown, FaultAction::kUp, nullptr, events);
   }
+  // Adversarial data-plane categories draw after the control-plane pair
+  // for the same reason: appending streams never reshuffles earlier ones.
+  {
+    auto rng = categoryRng();
+    const double lo = profile_.corrupt_min;
+    const double hi = profile_.corrupt_max;
+    auto draw = [lo, hi](sim::Rng& r) {
+      return hi > lo ? r.uniform(lo, hi) : lo;
+    };
+    generateEpisodes(rng, profile_.corruption_target,
+                     profile_.corruption_episodes_per_100s,
+                     profile_.mean_corruption_seconds, warmup, horizon,
+                     FaultAction::kLossStart, FaultAction::kLossStop, draw,
+                     events);
+  }
+  {
+    auto rng = categoryRng();
+    const double lo = profile_.duplicate_min;
+    const double hi = profile_.duplicate_max;
+    auto draw = [lo, hi](sim::Rng& r) {
+      return hi > lo ? r.uniform(lo, hi) : lo;
+    };
+    generateEpisodes(rng, profile_.duplicate_target,
+                     profile_.duplicate_episodes_per_100s,
+                     profile_.mean_duplicate_seconds, warmup, horizon,
+                     FaultAction::kLossStart, FaultAction::kLossStop, draw,
+                     events);
+  }
+  {
+    auto rng = categoryRng();
+    const double lo = profile_.reorder_min;
+    const double hi = profile_.reorder_max;
+    auto draw = [lo, hi](sim::Rng& r) {
+      return hi > lo ? r.uniform(lo, hi) : lo;
+    };
+    generateEpisodes(rng, profile_.reorder_target,
+                     profile_.reorder_episodes_per_100s,
+                     profile_.mean_reorder_seconds, warmup, horizon,
+                     FaultAction::kLossStart, FaultAction::kLossStop, draw,
+                     events);
+  }
+  {
+    auto rng = categoryRng();
+    generateEpisodes(rng, profile_.partition_target,
+                     profile_.partition_episodes_per_100s,
+                     profile_.mean_partition_seconds, warmup, horizon,
+                     FaultAction::kDown, FaultAction::kUp, nullptr, events);
+  }
 
   // Stable: equal-timestamp events keep the fixed category order above,
   // so the plan (and hence the run) is byte-deterministic.

@@ -37,6 +37,14 @@ struct ChaosProfile {
   /// resilience stack; the targets warn-and-skip otherwise.
   double agent_crashes_per_100s = 0.0;
   double renewal_storms_per_100s = 0.0;
+  /// Adversarial data-plane chaos (zero by default, same byte-identical
+  /// guarantee): corruption / duplication / reorder episodes on the
+  /// premium edge's egress wire, and directional partition episodes that
+  /// blackhole it until healed.
+  double corruption_episodes_per_100s = 0.0;
+  double duplicate_episodes_per_100s = 0.0;
+  double reorder_episodes_per_100s = 0.0;
+  double partition_episodes_per_100s = 0.0;
 
   // Mean episode durations (seconds, exponential).
   double mean_flap_seconds = 0.4;
@@ -45,6 +53,10 @@ struct ChaosProfile {
   double mean_hog_seconds = 2.0;
   double mean_crash_downtime_seconds = 1.0;
   double mean_storm_seconds = 2.0;
+  double mean_corruption_seconds = 1.5;
+  double mean_duplicate_seconds = 1.5;
+  double mean_reorder_seconds = 1.5;
+  double mean_partition_seconds = 0.6;
 
   /// Drop probability of a loss episode: uniform in [loss_min, loss_max].
   double loss_min = 0.05;
@@ -53,6 +65,14 @@ struct ChaosProfile {
   /// factor in [modify_min, modify_max].
   double modify_min = 0.5;
   double modify_max = 2.0;
+  /// Per-packet probabilities of a corruption / duplication / reorder
+  /// episode: uniform in [lo, hi] per episode.
+  double corrupt_min = 0.005;
+  double corrupt_max = 0.05;
+  double duplicate_min = 0.01;
+  double duplicate_max = 0.1;
+  double reorder_min = 0.01;
+  double reorder_max = 0.1;
 
   /// No events before this time — lets connections and inline
   /// reservations establish first.
@@ -67,6 +87,10 @@ struct ChaosProfile {
   std::string churn_target = "reservation-churn";
   std::string agent_target = "qos-agent";
   std::string renewal_target = "lease-renewals";
+  std::string corruption_target = "premium-edge-corrupt";
+  std::string duplicate_target = "premium-edge-dup";
+  std::string reorder_target = "premium-edge-reorder";
+  std::string partition_target = "premium-edge-partition";
 };
 
 class ChaosPlanGenerator {

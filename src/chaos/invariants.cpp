@@ -5,9 +5,11 @@
 #include "apps/garnet_rig.hpp"
 #include "gara/gara.hpp"
 #include "gq/qos_agent.hpp"
+#include "net/buffer.hpp"
 #include "net/token_bucket.hpp"
 #include "obs/trace.hpp"
 #include "scenario/builder.hpp"
+#include "tcp/tcp_socket.hpp"
 
 namespace mgq::chaos {
 namespace {
@@ -178,6 +180,106 @@ void attachStandardInvariants(InvariantMonitor& monitor,
         return std::string("core bottleneck ") + net::dscpName(dscp) + ": " +
                error;
       }
+    }
+    return {};
+  });
+
+  // --- adversarial data-plane invariants (DESIGN.md §14) ----------------
+
+  // Checksum accounting conservation: every receiver-side checksum drop
+  // must be explained by a corruption emitted on the premium egress wire.
+  // A duplicated corrupted segment arrives (and fails) twice while
+  // counting one corruption, so the bound is corrupted + duplicated; with
+  // zero corruptions emitted, zero drops are tolerated.
+  monitor.addCheck("checksum-conservation", [&built, &rig]() -> std::string {
+    if (built.receiver == nullptr) return {};
+    const auto* egress = rig.garnet.ingressEdgeInterface()->peer();
+    const auto& wire = egress->stats();
+    const auto drops = built.receiver->stats().checksum_drops;
+    const auto bound =
+        wire.corrupted == 0 ? 0 : wire.corrupted + wire.duplicated;
+    if (drops > bound) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "receiver counted %llu checksum drops but the wire "
+                    "emitted only %llu corruptions (+%llu dups)",
+                    static_cast<unsigned long long>(drops),
+                    static_cast<unsigned long long>(wire.corrupted),
+                    static_cast<unsigned long long>(wire.duplicated));
+      return buf;
+    }
+    return {};
+  });
+
+  // No delivery of corrupted bytes: the offered-load server drains with
+  // pattern verification, and a corrupted byte reaching the application
+  // turns into a counted connection reset. Zero resets at every sweep
+  // means the checksum wall held.
+  monitor.addCheck("no-corrupted-delivery", [&built]() -> std::string {
+    if (built.receiver == nullptr) return {};
+    const auto resets = built.receiver->stats().resets;
+    if (resets > 0 || built.receiver->resetDetected()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "corrupted bytes reached the application: %llu "
+                    "connection reset(s)",
+                    static_cast<unsigned long long>(resets));
+      return buf;
+    }
+    return {};
+  });
+
+  // Reorder-buffer bound: packets held back by the reorder hook are
+  // bounded by what the link can serialize inside the hold window (the
+  // injector's default 5 ms, floor 40-byte wire size), and the receiver's
+  // reassembly buffer never parks more than one receive buffer of bytes.
+  monitor.addCheck("reorder-buffer-bound", [&built, &rig]() -> std::string {
+    const auto* egress = rig.garnet.ingressEdgeInterface()->peer();
+    const auto held = egress->delayedInFlight();
+    const auto held_bound = static_cast<std::size_t>(
+        2.0 + egress->rateBps() * 0.005 / (8.0 * 40.0));
+    char buf[160];
+    if (held > held_bound) {
+      std::snprintf(buf, sizeof(buf),
+                    "%zu packets held for reorder exceeds the %zu the link "
+                    "serializes in one hold window",
+                    held, held_bound);
+      return buf;
+    }
+    if (built.receiver != nullptr) {
+      const auto ooo = built.receiver->outOfOrderBytes();
+      const auto bound = built.receiver->config().recv_buffer_bytes;
+      if (ooo > bound) {
+        std::snprintf(buf, sizeof(buf),
+                      "receiver parks %lld out-of-order bytes, above the "
+                      "%lld-byte receive buffer",
+                      static_cast<long long>(ooo),
+                      static_cast<long long>(bound));
+        return buf;
+      }
+    }
+    return {};
+  });
+
+  // Pool-ceiling respected: with a live-bytes ceiling configured, the
+  // shed-able producers must keep the pool from racing away. allocate()
+  // stays ceiling-exempt for correctness paths (ring gathers, reassembly
+  // views), so a bounded overshoot — socket buffers plus in-flight wire
+  // bytes — is legal; 1 MiB of slack covers the premium flow's worst
+  // case, while a leak (the real failure mode) still trips the check.
+  monitor.addCheck("pool-ceiling-respected", []() -> std::string {
+    const auto& pool = net::BufferPool::local();
+    const auto ceiling = pool.liveBytesCeiling();
+    if (ceiling <= 0) return {};
+    const auto live = pool.stats().live_bytes;
+    if (live > ceiling + (1 << 20)) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "pool holds %lld live bytes against a %lld-byte "
+                    "ceiling (+1MiB slack)",
+                    static_cast<long long>(live),
+                    static_cast<long long>(ceiling));
+      return buf;
     }
     return {};
   });

@@ -7,11 +7,34 @@
 #include <stdexcept>
 #include <thread>
 
+#include "net/buffer.hpp"
 #include "scenario/builder.hpp"
 #include "scenario/runner.hpp"
 
 namespace mgq::chaos {
 namespace {
+
+/// Applies ChaosOptions::pool_ceiling_bytes to this thread's payload pool
+/// for one run and restores the previous ceiling on scope exit, so a
+/// capped chaos run never leaks pressure into later runs on the same
+/// worker thread.
+class PoolCeilingGuard {
+ public:
+  explicit PoolCeilingGuard(std::int64_t ceiling_bytes)
+      : previous_(net::BufferPool::local().liveBytesCeiling()),
+        active_(ceiling_bytes > 0) {
+    if (active_) net::BufferPool::local().setLiveBytesCeiling(ceiling_bytes);
+  }
+  ~PoolCeilingGuard() {
+    if (active_) net::BufferPool::local().setLiveBytesCeiling(previous_);
+  }
+  PoolCeilingGuard(const PoolCeilingGuard&) = delete;
+  PoolCeilingGuard& operator=(const PoolCeilingGuard&) = delete;
+
+ private:
+  std::int64_t previous_;
+  bool active_;
+};
 
 std::string buildChaosLog(const ChaosPlan& plan,
                           const std::string& injector_log,
@@ -83,6 +106,7 @@ ChaosRunReport ChaosRunner::runPlan(const ChaosPlan& plan,
   ChaosRunReport report;
   report.plan = plan;
   std::string injector_log, injector_footer;
+  PoolCeilingGuard pool_guard(options.pool_ceiling_bytes);
 
   ChaosTargets targets;
   std::unique_ptr<InvariantMonitor> monitor;

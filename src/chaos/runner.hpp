@@ -41,6 +41,13 @@ struct ChaosOptions {
   /// Seed-sweep worker threads; <= 0 uses hardware concurrency. Each run
   /// owns its Simulator, so results are identical to serial execution.
   int threads = 0;
+  /// When > 0, runPlan caps the run's thread-local BufferPool at this
+  /// many live bytes for the duration of the run (restored afterwards),
+  /// exercising the pool-pressure degradation paths and arming the
+  /// pool-ceiling invariant. Safe under runSeeds' thread pool: each run
+  /// executes wholly on one worker thread, so the ceiling it sets is the
+  /// one its simulation sees.
+  std::int64_t pool_ceiling_bytes = 0;
   /// Runs after the chaos machinery is wired, before the simulation
   /// starts — tests use it to plant bugs (e.g. the slot-table
   /// over-admission toggle on a fault proxy). Must be thread-safe across

@@ -21,10 +21,49 @@ ChaosTargets registerChaosTargets(scenario::BuiltScenario& built,
 
   // Lossy-wire episodes on the premium source's egress (the forward data
   // path into the ingress edge).
-  t.edge_loss = std::make_unique<net::LossInjector>(
-      *rig.garnet.ingressEdgeInterface()->peer(), loss_seed);
+  auto& premium_egress = *rig.garnet.ingressEdgeInterface()->peer();
+  t.edge_loss = std::make_unique<net::LossInjector>(premium_egress, loss_seed);
   injector.registerTarget("premium-edge-loss",
                           net::lossFaultTarget(*t.edge_loss));
+
+  // Adversarial data-plane injectors on the same egress wire, each with
+  // its own splitmix-derived seed stream: enabling one category never
+  // perturbs another's draw sequence for the same plan seed.
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  t.edge_corrupt = std::make_unique<net::CorruptionInjector>(
+      premium_egress, loss_seed + 1 * kGolden);
+  injector.registerTarget("premium-edge-corrupt",
+                          net::corruptionFaultTarget(*t.edge_corrupt));
+  t.edge_dup = std::make_unique<net::DuplicateInjector>(
+      premium_egress, loss_seed + 2 * kGolden);
+  injector.registerTarget("premium-edge-dup",
+                          net::duplicateFaultTarget(*t.edge_dup));
+  t.edge_reorder = std::make_unique<net::ReorderInjector>(
+      premium_egress, loss_seed + 3 * kGolden);
+  injector.registerTarget("premium-edge-reorder",
+                          net::reorderFaultTarget(*t.edge_reorder));
+  t.edge_partition = std::make_unique<net::PartitionFault>(premium_egress);
+  injector.registerTarget("premium-edge-partition",
+                          net::partitionFaultTarget(*t.edge_partition));
+
+  // Footer accounting for the adversarial categories: zero-valued
+  // counters are omitted, so zero-rate plans keep byte-identical footers.
+  {
+    auto* corrupt = t.edge_corrupt.get();
+    auto* dup = t.edge_dup.get();
+    auto* reorder = t.edge_reorder.get();
+    auto* partition = t.edge_partition.get();
+    injector.registerFooterCounter(
+        "corrupted", [corrupt] { return corrupt->corrupted(); });
+    injector.registerFooterCounter(
+        "corrupt_skipped", [corrupt] { return corrupt->skipped(); });
+    injector.registerFooterCounter("duplicated",
+                                   [dup] { return dup->duplicated(); });
+    injector.registerFooterCounter(
+        "reordered", [reorder] { return reorder->reordered(); });
+    injector.registerFooterCounter(
+        "blackholed", [partition] { return partition->blackholed(); });
+  }
 
   // Manager outages: wrap the rig's network managers in failure proxies
   // and re-register them under the same resource names (replace

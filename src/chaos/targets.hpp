@@ -11,6 +11,12 @@
 //   reservation-churn    down           cancel the lowest-id live
 //                                       reservation
 //                        loss_start(p)  modify it: amount ×= p
+//   premium-edge-corrupt loss_start/stop seeded CorruptionInjector on the
+//                                       premium source's egress wire
+//   premium-edge-dup     loss_start/stop seeded DuplicateInjector, same wire
+//   premium-edge-reorder loss_start/stop seeded ReorderInjector, same wire
+//   premium-edge-partition down/up      directional PartitionFault black-
+//                                       holing that egress until healed
 //
 // The churn target deliberately leaves `up`/`loss_stop` unset — plan
 // entries that land on them become logged "(no-op)" lines and count in
@@ -36,6 +42,10 @@ namespace mgq::chaos {
 struct ChaosTargets {
   std::unique_ptr<net::LinkFault> edge_link;
   std::unique_ptr<net::LossInjector> edge_loss;
+  std::unique_ptr<net::CorruptionInjector> edge_corrupt;
+  std::unique_ptr<net::DuplicateInjector> edge_dup;
+  std::unique_ptr<net::ReorderInjector> edge_reorder;
+  std::unique_ptr<net::PartitionFault> edge_partition;
   /// Proxies registered with Gara *in place of* the rig's managers; tests
   /// reach their slot tables here (e.g. forceOverAdmissionForTest).
   std::unique_ptr<gara::FlakyResourceManager> net_forward;
@@ -46,7 +56,11 @@ struct ChaosTargets {
 /// Creates the machinery above and registers every chaos target with
 /// `injector`. Call from RunHooks::on_built, before any simulated event
 /// has run (the manager swap must precede the first reservation).
-/// `loss_seed` seeds the LossInjector's own Rng.
+/// `loss_seed` seeds the LossInjector's own Rng; the adversarial
+/// injectors derive independent splitmix streams from it, so enabling a
+/// new category never perturbs the loss pattern of an existing seed. The
+/// injectors' corruption/duplication/reorder/blackhole totals are also
+/// registered as footer counters (omitted at zero).
 ChaosTargets registerChaosTargets(scenario::BuiltScenario& built,
                                   sim::FaultInjector& injector,
                                   std::uint64_t loss_seed);

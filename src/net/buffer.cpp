@@ -9,6 +9,7 @@ namespace mgq::net {
 namespace {
 
 std::atomic<std::int64_t> g_total_live{0};
+std::atomic<std::int64_t> g_total_live_bytes{0};
 
 // The thread's pool, null before first use and after the pool's own
 // destruction (thread exit) — releases arriving that late free to the
@@ -24,6 +25,10 @@ BufferPool& BufferPool::local() {
 
 std::int64_t BufferPool::totalLive() {
   return g_total_live.load(std::memory_order_relaxed);
+}
+
+std::int64_t BufferPool::totalLiveBytes() {
+  return g_total_live_bytes.load(std::memory_order_relaxed);
 }
 
 BufferPool::BufferPool() { tls_pool = this; }
@@ -56,20 +61,41 @@ void BufferPool::destroy(Buffer* b) {
   ::operator delete(static_cast<void*>(b));
 }
 
+std::int8_t BufferPool::classFor(std::size_t capacity) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (capacity <= kClassSizes[c]) return static_cast<std::int8_t>(c);
+  }
+  return -1;
+}
+
+BufferRef BufferPool::tryAllocate(std::size_t capacity) {
+  if (ceiling_bytes_ > 0) {
+    const auto cls = classFor(capacity);
+    const auto rounded = static_cast<std::int64_t>(
+        cls >= 0 ? kClassSizes[cls] : capacity);
+    if (stats_.live_bytes + rounded > ceiling_bytes_) {
+      ++stats_.ceiling_rejections;
+      return BufferRef{};
+    }
+  }
+  return allocate(capacity);
+}
+
 BufferRef BufferPool::allocate(std::size_t capacity) {
   assert(capacity > 0 && capacity <= 0x7fffffff);
   ++stats_.allocations;
   ++stats_.live;
   if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
-  g_total_live.fetch_add(1, std::memory_order_relaxed);
-
-  std::int8_t cls = -1;
-  for (int c = 0; c < kNumClasses; ++c) {
-    if (capacity <= kClassSizes[c]) {
-      cls = static_cast<std::int8_t>(c);
-      break;
-    }
+  const auto cls = classFor(capacity);
+  const auto rounded =
+      static_cast<std::int64_t>(cls >= 0 ? kClassSizes[cls] : capacity);
+  stats_.live_bytes += rounded;
+  if (stats_.live_bytes > stats_.high_water_bytes) {
+    stats_.high_water_bytes = stats_.live_bytes;
   }
+  g_total_live.fetch_add(1, std::memory_order_relaxed);
+  g_total_live_bytes.fetch_add(rounded, std::memory_order_relaxed);
+
   if (cls >= 0 && free_lists_[cls] != nullptr) {
     Buffer* b = free_lists_[cls];
     free_lists_[cls] = b->next_free_;
@@ -84,6 +110,7 @@ BufferRef BufferPool::allocate(std::size_t capacity) {
 
 void BufferPool::recycleOrFree(Buffer* b) {
   --stats_.live;
+  stats_.live_bytes -= static_cast<std::int64_t>(b->capacity_);
   const auto cls = b->size_class_;
   if (cls < 0 || free_counts_[cls] >= kMaxFreePerClass) {
     destroy(b);
@@ -99,6 +126,8 @@ void Buffer::release() {
   assert(refs_ > 0);
   if (--refs_ != 0) return;
   g_total_live.fetch_sub(1, std::memory_order_relaxed);
+  g_total_live_bytes.fetch_sub(static_cast<std::int64_t>(capacity_),
+                               std::memory_order_relaxed);
   BufferPool* owner = owner_;
   if (owner != nullptr && owner->ownsCurrentThread()) {
     owner->recycleOrFree(this);

@@ -127,6 +127,9 @@ struct BufferPoolStats {
   std::uint64_t recycled = 0;      // buffers returned to a free list
   std::size_t live = 0;            // currently referenced buffers
   std::size_t high_water = 0;      // max simultaneous live buffers
+  std::int64_t live_bytes = 0;     // capacity of currently live buffers
+  std::int64_t high_water_bytes = 0;
+  std::uint64_t ceiling_rejections = 0;  // tryAllocate() refused by ceiling
 };
 
 /// Thread-local pool of size-classed buffers (256 B … 64 KB; larger
@@ -146,7 +149,33 @@ class BufferPool {
   /// every thread's pool. Zero means no payload memory is held anywhere.
   static std::int64_t totalLive();
 
+  /// Capacity bytes of those live buffers, across every thread's pool.
+  static std::int64_t totalLiveBytes();
+
   BufferRef allocate(std::size_t capacity);
+
+  /// Ceiling-respecting allocation: returns an empty ref (and counts a
+  /// ceiling_rejection) when a live-bytes ceiling is set and the rounded
+  /// class size would push this pool past it. Shed-able producers (qdisc
+  /// admission, fault-injector copies, send-side staging) use this and
+  /// degrade gracefully; correctness-critical paths (reassembly views,
+  /// ring gathers of bytes already admitted) keep using allocate(), which
+  /// never fails — so the ceiling throttles intake without wedging
+  /// in-flight data.
+  BufferRef tryAllocate(std::size_t capacity);
+
+  /// Per-thread live-bytes ceiling for tryAllocate(); 0 disables it. The
+  /// ceiling is advisory pressure, not a hard cap: allocate() ignores it.
+  void setLiveBytesCeiling(std::int64_t bytes) { ceiling_bytes_ = bytes; }
+  std::int64_t liveBytesCeiling() const { return ceiling_bytes_; }
+
+  /// True when a ceiling is set and live bytes sit at or above it —
+  /// producers that can shed load should. (Live-bytes accounting, like
+  /// the per-pool live counter, is only exact on the owning thread:
+  /// cross-thread releases skip it by design.)
+  bool underPressure() const {
+    return ceiling_bytes_ > 0 && stats_.live_bytes >= ceiling_bytes_;
+  }
 
   const BufferPoolStats& stats() const { return stats_; }
 
@@ -164,9 +193,11 @@ class BufferPool {
   static void destroy(Buffer* b);
   static Buffer* create(std::size_t capacity, std::int8_t size_class,
                         BufferPool* owner);
+  static std::int8_t classFor(std::size_t capacity);
 
   Buffer* free_lists_[kNumClasses] = {};
   std::size_t free_counts_[kNumClasses] = {};
+  std::int64_t ceiling_bytes_ = 0;  // 0: no ceiling
   BufferPoolStats stats_;
 };
 

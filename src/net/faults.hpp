@@ -62,9 +62,134 @@ class LossInjector {
   std::uint64_t dropped_ = 0;
 };
 
+/// Seeded single-bit corruption on one interface's egress wire. Only TCP
+/// segments are touched — they carry the wire checksum that lets the
+/// receiver detect the damage, so a corrupted segment is dropped and
+/// counted instead of delivered (UDP contention traffic is size-only and
+/// has no integrity cover; corrupting it would silently hand garbage to
+/// the application, which is exactly the failure mode this layer exists
+/// to rule out). Payload-bearing segments get copy-on-corrupt: the
+/// injector clones the payload into a fresh pooled buffer, flips one
+/// seeded bit there, and swaps the slice — the original bytes stay
+/// immutable for every other slice sharing them (retransmission queues,
+/// duplicate clones). Payload-less segments get a seeded header-field
+/// flip instead. When the pool is at its live-bytes ceiling the copy is
+/// skipped and counted, not forced.
+class CorruptionInjector {
+ public:
+  CorruptionInjector(Interface& iface, std::uint64_t seed);
+  ~CorruptionInjector();
+  CorruptionInjector(const CorruptionInjector&) = delete;
+  CorruptionInjector& operator=(const CorruptionInjector&) = delete;
+
+  /// Begins (or re-parameterizes) an episode corrupting each eligible
+  /// packet with probability `corrupt_probability`.
+  void start(double corrupt_probability);
+  void stop();
+
+  bool active() const { return active_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  /// Packets the episode selected but could not corrupt (non-TCP, or the
+  /// copy-on-corrupt allocation was rejected by the pool ceiling).
+  std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  bool corrupt(Packet& p);
+
+  Interface* iface_;
+  sim::Rng rng_;
+  double probability_ = 0.0;
+  bool active_ = false;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+/// Seeded Bernoulli duplication on one interface's egress wire: a
+/// selected packet propagates twice (the clone shares the original's
+/// payload buffers — see Interface::setDuplicateHook).
+class DuplicateInjector {
+ public:
+  DuplicateInjector(Interface& iface, std::uint64_t seed);
+  ~DuplicateInjector();
+  DuplicateInjector(const DuplicateInjector&) = delete;
+  DuplicateInjector& operator=(const DuplicateInjector&) = delete;
+
+  void start(double duplicate_probability);
+  void stop();
+
+  bool active() const { return active_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+
+ private:
+  Interface* iface_;
+  sim::Rng rng_;
+  double probability_ = 0.0;
+  bool active_ = false;
+  std::uint64_t duplicated_ = 0;
+};
+
+/// Seeded Bernoulli reordering on one interface's egress wire: a selected
+/// packet is held back a uniform extra delay in (0, max_extra], letting
+/// later packets overtake it. Delivery still lands under the kernel's
+/// `(at, seq)` total order, so a given seed replays the exact same
+/// interleaving.
+class ReorderInjector {
+ public:
+  ReorderInjector(Interface& iface, std::uint64_t seed,
+                  sim::Duration max_extra = sim::Duration::millis(5));
+  ~ReorderInjector();
+  ReorderInjector(const ReorderInjector&) = delete;
+  ReorderInjector& operator=(const ReorderInjector&) = delete;
+
+  void start(double reorder_probability);
+  void stop();
+
+  bool active() const { return active_; }
+  std::uint64_t reordered() const { return reordered_; }
+  sim::Duration maxExtraDelay() const { return max_extra_; }
+
+ private:
+  Interface* iface_;
+  sim::Rng rng_;
+  sim::Duration max_extra_;
+  double probability_ = 0.0;
+  bool active_ = false;
+  std::uint64_t reordered_ = 0;
+};
+
+/// Directional link blackhole with heal. While partitioned, the wrapped
+/// interface's egress traffic burns serialization bandwidth but never
+/// arrives (a path silently eating packets), and the reverse direction
+/// keeps flowing — the classic asymmetric partition. Partition the peer's
+/// own PartitionFault too for a full cut.
+class PartitionFault {
+ public:
+  explicit PartitionFault(Interface& iface) : iface_(&iface) {}
+  ~PartitionFault() { heal(); }
+  PartitionFault(const PartitionFault&) = delete;
+  PartitionFault& operator=(const PartitionFault&) = delete;
+
+  void partition() { iface_->setPartitioned(true); }
+  void heal() { iface_->setPartitioned(false); }
+  bool partitioned() const { return iface_->isPartitioned(); }
+  std::uint64_t blackholed() const {
+    return iface_->stats().drops_partition;
+  }
+
+ private:
+  Interface* iface_;
+};
+
 /// Adapters exposing these primitives as fault-injector targets. The
-/// referenced objects must outlive the injector's schedule.
+/// referenced objects must outlive the injector's schedule. Episode-style
+/// injectors (loss, corruption, duplication, reorder) map to the
+/// loss_start/loss_stop action pair; binary faults (link, partition) map
+/// to down/up.
 sim::FaultTarget linkFaultTarget(LinkFault& link);
 sim::FaultTarget lossFaultTarget(LossInjector& loss);
+sim::FaultTarget corruptionFaultTarget(CorruptionInjector& corruption);
+sim::FaultTarget duplicateFaultTarget(DuplicateInjector& dup);
+sim::FaultTarget reorderFaultTarget(ReorderInjector& reorder);
+sim::FaultTarget partitionFaultTarget(PartitionFault& partition);
 
 }  // namespace mgq::net

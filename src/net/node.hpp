@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,6 +34,11 @@ struct InterfaceStats {
   std::uint64_t drops_policed = 0;
   std::uint64_t drops_link_down = 0;  // arrived while the interface was down
   std::uint64_t drops_fault = 0;      // eaten by an injected loss episode
+  std::uint64_t drops_partition = 0;  // blackholed by a directional partition
+  std::uint64_t drops_pool_pressure = 0;  // shed at the pool's byte ceiling
+  std::uint64_t corrupted = 0;        // mutated in flight by a fault injector
+  std::uint64_t duplicated = 0;       // cloned in flight by a fault injector
+  std::uint64_t reordered = 0;        // delayed past later packets in flight
 };
 
 struct QdiscConfig {
@@ -90,15 +96,60 @@ class Interface {
     loss_hook_ = std::move(hook);
   }
 
+  /// Egress corruption hook: consulted after the loss hook for surviving
+  /// packets. The hook may mutate the packet (injectors swap in a freshly
+  /// allocated payload copy so shared slices stay immutable — see
+  /// CorruptionInjector). Return true when the packet was mutated (counts
+  /// `corrupted`). Pass nullptr to clear.
+  void setCorruptHook(std::function<bool(Packet&)> hook) {
+    corrupt_hook_ = std::move(hook);
+  }
+
+  /// Egress duplication hook: return true to clone the serialized packet.
+  /// Both copies propagate with the link delay — the original first, the
+  /// clone immediately behind it in the same event order (counts
+  /// `duplicated`). The clone shares the original's payload buffers.
+  void setDuplicateHook(std::function<bool(const Packet&)> hook) {
+    duplicate_hook_ = std::move(hook);
+  }
+
+  /// Egress reorder hook: return an extra propagation delay to hold the
+  /// packet back past later traffic, or Duration::zero() to leave it on
+  /// the FIFO wire. Held packets live in a keyed side store (the FIFO
+  /// `wire_` deque would deliver them in entry order regardless of
+  /// delay), so delivery lands exactly at delay+extra under the kernel's
+  /// `(at, seq)` total order. Counts `reordered`.
+  void setReorderHook(std::function<sim::Duration(const Packet&)> hook) {
+    reorder_hook_ = std::move(hook);
+  }
+
+  /// Directional blackhole: while partitioned, this interface's egress
+  /// traffic burns its serialization bandwidth but never propagates
+  /// (counts `drops_partition`). The reverse direction is unaffected —
+  /// partition the peer too for a full cut. Unlike setUp(false), queued
+  /// packets keep draining, modelling a path that silently eats traffic
+  /// rather than a device that stops transmitting.
+  void setPartitioned(bool partitioned) { partitioned_ = partitioned; }
+  bool isPartitioned() const { return partitioned_; }
+
+  /// Packets currently held back by the reorder hook.
+  std::size_t delayedInFlight() const { return delayed_wire_.size(); }
+
  private:
   void transmitNext();
   void startTransmit(Packet p);
   void onSerialized();
   void onPropagated();
+  void onDelayedPropagated(std::uint64_t id);
+  void propagate(Packet p);
 
   sim::Simulator& sim_;
   Node& owner_;
   std::string name_;
+  // The constructing thread's payload pool, cached so the egress hot path
+  // checks pressure without a thread_local lookup per packet. Interfaces
+  // live and die on their Simulator's thread, same as the pool.
+  BufferPool* pool_;
   Interface* peer_ = nullptr;
   double rate_bps_ = 0.0;
   sim::Duration delay_ = sim::Duration::zero();
@@ -111,10 +162,19 @@ class Interface {
   // packets complete in the order they entered.
   std::optional<Packet> tx_packet_;  // serializing onto the wire
   std::deque<Packet> wire_;          // propagating towards the peer
+  // Packets held back by the reorder hook: keyed by a per-interface
+  // sequence number because their completion events fire out of entry
+  // order (std::map keeps iteration deterministic for teardown).
+  std::map<std::uint64_t, Packet> delayed_wire_;
+  std::uint64_t delayed_seq_ = 0;
   bool transmitting_ = false;
   bool up_ = true;
+  bool partitioned_ = false;
   std::vector<std::function<void(Interface&, bool)>> link_observers_;
   std::function<bool(const Packet&)> loss_hook_;
+  std::function<bool(Packet&)> corrupt_hook_;
+  std::function<bool(const Packet&)> duplicate_hook_;
+  std::function<sim::Duration(const Packet&)> reorder_hook_;
   InterfaceStats stats_;
 };
 

@@ -75,12 +75,22 @@ struct FlowKeyHash {
 struct TcpHeader {
   std::uint64_t seq = 0;
   std::uint64_t ack = 0;
-  std::uint32_t window = 0;  // advertised receive window, bytes
+  std::uint32_t window = 0;   // advertised receive window, bytes
+  std::uint32_t checksum = 0; // wire checksum over header fields + payload
   bool syn = false;
   bool fin = false;
   bool is_ack = false;
   BufSlice payload;
 };
+
+/// Wire checksum over a TCP segment's header fields (seq, ack, window,
+/// flags) and payload bytes — everything a fault injector may flip. The
+/// `checksum` field itself is excluded. Word-at-a-time multiply-xor with a
+/// splitmix finalizer: any single bit flip avalanches into the result, and
+/// bulk throughput stays ~8 bytes/cycle so the per-segment cost is noise
+/// against the copy the payload already paid. Stamped by the sender at
+/// segment emission, verified at receive (see tcp/tcp_socket.cpp).
+std::uint32_t tcpWireChecksum(const TcpHeader& h);
 
 /// UDP datagram metadata. Contention traffic is size-only (`payload`
 /// empty); applications that carry real bytes attach a slice, shared

@@ -67,7 +67,11 @@ std::vector<ReservationSpec> inlineReservations(const ScenarioSpec& spec) {
 Task<> offeredLoadServer(tcp::TcpListener& listener, tcp::TcpSocket*& out) {
   auto s = co_await listener.accept();
   out = s.get();
-  (void)co_await s->drain(INT64_MAX / 2, false);
+  // Verify the bulk pattern end to end: in clean runs verification only
+  // reads (byte-identical behaviour), and under adversarial wire faults a
+  // corrupted byte reaching the application turns into an observable
+  // counted reset — the no-corrupted-delivery invariant watches for it.
+  (void)co_await s->drain(INT64_MAX / 2, /*verify_pattern=*/true);
 }
 
 Task<> offeredLoadClient(BuiltScenario& b, OfferedLoadTcpWorkload w,
@@ -332,6 +336,46 @@ std::unique_ptr<BuiltScenario> ScenarioBuilder::build(
       built->injector->scheduleFlap(f.target,
                                     TimePoint::fromSeconds(f.at_seconds),
                                     Duration::seconds(f.outage_seconds));
+    }
+  }
+
+  // Adversarial data-plane conditions on the premium source's egress wire
+  // (DESIGN.md §14). Each injector draws from its own splitmix-derived
+  // stream of adv.seed, so enabling one category never perturbs another.
+  if (spec.adversarial.enabled()) {
+    const auto& adv = spec.adversarial;
+    auto& egress = *rig.garnet.ingressEdgeInterface()->peer();
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+    if (adv.corrupt_rate > 0) {
+      built->corrupt = std::make_unique<net::CorruptionInjector>(
+          egress, adv.seed + 1 * kGolden);
+      built->corrupt->start(adv.corrupt_rate);
+    }
+    if (adv.duplicate_rate > 0) {
+      built->duplicate = std::make_unique<net::DuplicateInjector>(
+          egress, adv.seed + 2 * kGolden);
+      built->duplicate->start(adv.duplicate_rate);
+    }
+    if (adv.reorder_rate > 0) {
+      built->reorder = std::make_unique<net::ReorderInjector>(
+          egress, adv.seed + 3 * kGolden,
+          Duration::seconds(adv.reorder_max_extra_seconds));
+      built->reorder->start(adv.reorder_rate);
+    }
+    if (adv.partition_at_seconds >= 0) {
+      built->partition = std::make_unique<net::PartitionFault>(egress);
+      rig.sim.schedule(Duration::seconds(adv.partition_at_seconds),
+                       [b] { b->partition->partition(); });
+      if (adv.heal_at_seconds > adv.partition_at_seconds) {
+        rig.sim.schedule(Duration::seconds(adv.heal_at_seconds),
+                         [b] { b->partition->heal(); });
+      }
+    }
+    if (adv.pool_ceiling_bytes > 0) {
+      auto& pool = net::BufferPool::local();
+      built->pool_ceiling_restore.previous = pool.liveBytesCeiling();
+      built->pool_ceiling_restore.active = true;
+      pool.setLiveBytesCeiling(adv.pool_ceiling_bytes);
     }
   }
 

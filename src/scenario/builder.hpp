@@ -14,6 +14,7 @@
 #include "apps/garnet_rig.hpp"
 #include "apps/workloads.hpp"
 #include "cpu/cpu_scheduler.hpp"
+#include "net/buffer.hpp"
 #include "net/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -55,6 +56,22 @@ struct BuiltScenario {
   std::unique_ptr<cpu::CpuHog> hog;
   std::unique_ptr<net::LinkFault> edge_link;
   std::unique_ptr<sim::FaultInjector> injector;
+
+  // Adversarial data-plane machinery (spec.adversarial, DESIGN.md §14).
+  std::unique_ptr<net::CorruptionInjector> corrupt;
+  std::unique_ptr<net::DuplicateInjector> duplicate;
+  std::unique_ptr<net::ReorderInjector> reorder;
+  std::unique_ptr<net::PartitionFault> partition;
+  /// Restores the thread-local pool's live-bytes ceiling when the built
+  /// scenario is destroyed (scenarios build, run, and die on one thread).
+  struct PoolCeilingRestore {
+    bool active = false;
+    std::int64_t previous = 0;
+    ~PoolCeilingRestore() {
+      if (active) net::BufferPool::local().setLiveBytesCeiling(previous);
+    }
+  };
+  PoolCeilingRestore pool_ceiling_restore;
 
   // Control-plane resilience (spec.resil / spec.agent_crashes): journal,
   // leases, heartbeats, and the crash/restart orchestration used by both

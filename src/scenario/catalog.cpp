@@ -430,6 +430,50 @@ ScenarioSpec crashRecoverySpec(const std::string& name) {
   return spec;
 }
 
+ScenarioSpec adversarialCorruptionSpec(const std::string& name) {
+  auto spec = offeredLoadFlowSpec(name, 55e6 * 1.06, 50e6, /*seconds=*/30.0);
+  spec.title = "Adversarial wire: Figure-1 flow through 0.5% corruption";
+  spec.paper_ref = "DESIGN.md §14: TCP integrity under wire corruption";
+  spec.adversarial.corrupt_rate = 0.005;
+  spec.checks = {
+      // Conservation is an upper bound: a corrupted segment can also die
+      // at the edge policer or a full queue before reaching the receiver,
+      // so drops <= corrupted (+ duplicated echoes of them), never more.
+      {"corrupted segments counted and dropped at the checksum wall",
+       [](const ScenarioResult& res) {
+         return res.wire_corrupted > 0 && res.checksum_drops > 0 &&
+                res.checksum_drops <=
+                    res.wire_corrupted + res.wire_duplicated;
+       }},
+      {"no corrupted bytes delivered (zero connection resets)",
+       [](const ScenarioResult& res) { return res.tcp_resets == 0; }},
+      {"goodput floor held through NewReno recovery",
+       [](const ScenarioResult& res) { return res.goodput_kbps > 2'000.0; }},
+  };
+  return spec;
+}
+
+ScenarioSpec partitionHealSpec(const std::string& name) {
+  auto spec = offeredLoadFlowSpec(name, 55e6 * 1.06, 50e6, /*seconds=*/30.0);
+  spec.title = "Partition/heal: premium egress blackholed 8-16 s";
+  spec.paper_ref = "DESIGN.md §14: reconvergence after a healed partition";
+  spec.adversarial.partition_at_seconds = 8.0;
+  spec.adversarial.heal_at_seconds = 16.0;
+  spec.checks = {
+      {"partition blackholed premium egress traffic",
+       [](const ScenarioResult& res) { return res.wire_blackholed > 0; }},
+      {"no spurious corruption or resets during the outage",
+       [](const ScenarioResult& res) {
+         return res.checksum_drops == 0 && res.tcp_resets == 0;
+       }},
+      {"goodput reconverges after the heal",
+       [](const ScenarioResult& res) {
+         return res.meanKbps(22.0, 30.0) > 1'000.0;
+       }},
+  };
+  return spec;
+}
+
 void registerPaperScenarios(ScenarioRegistry& registry) {
   registry.add({"fig1_under", "Figure 1: 50 Mb/s offered, 40 Mb/s reserved",
                 "Figure 1 (§5)",
@@ -522,6 +566,16 @@ void registerPaperScenarios(ScenarioRegistry& registry) {
                 "Link flap with recovery disabled (degrades to best effort)",
                 "§4.2", [] {
                   return faultRecoverySpec("fault_recovery_off", false);
+                }});
+  registry.add({"fig1_corrupt_wire",
+                "Adversarial wire: Figure-1 flow through 0.5% corruption",
+                "DESIGN.md §14", [] {
+                  return adversarialCorruptionSpec("fig1_corrupt_wire");
+                }});
+  registry.add({"partition_heal_reconverge",
+                "Partition/heal: premium egress blackholed 8-16 s",
+                "DESIGN.md §14", [] {
+                  return partitionHealSpec("partition_heal_reconverge");
                 }});
 }
 

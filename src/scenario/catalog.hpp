@@ -60,6 +60,19 @@ ScenarioSpec pingLatencySpec(const std::string& name, bool low_latency);
 /// RecoveryPolicy on or off. Includes per-run state/goodput checks.
 ScenarioSpec faultRecoverySpec(const std::string& name, bool recovery_on);
 
+/// Adversarial-wire scenario: the Figure-1 premium flow with seeded
+/// per-packet corruption on its egress wire. Checks that the TCP
+/// checksum wall drops every corrupted segment (counted, never
+/// delivered — zero connection resets) while the flow keeps a goodput
+/// floor through NewReno recovery.
+ScenarioSpec adversarialCorruptionSpec(const std::string& name);
+
+/// Partition/heal scenario: the Figure-1 premium flow with a directional
+/// blackhole on its egress at t=8 s, healed at t=16 s. Checks that the
+/// partition actually blackholes traffic and that goodput reconverges
+/// after the heal (retransmission state survives the outage).
+ScenarioSpec partitionHealSpec(const std::string& name);
+
 /// Crash-recovery scenario: the fault-recovery rig with the full
 /// control-plane resilience stack (journal, 2 s leases, heartbeats); the
 /// QoS agent and GARA crash at t=20 s and restart at t=25 s. Checks that

@@ -80,6 +80,11 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
   if (built->sampler != nullptr) {
     built->sampler->stop();
     apps::snapshotRigCounters(rig, *built->metrics, /*prefix=*/{});
+    // Wire/pool gauges ride only on adversarial runs so every legacy
+    // scenario's BENCH export (and its golden hash) stays byte-identical.
+    if (spec.adversarial.enabled()) {
+      apps::snapshotAdversarialCounters(rig, *built->metrics, /*prefix=*/{});
+    }
   }
 
   ScenarioResult result;
@@ -103,6 +108,17 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
   result.policer_drops =
       rig.garnet.ingressEdgeInterface()->stats().drops_policed;
   result.tcp_timeouts = built->tcp_timeouts;
+  if (built->receiver != nullptr) {
+    result.checksum_drops = built->receiver->stats().checksum_drops;
+    result.tcp_resets = built->receiver->stats().resets;
+  }
+  {
+    const auto& wire = rig.garnet.ingressEdgeInterface()->peer()->stats();
+    result.wire_corrupted = wire.corrupted;
+    result.wire_duplicated = wire.duplicated;
+    result.wire_reordered = wire.reordered;
+    result.wire_blackholed = wire.drops_partition;
+  }
   if (built->comm0 != nullptr) {
     const auto status = rig.agent.status(*built->comm0);
     result.qos_state = status.state;

@@ -47,6 +47,17 @@ struct ScenarioResult {
   std::uint64_t policer_drops = 0;
   std::uint64_t tcp_timeouts = 0;
 
+  /// Adversarial data-plane accounting (zero unless spec.adversarial or a
+  /// chaos plan armed the injectors): receiver-side checksum drops and
+  /// connection resets, and the egress wire's corruption/duplication/
+  /// reorder/blackhole totals.
+  std::uint64_t checksum_drops = 0;
+  std::uint64_t tcp_resets = 0;
+  std::uint64_t wire_corrupted = 0;
+  std::uint64_t wire_duplicated = 0;
+  std::uint64_t wire_reordered = 0;
+  std::uint64_t wire_blackholed = 0;
+
   gq::QosRequestState qos_state = gq::QosRequestState::kNone;
   int recovery_attempts = 0;
   std::string injector_log;

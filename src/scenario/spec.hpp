@@ -143,6 +143,36 @@ struct FaultSpec {
   std::string target = "premium-edge-link";
 };
 
+/// Adversarial data-plane conditions (DESIGN.md §14): seeded corruption /
+/// duplication / reorder injectors on the premium source's egress wire, an
+/// optional directional partition window with heal, and an optional
+/// live-bytes ceiling on the run's payload pool. Everything defaults off,
+/// and a disabled spec builds a byte-identical scenario (golden-catalog
+/// safe). Rates are per-packet probabilities on the egress wire.
+struct AdversarialSpec {
+  double corrupt_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  /// Maximum extra hold applied to a reordered packet.
+  double reorder_max_extra_seconds = 0.005;
+  /// Blackhole the premium egress at partition_at (< 0 disables), heal it
+  /// at heal_at (only when later than the cut; otherwise the partition
+  /// holds until teardown).
+  double partition_at_seconds = -1.0;
+  double heal_at_seconds = -1.0;
+  /// Seeds the injectors' splitmix-derived Rng streams, independent of
+  /// the simulation seed so a seed sweep keeps its fault pattern.
+  std::uint64_t seed = 99;
+  /// > 0: cap the run's thread-local BufferPool at this many live bytes
+  /// (restored when the built scenario is destroyed).
+  std::int64_t pool_ceiling_bytes = 0;
+
+  bool enabled() const {
+    return corrupt_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
+           partition_at_seconds >= 0 || pool_ceiling_bytes > 0;
+  }
+};
+
 // --------------------------------------------------------------------------
 // Control-plane resilience
 // --------------------------------------------------------------------------
@@ -212,6 +242,7 @@ struct ScenarioSpec {
   ContentionSpec contention;
   std::vector<CpuHogSpec> cpu_hogs;
   std::vector<FaultSpec> faults;
+  AdversarialSpec adversarial;
   ResilienceSpec resil;
   std::vector<AgentCrashSpec> agent_crashes;  // forces resil wiring on
 

@@ -135,11 +135,19 @@ std::string FaultInjector::logText() const {
 
 std::string FaultInjector::logFooter() const {
   char line[96];
-  std::snprintf(line, sizeof(line),
-                "fired=%llu skipped_actions=%llu\n",
+  std::snprintf(line, sizeof(line), "fired=%llu skipped_actions=%llu",
                 static_cast<unsigned long long>(fired_),
                 static_cast<unsigned long long>(skipped_));
-  return line;
+  std::string footer = line;
+  for (const auto& [name, fn] : footer_counters_) {
+    const auto value = fn();
+    if (value == 0) continue;  // zero-rate categories leave no trace
+    std::snprintf(line, sizeof(line), " %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    footer += line;
+  }
+  footer += '\n';
+  return footer;
 }
 
 }  // namespace mgq::sim

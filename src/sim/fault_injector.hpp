@@ -96,8 +96,19 @@ class FaultInjector {
   /// Fixed-format summary line ("fired=N skipped_actions=N"). Kept out of
   /// logText() so existing per-line expectations stay valid; chaos logs
   /// append it so a shrink step cannot silently drift a repro onto unset
-  /// actions without the log changing.
+  /// actions without the log changing. Registered footer counters (below)
+  /// that read nonzero are appended as " name=N" in registration order.
   std::string logFooter() const;
+
+  /// Registers a supplementary footer counter (e.g. an injector's
+  /// corrupted/duplicated/reordered totals). Counters that read zero are
+  /// omitted from the footer, so plans that never exercise a category
+  /// produce byte-identical footers with or without it registered. The
+  /// callback must stay valid for the injector's lifetime.
+  void registerFooterCounter(std::string name,
+                             std::function<std::uint64_t()> fn) {
+    footer_counters_.emplace_back(std::move(name), std::move(fn));
+  }
   std::uint64_t firedCount() const { return fired_; }
   /// Plan entries that fired but drove nothing: the target was
   /// unregistered, or its callback for the requested action was unset.
@@ -109,6 +120,8 @@ class FaultInjector {
   Simulator& sim_;
   Rng rng_;
   std::map<std::string, FaultTarget> targets_;
+  std::vector<std::pair<std::string, std::function<std::uint64_t()>>>
+      footer_counters_;
   std::vector<std::string> log_;
   std::uint64_t fired_ = 0;
   std::uint64_t skipped_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace mgq::tcp {
 
@@ -41,7 +42,11 @@ TcpSocket::~TcpSocket() {
     // own map erase; re-entering that erase would be undefined behaviour.
     // The alive token guards against the listener having been destroyed
     // before a socket still owned by a suspended coroutine frame.
-    if (established() && !listener_alive_.expired()) {
+    // A reset socket reads kClosed but is still registered in the
+    // listener's active_ map: it must deregister all the same, or the
+    // listener would keep routing the peer's retransmissions into a
+    // freed socket.
+    if ((established() || reset_) && !listener_alive_.expired()) {
       listener_->forgetConnection(flow_);
     }
   } else {
@@ -83,9 +88,8 @@ sim::Task<std::unique_ptr<TcpSocket>> TcpSocket::connect(net::Host& host,
 sim::Task<> TcpSocket::send(std::span<const std::uint8_t> data) {
   std::size_t offset = 0;
   while (offset < data.size()) {
-    co_await awaitUntil(send_space_cond_, [this] {
-      return send_buf_.size() < config_.send_buffer_bytes;
-    });
+    co_await awaitUntil(send_space_cond_,
+                        [this] { return sendAdmissionOpen(); });
     const auto free = config_.send_buffer_bytes - send_buf_.size();
     const auto chunk = std::min<std::int64_t>(
         free, static_cast<std::int64_t>(data.size() - offset));
@@ -99,9 +103,8 @@ sim::Task<> TcpSocket::send(std::span<const std::uint8_t> data) {
 sim::Task<> TcpSocket::sendSlice(net::BufSlice data) {
   std::uint32_t offset = 0;
   while (offset < data.length) {
-    co_await awaitUntil(send_space_cond_, [this] {
-      return send_buf_.size() < config_.send_buffer_bytes;
-    });
+    co_await awaitUntil(send_space_cond_,
+                        [this] { return sendAdmissionOpen(); });
     const auto free = config_.send_buffer_bytes - send_buf_.size();
     const auto chunk = static_cast<std::uint32_t>(std::min<std::int64_t>(
         free, static_cast<std::int64_t>(data.length - offset)));
@@ -115,9 +118,8 @@ sim::Task<> TcpSocket::sendSlice(net::BufSlice data) {
 sim::Task<> TcpSocket::sendBulk(std::int64_t n) {
   std::int64_t remaining = n;
   while (remaining > 0) {
-    co_await awaitUntil(send_space_cond_, [this] {
-      return send_buf_.size() < config_.send_buffer_bytes;
-    });
+    co_await awaitUntil(send_space_cond_,
+                        [this] { return sendAdmissionOpen(); });
     const auto free = config_.send_buffer_bytes - send_buf_.size();
     const auto chunk = std::min(free, remaining);
     send_buf_.appendPattern(stats_.bytes_sent_app, chunk);
@@ -174,7 +176,13 @@ sim::Task<std::int64_t> TcpSocket::drain(std::int64_t n, bool verify_pattern) {
       for (std::size_t i = 0; i < got; ++i) {
         if (scratch[i] !=
             static_cast<std::uint8_t>((offset_before + i) & 0xff)) {
-          throw std::runtime_error("tcp drain: stream corruption detected");
+          // Corrupted bytes reached the application: tear the connection
+          // down as an observable, counted reset (stats().resets,
+          // resetDetected()) instead of throwing — an exception here
+          // would unwind through the Simulator's event loop. The
+          // corrupted chunk is not counted as consumed.
+          enterReset();
+          co_return consumed;
         }
       }
     }
@@ -191,6 +199,21 @@ void TcpSocket::close() {
 // ---------------------------------------------------------------------------
 // Sender machinery
 // ---------------------------------------------------------------------------
+
+// Send-buffer admission: full buffers always block; a pool at its
+// live-bytes ceiling additionally holds *new* application data out of a
+// non-empty ring — in-flight bytes both notify this condition when acked
+// and release pooled chunks, so the wait resolves itself. An empty ring
+// is admitted regardless: blocking it on pressure caused by other
+// connections could never be woken by this connection's own progress.
+bool TcpSocket::sendAdmissionOpen() {
+  if (send_buf_.size() >= config_.send_buffer_bytes) return false;
+  if (pool_->underPressure() && !send_buf_.empty()) {
+    ++stats_.pool_backpressure_waits;
+    return false;
+  }
+  return true;
+}
 
 void TcpSocket::trySend() {
   if (state_ != State::kEstablished) return;
@@ -218,6 +241,16 @@ void TcpSocket::trySend() {
   maybeSendFin();
 }
 
+void TcpSocket::emitPacket(net::TcpHeader h, std::int32_t size_bytes) {
+  h.checksum = net::tcpWireChecksum(h);
+  net::Packet p;
+  p.flow = flow_;
+  p.dscp = dscp_;
+  p.size_bytes = size_bytes;
+  p.header = std::move(h);
+  host_.sendPacket(std::move(p));
+}
+
 void TcpSocket::emitSegment(std::uint64_t seq, std::int32_t len,
                             bool retransmit) {
   assert(seq >= snd_una_);
@@ -240,15 +273,10 @@ void TcpSocket::emitSegment(std::uint64_t seq, std::int32_t len,
   }
   max_seq_sent_ = std::max(max_seq_sent_, seg_end);
 
-  net::Packet p;
-  p.flow = flow_;
-  p.dscp = dscp_;
-  p.size_bytes = len + kAckWireBytes;
-  p.header = std::move(h);
   ++stats_.segments_sent;
   if (retransmit) ++stats_.retransmits;
   if (on_segment_sent) on_segment_sent(sim_.now(), seq, len, retransmit);
-  host_.sendPacket(std::move(p));
+  emitPacket(std::move(h), len + kAckWireBytes);
 }
 
 void TcpSocket::sendSyn(bool with_ack) {
@@ -258,12 +286,7 @@ void TcpSocket::sendSyn(bool with_ack) {
   h.is_ack = with_ack;
   h.ack = with_ack ? 1 : 0;
   h.window = advertisedWindow();
-  net::Packet p;
-  p.flow = flow_;
-  p.dscp = dscp_;
-  p.size_bytes = kAckWireBytes;
-  p.header = std::move(h);
-  host_.sendPacket(std::move(p));
+  emitPacket(std::move(h), kAckWireBytes);
 }
 
 void TcpSocket::sendAck() {
@@ -272,18 +295,13 @@ void TcpSocket::sendAck() {
   h.is_ack = true;
   h.ack = rcv_nxt_;
   h.window = advertisedWindow();
-  net::Packet p;
-  p.flow = flow_;
-  p.dscp = dscp_;
-  p.size_bytes = kAckWireBytes;
-  p.header = std::move(h);
   ++stats_.acks_sent;
   segments_since_ack_ = 0;
   if (delayed_ack_armed_) {
     sim_.cancel(delayed_ack_event_);
     delayed_ack_armed_ = false;
   }
-  host_.sendPacket(std::move(p));
+  emitPacket(std::move(h), kAckWireBytes);
 }
 
 void TcpSocket::maybeSendFin() {
@@ -299,13 +317,8 @@ void TcpSocket::maybeSendFin() {
   h.is_ack = true;
   h.ack = rcv_nxt_;
   h.window = advertisedWindow();
-  net::Packet p;
-  p.flow = flow_;
-  p.dscp = dscp_;
-  p.size_bytes = kAckWireBytes;
-  p.header = std::move(h);
   snd_nxt_ = fin_seq_ + 1;
-  host_.sendPacket(std::move(p));
+  emitPacket(std::move(h), kAckWireBytes);
   armRto();
 }
 
@@ -547,6 +560,7 @@ void TcpSocket::processData(std::uint64_t seq, const net::BufSlice& data) {
 
   if (seg_end <= rcv_nxt_) {
     // Entirely old (retransmission of delivered data): re-ACK.
+    ++stats_.stale_segments;
     sendAck();
     return;
   }
@@ -594,10 +608,25 @@ void TcpSocket::processData(std::uint64_t seq, const net::BufSlice& data) {
   }
 
   // Out of order: buffer (bounded) and send an immediate duplicate ACK.
-  if (out_of_order_.find(seq) == out_of_order_.end() &&
-      out_of_order_bytes_ + len <= config_.recv_buffer_bytes) {
-    out_of_order_bytes_ += len;
+  if (out_of_order_.find(seq) != out_of_order_.end()) {
+    // Exact-seq duplicate (wire duplication or a retransmit racing the
+    // hole): the existing view already covers it.
+    ++stats_.ooo_duplicates;
+  } else {
     out_of_order_.emplace(seq, data);
+    out_of_order_bytes_ += len;
+    // Deterministic bounded eviction: never hold more reassembly bytes
+    // than one receive buffer. Evict from the highest sequence down —
+    // the views furthest from the hole at rcv_nxt_ are the cheapest to
+    // re-fetch (the sender revisits them last) — and never evict the
+    // lowest view, which is the next hole-filler.
+    while (out_of_order_bytes_ > config_.recv_buffer_bytes &&
+           out_of_order_.size() > 1) {
+      const auto last = std::prev(out_of_order_.end());
+      out_of_order_bytes_ -= static_cast<std::int64_t>(last->second.size());
+      out_of_order_.erase(last);
+      ++stats_.ooo_evictions;
+    }
   }
   sendAck();
 }
@@ -622,6 +651,36 @@ void TcpSocket::processFin(std::uint64_t fin_seq) {
 // Packet dispatch and handshake
 // ---------------------------------------------------------------------------
 
+void TcpSocket::enterReset() {
+  if (reset_) return;
+  reset_ = true;
+  ++stats_.resets;
+  state_ = State::kClosed;
+  cancelRto();
+  if (persist_armed_) {
+    sim_.cancel(persist_event_);
+    persist_armed_ = false;
+  }
+  if (delayed_ack_armed_) {
+    sim_.cancel(delayed_ack_event_);
+    delayed_ack_armed_ = false;
+  }
+  // Release every buffered byte (both rings and the reassembly views):
+  // a reset connection must not pin pooled payload memory.
+  send_buf_.popFront(send_buf_.size());
+  recv_buf_.popFront(recv_buf_.size());
+  out_of_order_.clear();
+  out_of_order_bytes_ = 0;
+  // Readers see EOF, writers see a permanently writable (discarding)
+  // socket — every waiter wakes and observes the closed state.
+  peer_fin_ = true;
+  connect_failed_ = true;
+  established_cond_.notifyAll();
+  send_space_cond_.notifyAll();
+  recv_data_cond_.notifyAll();
+  acked_cond_.notifyAll();
+}
+
 void TcpSocket::becomeEstablished() {
   state_ = State::kEstablished;
   cancelRto();
@@ -633,6 +692,16 @@ void TcpSocket::becomeEstablished() {
 void TcpSocket::onPacket(net::Packet p) {
   auto* h = p.tcp();
   if (h == nullptr) return;
+
+  // Wire integrity: a segment whose checksum does not match was mutated
+  // in flight (header or payload). Drop and count; the sender's normal
+  // loss machinery (dup ACKs, RTO) recovers, and corrupted bytes never
+  // reach the reassembly path. At zero corruption every checksum matches
+  // by construction, so this branch never fires in clean runs.
+  if (h->checksum != net::tcpWireChecksum(*h)) {
+    ++stats_.checksum_drops;
+    return;
+  }
 
   if (h->syn) {
     if (state_ == State::kSynSent && h->is_ack) {
@@ -697,6 +766,10 @@ void TcpListener::onPacket(net::Packet p) {
   }
   const auto* h = p.tcp();
   if (h == nullptr || !h->syn || h->is_ack) return;  // stray packet
+  // A corrupted SYN must not instantiate connection state: its fields
+  // (window, flags) are untrustworthy. Dropping it silently mirrors a
+  // checksum-discarding NIC; the client's SYN retransmit retries.
+  if (h->checksum != net::tcpWireChecksum(*h)) return;
 
   // New connection: passive open.
   auto socket = std::unique_ptr<TcpSocket>(

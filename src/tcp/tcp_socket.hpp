@@ -92,11 +92,20 @@ class TcpSocket : public net::PacketReceiver {
   double cwndBytes() const { return cwnd_; }
   std::int64_t ssthreshBytes() const { return ssthresh_; }
   sim::Duration currentRto() const { return rtt_.rto(); }
+  /// True once the connection was torn down by an observable reset (e.g.
+  /// corrupted bytes reaching a verifying receiver). After a reset, recv()
+  /// reports EOF, send() discards silently, and stats().resets counts it —
+  /// no exception ever unwinds through the Simulator.
+  bool resetDetected() const { return reset_; }
   std::int64_t bytesInFlight() const {
     return static_cast<std::int64_t>(snd_nxt_ - snd_una_);
   }
   /// Bytes delivered to the application so far (throughput sampling).
   std::int64_t bytesDelivered() const { return stats_.bytes_delivered; }
+  /// Bytes currently parked in the out-of-order reassembly buffer; the
+  /// eviction policy keeps this at or below recv_buffer_bytes (invariant
+  /// monitors assert it).
+  std::int64_t outOfOrderBytes() const { return out_of_order_bytes_; }
 
   /// Mark applied to every packet this socket emits (premium flows are
   /// usually marked at the edge router instead; this supports host-side
@@ -119,7 +128,11 @@ class TcpSocket : public net::PacketReceiver {
             TcpListener* listener);
 
   // Sender path.
+  bool sendAdmissionOpen();
   void trySend();
+  /// Stamps the wire checksum and ships the finished header. Every
+  /// emission funnels through here so no segment can leave unstamped.
+  void emitPacket(net::TcpHeader h, std::int32_t size_bytes);
   void emitSegment(std::uint64_t seq, std::int32_t len, bool retransmit);
   void sendSyn(bool with_ack);
   void sendAck();
@@ -140,6 +153,9 @@ class TcpSocket : public net::PacketReceiver {
   void scheduleAckForData();
 
   void becomeEstablished();
+  /// Observable connection teardown (stream corruption detected, or any
+  /// future RST-like condition): counted, idempotent, wakes every waiter.
+  void enterReset();
 
   net::Host& host_;
   net::FlowKey flow_;
@@ -149,6 +165,10 @@ class TcpSocket : public net::PacketReceiver {
   sim::Simulator& sim_;
   State state_ = State::kClosed;
   net::Dscp dscp_ = net::Dscp::kBestEffort;
+  bool reset_ = false;
+  // The owning thread's payload pool, cached for the send-admission
+  // pressure gate (sockets live and die on their Simulator's thread).
+  net::BufferPool* pool_ = &net::BufferPool::local();
 
   // --- sender state (sequence space: SYN = 0, first data byte = 1) ------
   StreamRing send_buf_;  // front corresponds to snd_una_

@@ -171,6 +171,33 @@ TEST(ChaosSoakTest, FaultRecoveryHoldsInvariantsOver200Seeds) {
   soak("fault_recovery_on", 3.0);
 }
 
+TEST(ChaosSoakTest, AdversarialWireHoldsInvariantsOver200Seeds) {
+  // All four adversarial data-plane categories at aggressive rates, plus
+  // a pool live-bytes ceiling, against the offered-load TCP scenario (so
+  // the checksum-conservation / no-corrupted-delivery / reorder-bound /
+  // pool-ceiling invariants are all armed with a live receiver). Every
+  // corrupted segment must die at the checksum wall — zero resets — and
+  // every pooled byte must be back home at teardown.
+  ChaosOptions options;
+  options.horizon_seconds = 2.5;
+  options.profile.corruption_episodes_per_100s = 60.0;
+  options.profile.duplicate_episodes_per_100s = 60.0;
+  options.profile.reorder_episodes_per_100s = 60.0;
+  options.profile.partition_episodes_per_100s = 30.0;
+  options.pool_ceiling_bytes = 8 << 20;
+  ChaosRunner runner;
+  const auto outcome = runner.runSeeds("fig1_under", 1, 200, options);
+  EXPECT_TRUE(outcome.ok())
+      << "seed "
+      << (outcome.failure() != nullptr ? outcome.failure()->plan.seed : 0)
+      << " violated invariants:\n"
+      << (outcome.failure() != nullptr ? outcome.failure()->log
+                                       : std::string{});
+  EXPECT_EQ(outcome.reports.size(), 200u);
+  EXPECT_EQ(net::BufferPool::totalLive(), 0)
+      << "adversarial soak leaked pooled payload buffers";
+}
+
 // --- control-plane resilience ---------------------------------------------
 
 TEST(ChaosRunnerTest, ManagerRevocationReentersReleaseUnderTheMonitors) {

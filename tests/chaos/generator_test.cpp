@@ -134,5 +134,52 @@ TEST(ChaosGeneratorTest, ControlPlaneCategoriesNeverReshuffleTheOthers) {
   }
 }
 
+TEST(ChaosGeneratorTest,
+     AdversarialCategoriesAppendWithoutPerturbingExisting) {
+  // The four adversarial data-plane categories draw from appended Rng
+  // streams: enabling them must leave every pre-existing category's
+  // events byte-identical for the same seed, and a zero-rate profile
+  // must emit none of them at all.
+  ChaosProfile with_adversarial;
+  with_adversarial.corruption_episodes_per_100s = 50.0;
+  with_adversarial.duplicate_episodes_per_100s = 50.0;
+  with_adversarial.reorder_episodes_per_100s = 50.0;
+  with_adversarial.partition_episodes_per_100s = 30.0;
+
+  const auto base =
+      ChaosPlanGenerator{ChaosProfile{}}.generate("fig1_under", 7, 40.0);
+  const auto extended =
+      ChaosPlanGenerator{with_adversarial}.generate("fig1_under", 7, 40.0);
+
+  const auto isAdversarial = [](const std::string& target) {
+    return target == "premium-edge-corrupt" || target == "premium-edge-dup" ||
+           target == "premium-edge-reorder" ||
+           target == "premium-edge-partition";
+  };
+  for (const auto& e : base.events) {
+    EXPECT_FALSE(isAdversarial(e.target))
+        << "zero-rate profile emitted " << e.target;
+  }
+
+  std::vector<sim::FaultEvent> extended_without_new;
+  std::map<std::string, int> adversarial_counts;
+  for (const auto& e : extended.events) {
+    if (isAdversarial(e.target)) {
+      ++adversarial_counts[e.target];
+    } else {
+      extended_without_new.push_back(e);
+    }
+  }
+  EXPECT_EQ(adversarial_counts.size(), 4u)
+      << "all four adversarial categories should fire at these rates";
+  ASSERT_EQ(extended_without_new.size(), base.events.size());
+  for (std::size_t i = 0; i < base.events.size(); ++i) {
+    EXPECT_EQ(base.events[i].at, extended_without_new[i].at) << i;
+    EXPECT_EQ(base.events[i].target, extended_without_new[i].target) << i;
+    EXPECT_EQ(base.events[i].action, extended_without_new[i].action) << i;
+    EXPECT_EQ(base.events[i].param, extended_without_new[i].param) << i;
+  }
+}
+
 }  // namespace
 }  // namespace mgq::chaos

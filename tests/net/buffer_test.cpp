@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "net/faults.hpp"
@@ -88,6 +89,65 @@ TEST(BufferPoolTest, HighWaterTracksPeakLiveBuffers) {
   EXPECT_EQ(BufferPool::local().stats().live, base_live + 8);
   held.clear();
   EXPECT_EQ(BufferPool::local().stats().live, base_live);
+}
+
+TEST(BufferPoolTest, CeilingRejectsTryAllocateAndRecovers) {
+  auto& pool = BufferPool::local();
+  const auto prev_ceiling = pool.liveBytesCeiling();
+  const auto base_live = pool.stats().live_bytes;
+  const auto base_rejections = pool.stats().ceiling_rejections;
+  pool.setLiveBytesCeiling(base_live + 8 * 1024);
+
+  auto a = pool.tryAllocate(4096);
+  ASSERT_TRUE(a);
+  auto b = pool.tryAllocate(4096);
+  ASSERT_TRUE(b);
+  EXPECT_TRUE(pool.underPressure());
+
+  auto rejected = pool.tryAllocate(4096);
+  EXPECT_FALSE(rejected) << "allocation past the ceiling must be refused";
+  EXPECT_EQ(pool.stats().ceiling_rejections, base_rejections + 1);
+
+  // Graceful degradation, not a dead end: releasing live bytes reopens
+  // admission.
+  a = BufferRef{};
+  EXPECT_FALSE(pool.underPressure());
+  auto again = pool.tryAllocate(4096);
+  EXPECT_TRUE(again) << "released bytes must reopen the ceiling";
+
+  pool.setLiveBytesCeiling(prev_ceiling);
+}
+
+TEST(BufferPoolTest, AllocateIsCeilingExemptForCorrectnessPaths) {
+  auto& pool = BufferPool::local();
+  const auto prev_ceiling = pool.liveBytesCeiling();
+  const auto base_live = pool.stats().live_bytes;
+  pool.setLiveBytesCeiling(base_live + 1024);
+
+  // allocate() serves paths that cannot shed (reassembly views, ring
+  // gathers): it must succeed past the ceiling, visible as pressure.
+  auto a = pool.allocate(4096);
+  ASSERT_TRUE(a);
+  auto b = pool.allocate(4096);
+  ASSERT_TRUE(b);
+  EXPECT_GT(pool.stats().live_bytes, pool.liveBytesCeiling());
+  EXPECT_TRUE(pool.underPressure());
+
+  pool.setLiveBytesCeiling(prev_ceiling);
+}
+
+TEST(BufferPoolTest, LiveBytesBalanceAcrossCrossThreadRelease) {
+  const auto total_before = BufferPool::totalLiveBytes();
+  auto held = BufferPool::local().allocate(16 * 1024);
+  EXPECT_GE(BufferPool::totalLiveBytes(), total_before + 16 * 1024);
+  // Release on a foreign thread: owner stats are not touched (per-pool
+  // stats are only meaningful on the owning thread), but the global
+  // live-bytes gauge must balance to zero delta.
+  std::thread([moved = std::move(held)]() mutable {
+    moved = BufferRef{};
+  }).join();
+  EXPECT_EQ(BufferPool::totalLiveBytes(), total_before)
+      << "cross-thread release must return the global gauge to baseline";
 }
 
 TEST(BufSliceTest, CopyBumpsRefcountAndSharesBytes) {

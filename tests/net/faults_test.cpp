@@ -3,6 +3,9 @@
 // replayable pattern, and link-state observers fire on every transition.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "net/faults.hpp"
 #include "net/network.hpp"
 #include "net/udp.hpp"
@@ -134,6 +137,183 @@ TEST(FaultTargetAdapterTest, AdaptersDriveThePrimitives) {
   EXPECT_TRUE(loss.active());
   loss_target.loss_stop();
   EXPECT_FALSE(loss.active());
+}
+
+// --- adversarial data-plane injectors ------------------------------------
+
+/// Captures every packet reaching a bound protocol port, copying payload
+/// bytes out so assertions survive buffer recycling.
+struct CaptureSink : PacketReceiver {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  void onPacket(Packet p) override {
+    const auto* h = p.tcp();
+    std::vector<std::uint8_t> bytes;
+    if (h != nullptr) {
+      bytes.assign(h->payload.data(), h->payload.data() + h->payload.size());
+    }
+    payloads.push_back(std::move(bytes));
+  }
+};
+
+Packet tcpPacket(const FlowKey& flow, BufSlice payload) {
+  TcpHeader h;
+  h.payload = std::move(payload);
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = static_cast<std::int32_t>(h.payload.size()) + 40;
+  p.header = std::move(h);
+  return p;
+}
+
+TEST(CorruptionInjectorTest, CopyOnCorruptLeavesSharedSliceUntouched) {
+  Fixture f;
+  CaptureSink sink;
+  f.dst->bind(Protocol::kTcp, 7, &sink);
+
+  CorruptionInjector corrupt(f.srcIface(), /*seed=*/5);
+  corrupt.start(/*corrupt_probability=*/1.0);
+
+  // The sender keeps a view of the payload buffer — exactly what a TCP
+  // retransmission ring does. Corruption must flip a bit only in the
+  // delivered copy, never in this shared window.
+  auto original = BufSlice::fill(512, 0xab);
+  auto retained = original;  // second view of the same buffer
+  const FlowKey flow{f.src->id(), f.dst->id(), 1000, 7, Protocol::kTcp};
+  f.src->sendPacket(tcpPacket(flow, original));
+  f.sim.run();
+
+  EXPECT_EQ(corrupt.corrupted(), 1u);
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    ASSERT_EQ(retained[i], 0xab) << "shared slice mutated at byte " << i;
+  }
+  ASSERT_EQ(sink.payloads.size(), 1u);
+  const auto& delivered = sink.payloads.front();
+  ASSERT_EQ(delivered.size(), 512u);
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    flipped_bits += __builtin_popcount(delivered[i] ^ 0xabu);
+  }
+  EXPECT_EQ(flipped_bits, 1) << "corruption must flip exactly one bit";
+}
+
+TEST(CorruptionInjectorTest, NonTcpPacketsAreSkippedNotMutated) {
+  Fixture f;
+  UdpSocket sender(*f.src);
+  UdpSink sink(*f.dst, 7);
+
+  CorruptionInjector corrupt(f.srcIface(), /*seed=*/5);
+  corrupt.start(1.0);
+  for (int i = 0; i < 6; ++i) sender.sendTo(f.dst->id(), 7, 900);
+  f.sim.run();
+
+  EXPECT_EQ(corrupt.corrupted(), 0u);
+  EXPECT_EQ(corrupt.skipped(), 6u);
+  EXPECT_EQ(sink.packetsReceived(), 6u)
+      << "skipped packets must still be delivered intact";
+  EXPECT_EQ(f.srcIface().stats().corrupted, 0u);
+}
+
+TEST(DuplicateInjectorTest, CloneArrivesBehindTheOriginal) {
+  Fixture f;
+  UdpSocket sender(*f.src);
+  UdpSink sink(*f.dst, 7);
+
+  DuplicateInjector dup(f.srcIface(), /*seed=*/9);
+  dup.start(1.0);
+  for (int i = 0; i < 5; ++i) sender.sendTo(f.dst->id(), 7, 400);
+  f.sim.run();
+
+  EXPECT_EQ(dup.duplicated(), 5u);
+  EXPECT_EQ(f.srcIface().stats().duplicated, 5u);
+  EXPECT_EQ(sink.packetsReceived(), 10u)
+      << "every duplicated datagram must arrive twice";
+
+  dup.stop();
+  sender.sendTo(f.dst->id(), 7, 400);
+  f.sim.run();
+  EXPECT_EQ(sink.packetsReceived(), 11u) << "stop() must end duplication";
+}
+
+TEST(ReorderInjectorTest, SeededHoldIsDeterministicAndDrainsCompletely) {
+  auto run = [](std::uint64_t seed) {
+    Fixture f;
+    UdpSocket sender(*f.src);
+    UdpSink sink(*f.dst, 7);
+    ReorderInjector reorder(f.srcIface(), seed,
+                            /*max_extra=*/sim::Duration::millis(2));
+    reorder.start(0.5);
+    for (int i = 0; i < 40; ++i) sender.sendTo(f.dst->id(), 7, 300);
+    f.sim.run();
+    EXPECT_EQ(f.srcIface().delayedInFlight(), 0u)
+        << "held packets must all deliver by quiescence";
+    EXPECT_EQ(sink.packetsReceived(), 40u)
+        << "reordering must never lose or duplicate";
+    return reorder.reordered();
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  EXPECT_GT(a, 0u);
+  EXPECT_LT(a, 40u) << "p=0.5 should leave some packets on the FIFO wire";
+  EXPECT_EQ(a, b) << "same seed must reorder the same packets";
+  EXPECT_NE(run(78), 0u);
+}
+
+TEST(PartitionFaultTest, DirectionalBlackholeHealsOnDemand) {
+  Fixture f;
+  UdpSocket sender(*f.src);
+  UdpSink sink(*f.dst, 7);
+  UdpSocket back_sender(*f.dst);
+  UdpSink back_sink(*f.src, 8);
+
+  PartitionFault cut(f.srcIface());
+  cut.partition();
+  EXPECT_TRUE(cut.partitioned());
+  for (int i = 0; i < 4; ++i) sender.sendTo(f.dst->id(), 7, 500);
+  back_sender.sendTo(f.src->id(), 8, 500);
+  f.sim.run();
+  EXPECT_EQ(sink.packetsReceived(), 0u) << "partitioned egress must eat all";
+  EXPECT_EQ(cut.blackholed(), 4u);
+  EXPECT_EQ(back_sink.packetsReceived(), 1u)
+      << "a directional partition must not touch the reverse path";
+
+  cut.heal();
+  EXPECT_FALSE(cut.partitioned());
+  sender.sendTo(f.dst->id(), 7, 500);
+  f.sim.run();
+  EXPECT_EQ(sink.packetsReceived(), 1u) << "healing must restore delivery";
+  EXPECT_EQ(cut.blackholed(), 4u);
+}
+
+TEST(FaultTargetAdapterTest, AdversarialAdaptersDriveThePrimitives) {
+  Fixture f;
+  CorruptionInjector corrupt(f.srcIface(), 1);
+  DuplicateInjector dup(f.srcIface(), 2);
+  ReorderInjector reorder(f.srcIface(), 3);
+  PartitionFault cut(f.srcIface());
+
+  auto corrupt_target = corruptionFaultTarget(corrupt);
+  corrupt_target.loss_start(0.2);
+  EXPECT_TRUE(corrupt.active());
+  corrupt_target.loss_stop();
+  EXPECT_FALSE(corrupt.active());
+
+  auto dup_target = duplicateFaultTarget(dup);
+  dup_target.loss_start(0.2);
+  EXPECT_TRUE(dup.active());
+  dup_target.loss_stop();
+  EXPECT_FALSE(dup.active());
+
+  auto reorder_target = reorderFaultTarget(reorder);
+  reorder_target.loss_start(0.2);
+  EXPECT_TRUE(reorder.active());
+  reorder_target.loss_stop();
+  EXPECT_FALSE(reorder.active());
+
+  auto cut_target = partitionFaultTarget(cut);
+  cut_target.down();
+  EXPECT_TRUE(cut.partitioned());
+  cut_target.up();
+  EXPECT_FALSE(cut.partitioned());
 }
 
 }  // namespace

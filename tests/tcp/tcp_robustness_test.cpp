@@ -3,9 +3,13 @@
 // random-loss property suite.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <deque>
+#include <vector>
 
+#include "net/faults.hpp"
 #include "net/network.hpp"
+#include "net/packet.hpp"
 #include "tcp/tcp_socket.hpp"
 #include "tcp_test_util.hpp"
 
@@ -229,6 +233,211 @@ TEST_P(TcpLossSweepTest, StreamIntegrityProperty) {
   const auto got =
       transfer(sim, *pair.a, *pair.b, 200'000, Duration::seconds(600));
   EXPECT_EQ(got, 200'000) << "loss=" << loss << " seed=" << seed;
+}
+
+// --- adversarial wire integrity -------------------------------------------
+
+/// transfer() with the server socket's end-of-drain stats copied out.
+std::int64_t transferWithStats(sim::Simulator& sim, net::Host& from,
+                               net::Host& to, std::int64_t total,
+                               TcpStats& server_stats,
+                               Duration limit = Duration::seconds(300)) {
+  TcpListener listener(to, 5100);
+  std::int64_t drained = -1;
+  auto server = [](TcpListener& l, std::int64_t n, std::int64_t& out,
+                   TcpStats& st) -> Task<> {
+    auto s = co_await l.accept();
+    out = co_await s->drain(n, /*verify_pattern=*/true);
+    st = s->stats();
+  };
+  auto client = [](net::Host& h, net::NodeId dst, std::int64_t n) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5100);
+    co_await s->sendBulk(n);
+    co_await s->flush();
+  };
+  sim.spawn(server(listener, total, drained, server_stats));
+  sim.spawn(client(from, to.id(), total));
+  sim.runFor(limit);
+  return drained;
+}
+
+TEST(TcpIntegrityTest, CorruptedSegmentsDieAtTheChecksumWallNotInTheStream) {
+  sim::Simulator sim(19);
+  LossyPair pair(sim);
+  net::CorruptionInjector corrupt(pair.a->nic(), /*seed=*/21);
+  corrupt.start(/*corrupt_probability=*/0.05);
+
+  TcpStats st;
+  const auto got =
+      transferWithStats(sim, *pair.a, *pair.b, 400'000, st);
+  EXPECT_EQ(got, 400'000)
+      << "every corrupted segment must be retransmitted clean";
+  EXPECT_GT(corrupt.corrupted(), 0u);
+  EXPECT_GT(st.checksum_drops, 0u)
+      << "receiver must count the corrupted segments it refused";
+  EXPECT_LE(st.checksum_drops, corrupt.corrupted())
+      << "conservation: drops cannot exceed corruptions emitted";
+  EXPECT_EQ(st.resets, 0u) << "the checksum wall held; no reset";
+}
+
+TEST(TcpIntegrityTest, DeliveredCorruptionTriggersCountedResetNotException) {
+  // Regression: a pattern mismatch reaching a verifying drain used to
+  // throw through the simulator; it must now be a counted, observable
+  // connection reset.
+  sim::Simulator sim(23);
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpListener listener(b, 5100);
+  std::int64_t drained = -1;
+  std::uint64_t resets = 0;
+  bool reset_seen = false;
+  auto server = [](TcpListener& l, std::int64_t& out, std::uint64_t& r,
+                   bool& seen) -> Task<> {
+    auto s = co_await l.accept();
+    out = co_await s->drain(100'000, /*verify_pattern=*/true);
+    r = s->stats().resets;
+    seen = s->resetDetected();
+  };
+  auto client = [](net::Host& h, net::NodeId dst) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5100);
+    // Garbage relative to the bulk pattern: byte 0 of the stream must be
+    // 0x00, so 0xff bytes trip the verifier immediately.
+    const std::vector<std::uint8_t> junk(4096, 0xff);
+    co_await s->send(junk);
+    co_await s->flush();
+  };
+  sim.spawn(server(listener, drained, resets, reset_seen));
+  sim.spawn(client(a, b.id()));
+  sim.runFor(Duration::seconds(30));
+
+  EXPECT_EQ(drained, 0) << "corrupted bytes must not count as consumed";
+  EXPECT_EQ(resets, 1u);
+  EXPECT_TRUE(reset_seen);
+}
+
+TEST(TcpIntegrityTest, DuplicateSynInHandshakeIsReAnsweredNotFatal) {
+  sim::Simulator sim(31);
+  LossyPair pair(sim);
+  // Tap: every SYN (and SYN|ACK) is re-sent 100 us later, so both
+  // kSynSent and kSynReceived see their handshake segment twice.
+  pair.forwarder->should_drop = [&](const net::Packet& p) {
+    const auto* h = p.tcp();
+    if (h != nullptr && h->syn) {
+      auto copy = p;
+      auto* fwd = pair.forwarder.get();
+      sim.schedule(Duration::micros(100), [fwd, copy]() mutable {
+        auto& out = copy.flow.dst == 2 ? *fwd->interfaces()[1]
+                                       : *fwd->interfaces()[0];
+        out.send(std::move(copy));
+      });
+    }
+    return false;
+  };
+  TcpStats st;
+  const auto got = transferWithStats(sim, *pair.a, *pair.b, 100'000, st);
+  EXPECT_EQ(got, 100'000);
+}
+
+TEST(TcpIntegrityTest, LateDuplicatesAreCountedStaleNeverRedelivered) {
+  sim::Simulator sim(37);
+  LossyPair pair(sim);
+  // Tap: 20% of data segments are echoed 2 ms later — long past their
+  // delivery, so the echo arrives entirely below rcv_nxt.
+  pair.forwarder->should_drop = [&](const net::Packet& p) {
+    const auto* h = p.tcp();
+    if (h != nullptr && !h->payload.empty() && sim.rng().bernoulli(0.2)) {
+      auto copy = p;
+      auto* fwd = pair.forwarder.get();
+      sim.schedule(Duration::millis(2), [fwd, copy]() mutable {
+        auto& out = copy.flow.dst == 2 ? *fwd->interfaces()[1]
+                                       : *fwd->interfaces()[0];
+        out.send(std::move(copy));
+      });
+    }
+    return false;
+  };
+  TcpStats st;
+  const auto got = transferWithStats(sim, *pair.a, *pair.b, 300'000, st);
+  EXPECT_EQ(got, 300'000) << "pattern verify: stale echoes never redeliver";
+  EXPECT_GT(st.stale_segments, 0u);
+}
+
+TEST(TcpIntegrityTest, ForgedSegmentsExerciseReassemblyEdgeCases) {
+  // Drives the receiver's reassembly hardening directly: out-of-order
+  // segments beyond the budget evict deterministically (largest sequence
+  // first), an exact-duplicate out-of-order segment is counted not
+  // stored twice, a fully-stale segment re-ACKs, and a bad checksum is
+  // dropped on the floor. The server's ACKs are blackholed so the
+  // passive client never sees acknowledgements for forged bytes.
+  sim::Simulator sim(29);
+  net::Network net(sim);
+  auto& a = net.addHost("a");
+  auto& b = net.addHost("b");
+  net.connect(a, b, net::LinkConfig{});
+  net.computeRoutes();
+
+  TcpConfig server_cfg;
+  server_cfg.recv_buffer_bytes = 8192;
+  TcpListener listener(b, 5100, server_cfg);
+  TcpSocket* srv = nullptr;
+  auto server = [](TcpListener& l, TcpSocket** out) -> Task<> {
+    auto s = co_await l.accept();
+    *out = s.get();
+    co_await s->drain(1'000'000);  // parked for the whole test
+  };
+  auto client = [](net::Host& h, net::NodeId dst) -> Task<> {
+    auto s = co_await TcpSocket::connect(h, dst, 5100);
+    std::uint8_t tmp[16];
+    co_await s->recv(tmp);  // parked: sends nothing after the handshake
+  };
+  sim.spawn(server(listener, &srv));
+  sim.spawn(client(a, b.id()));
+
+  net::PartitionFault mute(b.nic());
+  sim.schedule(Duration::millis(400), [&mute] { mute.partition(); });
+
+  auto forge = [&](std::uint64_t seq, std::size_t len, bool good_checksum) {
+    net::TcpHeader h;
+    h.seq = seq;
+    h.payload = net::BufSlice::fill(len, 0x77);
+    h.checksum = net::tcpWireChecksum(h) ^ (good_checksum ? 0u : 0xdeadbeefu);
+    net::Packet p;
+    p.size_bytes = static_cast<std::int32_t>(len) + 40;
+    p.header = std::move(h);
+    srv->onPacket(std::move(p));
+  };
+
+  sim.schedule(Duration::millis(500), [&] {
+    ASSERT_NE(srv, nullptr);
+    // 9 x 1000 B beyond the hole at [1, 2000]: 9000 B exceeds the 8192 B
+    // budget, so exactly the largest-sequence segment is evicted.
+    for (int k = 0; k < 9; ++k) forge(2001 + 1000 * k, 1000, true);
+    forge(2001, 1000, true);  // exact duplicate of a parked segment
+  });
+  sim.schedule(Duration::millis(1000), [&] {
+    forge(1, 100, true);  // in-order trickle: delivers, hole persists
+  });
+  sim.schedule(Duration::millis(1500), [&] {
+    forge(1, 50, true);           // entirely below rcv_nxt: stale
+    forge(12001, 500, false);     // corrupted: dropped before reassembly
+  });
+  sim.runFor(Duration::seconds(3));
+
+  ASSERT_NE(srv, nullptr);
+  const auto& st = srv->stats();
+  EXPECT_EQ(st.ooo_evictions, 1u);
+  EXPECT_EQ(st.ooo_duplicates, 1u);
+  EXPECT_GE(st.stale_segments, 1u);
+  EXPECT_EQ(st.checksum_drops, 1u);
+  EXPECT_LE(srv->outOfOrderBytes(),
+            static_cast<std::int64_t>(server_cfg.recv_buffer_bytes))
+      << "reassembly buffer must respect its budget";
+  EXPECT_EQ(srv->outOfOrderBytes(), 8000);
+  EXPECT_EQ(srv->bytesDelivered(), 100);
 }
 
 TEST(TcpConfigTest, TinyMssStillCorrect) {

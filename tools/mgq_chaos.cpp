@@ -3,6 +3,9 @@
 //
 //   mgq_chaos --scenario NAME [--seeds N] [--first-seed S] [--horizon SEC]
 //             [--shrink] [--threads N] [--json-dir DIR]
+//             [--crash-rate R] [--renewal-storm-rate R]
+//             [--corrupt-rate R] [--dup-rate R] [--reorder-rate R]
+//             [--partition-rate R] [--pool-ceiling BYTES]
 //   mgq_chaos --replay FILE [--json-dir DIR]
 //
 // The seed sweep generates one randomized fault plan per seed and runs it
@@ -32,7 +35,10 @@ int usage(const char* argv0) {
                "          [--horizon SEC] [--shrink] [--threads N]\n"
                "          [--crash-rate PER100S] "
                "[--renewal-storm-rate PER100S]\n"
-               "          [--json-dir DIR]\n"
+               "          [--corrupt-rate PER100S] [--dup-rate PER100S]\n"
+               "          [--reorder-rate PER100S] "
+               "[--partition-rate PER100S]\n"
+               "          [--pool-ceiling BYTES] [--json-dir DIR]\n"
                "       %s --replay FILE [--json-dir DIR]\n",
                argv0, argv0);
   return 2;
@@ -92,15 +98,8 @@ int replayFile(const std::string& path, const std::string& json_dir) {
 }
 
 int sweepSeeds(const std::string& scenario, std::uint64_t first_seed,
-               int seeds, double horizon, bool shrink, int threads,
-               double crash_rate, double renewal_storm_rate,
+               int seeds, bool shrink, const chaos::ChaosOptions& options,
                const std::string& json_dir) {
-  chaos::ChaosOptions options;
-  options.horizon_seconds = horizon;
-  options.threads = threads;
-  options.profile.agent_crashes_per_100s = crash_rate;
-  options.profile.renewal_storms_per_100s = renewal_storm_rate;
-
   chaos::ChaosRunner runner;
   chaos::ChaosOutcome outcome;
   try {
@@ -156,11 +155,8 @@ int main(int argc, char** argv) {
   std::string replay;
   std::uint64_t first_seed = 1;
   int seeds = 50;
-  double horizon = 0.0;
   bool shrink = false;
-  int threads = 0;
-  double crash_rate = 0.0;
-  double renewal_storm_rate = 0.0;
+  chaos::ChaosOptions options;
   std::string json_dir = ".";
 
   for (int i = 1; i < argc; ++i) {
@@ -188,21 +184,41 @@ int main(int argc, char** argv) {
       } else if (arg == "--horizon") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
-        horizon = std::stod(v);
+        options.horizon_seconds = std::stod(v);
       } else if (arg == "--shrink") {
         shrink = true;
       } else if (arg == "--threads") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
-        threads = std::stoi(v);
+        options.threads = std::stoi(v);
       } else if (arg == "--crash-rate") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
-        crash_rate = std::stod(v);
+        options.profile.agent_crashes_per_100s = std::stod(v);
       } else if (arg == "--renewal-storm-rate") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
-        renewal_storm_rate = std::stod(v);
+        options.profile.renewal_storms_per_100s = std::stod(v);
+      } else if (arg == "--corrupt-rate") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.profile.corruption_episodes_per_100s = std::stod(v);
+      } else if (arg == "--dup-rate") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.profile.duplicate_episodes_per_100s = std::stod(v);
+      } else if (arg == "--reorder-rate") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.profile.reorder_episodes_per_100s = std::stod(v);
+      } else if (arg == "--partition-rate") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.profile.partition_episodes_per_100s = std::stod(v);
+      } else if (arg == "--pool-ceiling") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.pool_ceiling_bytes = std::stoll(v);
       } else if (arg == "--json-dir") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
@@ -217,6 +233,5 @@ int main(int argc, char** argv) {
 
   if (!replay.empty()) return replayFile(replay, json_dir);
   if (scenario.empty() || seeds <= 0) return usage(argv[0]);
-  return sweepSeeds(scenario, first_seed, seeds, horizon, shrink, threads,
-                    crash_rate, renewal_storm_rate, json_dir);
+  return sweepSeeds(scenario, first_seed, seeds, shrink, options, json_dir);
 }
