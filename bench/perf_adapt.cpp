@@ -1,0 +1,134 @@
+#include "perf_adapt.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "gara/bandwidth_broker.hpp"
+#include "gara/gara.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgq::perf {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "perf mix invariant failed: %s\n", what);
+    std::abort();
+  }
+}
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+MixResult finishMix(std::string name, std::uint64_t operations,
+                    std::uint64_t events_executed, Clock::time_point start) {
+  MixResult r;
+  r.name = std::move(name);
+  r.operations = operations;
+  r.events_executed = events_executed;
+  r.wall_seconds = secondsSince(start);
+  r.ops_per_sec = r.wall_seconds > 0
+                      ? static_cast<double>(r.operations) / r.wall_seconds
+                      : 0.0;
+  return r;
+}
+
+/// Demand phases alternate busy/idle every 5 simulated seconds, staggered
+/// by tenant parity so half the fleet is always growing while the other
+/// half shrinks — every tick carries real resize work, not steady-state
+/// holds.
+constexpr double kPhaseSeconds = 5.0;
+
+/// Offered bytes at time `t` for tenant `i`: the integral of a square
+/// demand wave at `busy_bps` during that tenant's busy phases.
+std::int64_t offeredBytesAt(double t, int i, double busy_bps) {
+  const int phase = static_cast<int>(t / kPhaseSeconds);
+  // Complete busy phases in [0, phase): even tenants are busy in even
+  // phases, odd tenants in odd phases.
+  const int busy_phases = (i % 2 == 0) ? (phase + 1) / 2 : phase / 2;
+  double busy_seconds = busy_phases * kPhaseSeconds;
+  if ((phase + i) % 2 == 0) busy_seconds += t - phase * kPhaseSeconds;
+  return static_cast<std::int64_t>(busy_bps / 8.0 * busy_seconds);
+}
+
+}  // namespace
+
+MixResult runAdaptController(int tenants, double horizon_seconds) {
+  sim::Simulator simulator(/*seed=*/42);
+  gara::Gara gara(simulator);
+  // Wide pooled links: 64 tenants peaking near 12.5 Mb/s each fit with
+  // room to spare, so grows are granted and the measurement tracks the
+  // decide/modify cost rather than refusal backoff.
+  gara::LinkAccountingManager edge(1e9);
+  gara::LinkAccountingManager core(1e9);
+  gara.registerManager("edge", edge);
+  gara.registerManager("core", core);
+  gara::BandwidthBroker broker(gara);
+  broker.definePath("pool", {"edge", "core"});
+  adapt::BandwidthArbiter arbiter(gara);
+  arbiter.setPoolResources({"edge", "core"});
+
+  adapt::QosController controller(simulator, broker, arbiter, {});
+  std::vector<gara::BandwidthBroker::PathReservation> paths;
+  paths.reserve(static_cast<std::size_t>(tenants));  // stable addresses
+  for (int i = 0; i < tenants; ++i) {
+    gara::ReservationRequest request;
+    request.start = simulator.now();
+    request.amount = 2e6;
+    paths.push_back(broker.requestPath("pool", request));
+    check(static_cast<bool>(paths.back()), "adapt_controller path granted");
+
+    adapt::QosController::TenantConfig tenant;
+    tenant.name = "tenant-" + std::to_string(i);
+    tenant.policy.floor_bps = 1e6;
+    const double busy_bps = 4e6 + (i % 7) * 1e6;
+    tenant.inputs = {[&simulator, i, busy_bps] {
+                       return offeredBytesAt(simulator.now().toSeconds(), i,
+                                             busy_bps);
+                     },
+                     {},
+                     {}};
+    controller.addTenant(std::move(tenant), &paths.back());
+  }
+  controller.start();
+
+  const auto start = Clock::now();
+  simulator.runUntil(sim::TimePoint::fromSeconds(horizon_seconds));
+
+  const auto expected_ticks = static_cast<std::uint64_t>(
+      horizon_seconds / controller.config().cadence_seconds);
+  check(controller.ticks() >= expected_ticks - 1,
+        "adapt_controller ticked on cadence");
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  for (const auto& view : controller.tenantViews()) {
+    grows += view.grows;
+    shrinks += view.shrinks;
+  }
+  check(grows > 0 && shrinks > 0, "adapt_controller fleet kept resizing");
+  check(edge.slots().usedAt(simulator.now()) <= 1e9 &&
+            core.slots().usedAt(simulator.now()) <= 1e9,
+        "adapt_controller never over-admitted the pool");
+  // The event-budget claim behind running this loop inside the paper
+  // reproductions: one timer event per tick, independent of tenant count.
+  // A fig9_combined run executes 4,641,750 events; the controller must
+  // stay below 1% of that (46,417) over any scenario-scale horizon.
+  check(simulator.eventsExecuted() < 46'417,
+        "adapt_controller stayed under 1% of the fig9_combined budget");
+
+  return finishMix(
+      "adapt_controller",
+      controller.ticks() * static_cast<std::uint64_t>(tenants),
+      simulator.eventsExecuted(), start);
+}
+
+}  // namespace mgq::perf

@@ -1,0 +1,25 @@
+// Control-plane performance mix for the mgq_perf harness.
+//
+// Where perf_kernel.hpp measures the event kernel and perf_dataplane.hpp
+// the packet path, this mix measures the adaptive QoS control loop
+// (DESIGN.md §15) at fleet scale:
+//   adapt_controller — one QosController over 64 live path reservations
+//                      with phase-shifting per-tenant demand, so every
+//                      cadence tick samples, decides, and a steady mix of
+//                      grows/shrinks flows through BandwidthBroker::modify;
+//                      ops = tenant decisions evaluated (ticks x tenants)
+// The mix also proves the controller's event-budget claim: the loop adds
+// one timer event per tick regardless of tenant count, so its simulator
+// footprint stays far below 1% of a fig9_combined run.
+#pragma once
+
+#include "perf_kernel.hpp"
+
+namespace mgq::perf {
+
+/// `tenants` reservations on one broker path over pooled 1 Gb/s links,
+/// adapted for `horizon_seconds` of simulated time under alternating
+/// busy/idle demand phases. Operations count tenant decisions.
+MixResult runAdaptController(int tenants, double horizon_seconds);
+
+}  // namespace mgq::perf

@@ -1,0 +1,49 @@
+#include "adapt/arbiter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace mgq::adapt {
+
+double BandwidthArbiter::headroomBps(sim::TimePoint now) const {
+  if (resources_.empty()) return 0.0;
+  double headroom = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const auto& name : resources_) {
+    const auto* manager = gara_->findManager(name);
+    if (manager == nullptr) continue;
+    found = true;
+    const auto& slots = manager->slots();
+    headroom = std::min(headroom, slots.capacity() - slots.usedAt(now));
+  }
+  if (!found) return 0.0;
+  return std::max(headroom, 0.0);
+}
+
+std::vector<double> BandwidthArbiter::maxMinShares(
+    const std::vector<double>& wants, double pool) {
+  std::vector<double> grants(wants.size(), 0.0);
+  if (pool <= 0.0 || wants.empty()) return grants;
+
+  std::vector<std::size_t> order(wants.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return wants[a] < wants[b];
+                   });
+
+  double remaining = pool;
+  std::size_t left = order.size();
+  for (std::size_t idx : order) {
+    if (remaining <= 0.0) break;
+    const double fair = remaining / static_cast<double>(left);
+    const double grant = std::clamp(wants[idx], 0.0, fair);
+    grants[idx] = grant;
+    remaining -= grant;
+    --left;
+  }
+  return grants;
+}
+
+}  // namespace mgq::adapt

@@ -1,0 +1,60 @@
+// Cross-tenant bandwidth arbitration for the adaptive QoS control plane
+// (DESIGN.md §15).
+//
+// The arbiter answers one question for the controller each tick: how much
+// capacity may competing tenants grow into, and how should it be split?
+// It reads the same slot tables the broker admits against (so a grant the
+// arbiter hands out is one the broker will accept, modulo races with other
+// requesters — a refused modify is handled by policy backoff, never an
+// error), pools shrink-reclaimed capacity for observability, and splits
+// contended headroom max-min fairly: every tenant gets its want or an
+// equal share of what is left, whichever is smaller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gara/gara.hpp"
+#include "sim/time.hpp"
+
+namespace mgq::adapt {
+
+class BandwidthArbiter {
+ public:
+  explicit BandwidthArbiter(gara::Gara& gara) : gara_(&gara) {}
+
+  /// GARA resource names whose slot tables bound the grantable pool
+  /// (typically every link of the shared path: the enforcing edge plus
+  /// interior accounting links). Unknown names contribute nothing.
+  void setPoolResources(std::vector<std::string> resources) {
+    resources_ = std::move(resources);
+  }
+  const std::vector<std::string>& poolResources() const { return resources_; }
+
+  /// Unreserved capacity at `now`: the minimum over the pool resources of
+  /// (capacity − admitted), i.e. the most any single path reservation
+  /// could still grow by. Zero when no resources are configured.
+  double headroomBps(sim::TimePoint now) const;
+
+  /// Accounting for capacity the controller freed via shrink; feeds the
+  /// qos.adapt.reclaimed gauge so a run shows how much an idle tenant
+  /// returned to the pool.
+  void noteReclaimed(double bps) {
+    if (bps > 0.0) reclaimed_bps_ += bps;
+  }
+  double reclaimedBps() const { return reclaimed_bps_; }
+
+  /// Water-filling max-min fair split of `pool` across `wants`:
+  /// ascending-want order, each index gets min(want, equal share of what
+  /// remains). Non-positive wants get zero. Pure and deterministic — the
+  /// controller's fairness rule, exposed for direct testing.
+  static std::vector<double> maxMinShares(const std::vector<double>& wants,
+                                          double pool);
+
+ private:
+  gara::Gara* gara_;
+  std::vector<std::string> resources_;
+  double reclaimed_bps_ = 0.0;
+};
+
+}  // namespace mgq::adapt

@@ -1,0 +1,63 @@
+#include "adapt/demand.hpp"
+
+namespace mgq::adapt {
+
+const DemandSample& DemandEstimator::sample(double dt_seconds) {
+  if (dt_seconds <= 0.0) return sample_;
+
+  const std::int64_t offered =
+      inputs_.offered_bytes ? inputs_.offered_bytes() : 0;
+  const std::int64_t delivered =
+      inputs_.delivered_bytes ? inputs_.delivered_bytes() : 0;
+  const net::TokenBucket* bucket =
+      inputs_.policer ? inputs_.policer() : nullptr;
+
+  if (!primed_) {
+    // First sample: establish baselines so the first interval measures a
+    // real delta instead of the counters' whole history.
+    primed_ = true;
+    prev_offered_ = offered;
+    prev_delivered_ = delivered;
+    prev_bucket_ = bucket;
+    if (bucket != nullptr) {
+      prev_conformed_ = bucket->stats().conformed;
+      prev_policed_ = bucket->stats().policed;
+    }
+    return sample_;
+  }
+
+  const double offered_rate =
+      static_cast<double>(offered - prev_offered_) * 8.0 / dt_seconds;
+  const double achieved_rate =
+      static_cast<double>(delivered - prev_delivered_) * 8.0 / dt_seconds;
+  prev_offered_ = offered;
+  prev_delivered_ = delivered;
+
+  sample_.offered_bps = ewma(sample_.offered_bps, offered_rate);
+  sample_.achieved_bps = ewma(sample_.achieved_bps, achieved_rate);
+
+  // A modify re-enforces with a fresh bucket: restart the stats baseline
+  // rather than differencing across two bucket lifetimes.
+  if (bucket != prev_bucket_) {
+    prev_bucket_ = bucket;
+    prev_conformed_ = bucket != nullptr ? bucket->stats().conformed : 0;
+    prev_policed_ = bucket != nullptr ? bucket->stats().policed : 0;
+    sample_.policed_ratio = 0.0;
+    return sample_;
+  }
+  if (bucket != nullptr) {
+    const auto& stats = bucket->stats();
+    const std::uint64_t conformed = stats.conformed - prev_conformed_;
+    const std::uint64_t policed = stats.policed - prev_policed_;
+    prev_conformed_ = stats.conformed;
+    prev_policed_ = stats.policed;
+    const std::uint64_t total = conformed + policed;
+    sample_.policed_ratio =
+        total == 0 ? 0.0 : static_cast<double>(policed) / total;
+  } else {
+    sample_.policed_ratio = 0.0;
+  }
+  return sample_;
+}
+
+}  // namespace mgq::adapt

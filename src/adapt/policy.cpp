@@ -1,0 +1,90 @@
+#include "adapt/policy.hpp"
+
+#include <algorithm>
+
+namespace mgq::adapt {
+
+const char* adaptActionName(AdaptAction a) {
+  switch (a) {
+    case AdaptAction::kHold:
+      return "hold";
+    case AdaptAction::kGrow:
+      return "grow";
+    case AdaptAction::kShrink:
+      return "shrink";
+  }
+  return "?";
+}
+
+AdaptationPolicy::Config AdaptationPolicy::sanitize(Config c) {
+  if (c.headroom < 1.0) c.headroom = 1.0;
+  if (c.grow_threshold < 1.0) c.grow_threshold = 1.0;
+  if (c.shrink_threshold > 1.0) c.shrink_threshold = 1.0;
+  if (c.shrink_threshold < 0.0) c.shrink_threshold = 0.0;
+  if (c.grow_multiplier < 1.0) c.grow_multiplier = 1.0;
+  c.shrink_step = std::clamp(c.shrink_step, 1e-3, 1.0);
+  if (c.floor_bps < 0.0) c.floor_bps = 0.0;
+  if (c.ceiling_bps > 0.0 && c.ceiling_bps < c.floor_bps) {
+    c.ceiling_bps = c.floor_bps;
+  }
+  if (c.grow_cooldown_seconds < 0.0) c.grow_cooldown_seconds = 0.0;
+  if (c.shrink_cooldown_seconds < 0.0) c.shrink_cooldown_seconds = 0.0;
+  return c;
+}
+
+double AdaptationPolicy::growCooldown() const {
+  const int backoff = std::min(refusals_, 3);  // 1x..8x
+  return config_.grow_cooldown_seconds * static_cast<double>(1 << backoff);
+}
+
+AdaptDecision AdaptationPolicy::decide(const DemandSample& demand,
+                                       double current_bps,
+                                       double now_seconds) const {
+  AdaptDecision d;
+  d.target_bps = current_bps;
+  if (current_bps <= 0.0) return d;
+
+  const double raw_target = demand.demandBps() * config_.headroom;
+  double target = std::max(raw_target, config_.floor_bps);
+  if (config_.ceiling_bps > 0.0) target = std::min(target, config_.ceiling_bps);
+  d.clamped = target != raw_target;
+
+  if (target > current_bps * config_.grow_threshold) {
+    if (now_seconds - last_grow_ < growCooldown()) {
+      d.reason = "grow-cooldown";
+      return d;
+    }
+    d.action = AdaptAction::kGrow;
+    d.target_bps = std::min(target, current_bps * config_.grow_multiplier);
+    d.reason = "demand above band";
+    return d;
+  }
+  if (target < current_bps * config_.shrink_threshold) {
+    if (now_seconds - last_shrink_ < config_.shrink_cooldown_seconds) {
+      d.reason = "shrink-cooldown";
+      return d;
+    }
+    d.action = AdaptAction::kShrink;
+    d.target_bps =
+        std::max(target, current_bps * (1.0 - config_.shrink_step));
+    d.reason = "demand below band";
+    return d;
+  }
+  d.reason = "within band";
+  return d;
+}
+
+void AdaptationPolicy::notifyApplied(AdaptAction action, double now_seconds) {
+  refusals_ = 0;
+  if (action == AdaptAction::kGrow) last_grow_ = now_seconds;
+  if (action == AdaptAction::kShrink) last_shrink_ = now_seconds;
+}
+
+void AdaptationPolicy::notifyRefused(double now_seconds) {
+  ++refusals_;
+  // A refused grow still starts the (backed-off) cooldown clock, so the
+  // next attempt waits the full extended interval.
+  last_grow_ = now_seconds;
+}
+
+}  // namespace mgq::adapt

@@ -219,4 +219,71 @@ sim::Task<FiniteDifferenceResult> runFiniteDifference(
   co_return result;
 }
 
+// ---------------------------------------------------------------------------
+// Phase-shifting bulk stream
+// ---------------------------------------------------------------------------
+
+double phasedBulkActiveSeconds(const PhasedBulkConfig& config,
+                               double t_seconds) {
+  const double local = t_seconds - config.phase_offset_seconds;
+  if (local <= 0.0) return 0.0;
+  if (config.bulk_seconds <= 0.0) return local;
+  const double period = config.bulk_seconds + config.idle_seconds;
+  if (period <= 0.0) return local;
+  const double full_periods = std::floor(local / period);
+  const double pos = local - full_periods * period;
+  return full_periods * config.bulk_seconds +
+         std::min(pos, config.bulk_seconds);
+}
+
+std::int64_t phasedBulkOfferedBytesAt(const PhasedBulkConfig& config,
+                                      double t_seconds) {
+  return static_cast<std::int64_t>(
+      config.offered_bps / 8.0 * phasedBulkActiveSeconds(config, t_seconds));
+}
+
+sim::Task<> phasedBulkSender(sim::Simulator& sim, gq::ShapedSocket& socket,
+                             PhasedBulkConfig config, sim::TimePoint until,
+                             PhasedBulkStats* stats) {
+  const double interval = config.chunk_interval_seconds > 0.0
+                              ? config.chunk_interval_seconds
+                              : 0.010;
+  const std::int64_t chunk =
+      config.chunk_bytes > 0
+          ? config.chunk_bytes
+          : static_cast<std::int64_t>(config.offered_bps / 8.0 * interval);
+  if (chunk <= 0) co_return;
+
+  const double period = config.bulk_seconds + config.idle_seconds;
+  const double deadline = until.toSeconds();
+  double t = std::max(config.phase_offset_seconds, 0.0);
+  int last_phase = -1;
+  while (t < deadline) {
+    if (config.bulk_seconds > 0.0 && period > 0.0) {
+      const double local = t - config.phase_offset_seconds;
+      const double full_periods = std::floor(local / period);
+      const double pos = local - full_periods * period;
+      if (pos >= config.bulk_seconds) {
+        // Idle phase: jump to the next bulk start.
+        t = config.phase_offset_seconds + (full_periods + 1.0) * period;
+        continue;
+      }
+      const int phase = static_cast<int>(full_periods);
+      if (phase != last_phase) {
+        last_phase = phase;
+        if (stats != nullptr) ++stats->bulk_phases;
+      }
+    } else if (last_phase < 0) {
+      last_phase = 0;
+      if (stats != nullptr) ++stats->bulk_phases;
+    }
+    if (sim.now().toSeconds() < t) {
+      co_await sim.delayUntil(sim::TimePoint::fromSeconds(t));
+    }
+    co_await socket.sendBulk(chunk);
+    if (stats != nullptr) stats->sent_bytes += chunk;
+    t += interval;
+  }
+}
+
 }  // namespace mgq::apps

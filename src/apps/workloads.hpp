@@ -4,12 +4,15 @@
 //    adjustable rate, frame size, and per-frame CPU work;
 //  * a finite-difference halo-exchange kernel (the §3 motivating
 //    example), usable both as an example application and a correctness
-//    test (it computes a real Jacobi iteration).
+//    test (it computes a real Jacobi iteration);
+//  * a phase-shifting bulk stream (bulk → idle → bulk) — the demand
+//    signal the adaptive QoS control plane (src/adapt/) tracks.
 #pragma once
 
 #include <cstdint>
 
 #include "cpu/cpu_scheduler.hpp"
+#include "gq/shaper.hpp"
 #include "mpi/comm.hpp"
 #include "sim/task.hpp"
 
@@ -98,5 +101,51 @@ sim::Task<FiniteDifferenceResult> runFiniteDifference(
 
 /// Single-process reference for the same problem (test oracle).
 double finiteDifferenceReferenceChecksum(int rows, int cols, int iterations);
+
+// --------------------------------------------------------------------------
+// Phase-shifting bulk stream (adaptive QoS workload, DESIGN.md §15)
+// --------------------------------------------------------------------------
+
+/// A bulk TCP stream that alternates bulk and idle phases on a fixed
+/// schedule: bulk for `bulk_seconds`, idle for `idle_seconds`, repeat,
+/// starting at `phase_offset_seconds`. bulk_seconds <= 0 means always
+/// bulk (a steady hungry tenant).
+struct PhasedBulkConfig {
+  double offered_bps = 0.0;
+  /// Bytes per send; 0 derives offered_bps ÷ 8 × chunk_interval.
+  std::int64_t chunk_bytes = 0;
+  double chunk_interval_seconds = 0.010;
+  double bulk_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double phase_offset_seconds = 0.0;
+};
+
+struct PhasedBulkStats {
+  std::int64_t sent_bytes = 0;
+  int bulk_phases = 0;  // bulk phases entered (≥ 1 once sending starts)
+};
+
+/// Seconds of bulk phase elapsed by simulated time `t_seconds` — the
+/// integral of the on/off schedule, independent of whether the sender
+/// kept up.
+double phasedBulkActiveSeconds(const PhasedBulkConfig& config,
+                               double t_seconds);
+
+/// Cumulative bytes the schedule *intended* to have sent by `t_seconds`
+/// (offered_bps over the active phases). The adaptive controller's
+/// demand estimator reads this instead of the sender's sent-byte count,
+/// so a sender blocked by an undersized reservation still shows its true
+/// demand.
+std::int64_t phasedBulkOfferedBytesAt(const PhasedBulkConfig& config,
+                                      double t_seconds);
+
+/// Sends chunks through `socket` on the phase schedule until `until`.
+/// Chunks hold an absolute schedule (like OfferedLoadTcpWorkload's
+/// pace_absolute): a chunk delayed by back-pressure does not push the
+/// following phases later, and idle phases skip straight to the next
+/// bulk start.
+sim::Task<> phasedBulkSender(sim::Simulator& sim, gq::ShapedSocket& socket,
+                             PhasedBulkConfig config, sim::TimePoint until,
+                             PhasedBulkStats* stats);
 
 }  // namespace mgq::apps

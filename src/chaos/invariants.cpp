@@ -335,6 +335,89 @@ void attachStandardInvariants(InvariantMonitor& monitor,
     });
   }
 
+  // Adaptive-controller invariants (DESIGN.md §15), only when a
+  // QosController is armed on this run.
+  if (built.adapt != nullptr && built.adapt->controller != nullptr) {
+    auto* controller = built.adapt->controller.get();
+
+    // No over-admission by the controller: per resource manager, the
+    // controller-managed live reservations must sum within the manager's
+    // slot-table capacity — the arbiter may only re-grant capacity that
+    // admission control actually has. Stricter than slot-conservation:
+    // it catches an arbiter that over-grants even if the slot table's
+    // own accounting were broken in the same direction.
+    monitor.addCheck("adapt-no-over-admission",
+                     [controller]() -> std::string {
+      std::vector<std::pair<const gara::ResourceManager*, double>> sums;
+      for (const auto* path : controller->managedReservations()) {
+        for (const auto& leg : path->handles) {
+          if (leg == nullptr || gara::isTerminal(leg->state())) continue;
+          const auto* manager = &leg->manager();
+          bool found = false;
+          for (auto& entry : sums) {
+            if (entry.first == manager) {
+              entry.second += leg->request().amount;
+              found = true;
+              break;
+            }
+          }
+          if (!found) sums.emplace_back(manager, leg->request().amount);
+        }
+      }
+      for (const auto& entry : sums) {
+        const double capacity = entry.first->slots().capacity();
+        if (entry.second > capacity * (1.0 + 1e-9) + 1e-6) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "controller-managed reservations total %.0f against "
+                        "capacity %.0f",
+                        entry.second, capacity);
+          return buf;
+        }
+      }
+      return {};
+    });
+
+    // Post-modify pacing consistency: after every resize the enforcing
+    // edge leg's token bucket must have been re-derived for the current
+    // amount (depth == depthForRate(amount, divisor), mirroring what the
+    // manager computes on enforce) with its fill level inside ±depth.
+    monitor.addCheck("adapt-bucket-consistent",
+                     [controller]() -> std::string {
+      for (const auto* path : controller->managedReservations()) {
+        if (path->handles.empty()) continue;
+        const auto& edge = path->handles.front();
+        if (edge == nullptr || gara::isTerminal(edge->state())) continue;
+        if (edge->bucket == nullptr) continue;
+        const auto& req = edge->request();
+        const auto want =
+            net::TokenBucket::depthForRate(req.amount, req.bucket_divisor);
+        const auto depth = edge->bucket->depthBytes();
+        char buf[160];
+        if (depth != want) {
+          std::snprintf(buf, sizeof(buf),
+                        "reservation %llu: bucket depth %lld but amount "
+                        "%.0f wants %lld",
+                        static_cast<unsigned long long>(edge->id()),
+                        static_cast<long long>(depth), req.amount,
+                        static_cast<long long>(want));
+          return buf;
+        }
+        const double level = edge->bucket->peekTokens();
+        const double bound = static_cast<double>(depth);
+        if (level < -bound - 1e-6 || level > bound + 1e-6) {
+          std::snprintf(buf, sizeof(buf),
+                        "reservation %llu: post-modify bucket level %.1f "
+                        "outside [-%.0f, %.0f]",
+                        static_cast<unsigned long long>(edge->id()), level,
+                        bound, bound);
+          return buf;
+        }
+      }
+      return {};
+    });
+  }
+
   // QoS request-state legality: event-driven — the agent fires the
   // observer synchronously on every edge, so an illegal transition is
   // caught the moment it happens, not at the next sweep.

@@ -19,6 +19,12 @@
 //   queue-consistency   core bottleneck class queues: byte counter ==
 //                       sum of queued packets, within capacity
 //   monotone-time       the simulated clock never goes backwards
+// and, when the run armed an adaptive QosController (DESIGN.md §15):
+//   adapt-no-over-admission  controller-managed reservations sum within
+//                       each manager's slot-table capacity
+//   adapt-bucket-consistent  the enforcing edge leg's bucket depth matches
+//                       depthForRate(current amount) with its level in
+//                       ±depth — every resize re-paced correctly
 #pragma once
 
 #include <cstdint>

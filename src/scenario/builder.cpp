@@ -107,6 +107,130 @@ Task<> offeredLoadClient(BuiltScenario& b, OfferedLoadTcpWorkload w,
   }
 }
 
+/// One adaptive tenant's sending half: connect, reserve a broker path
+/// sized to the initial reservation, pace through a ShapedSocket, then
+/// run the phase-shifting bulk schedule. Registration with the
+/// controller happens here — after the path exists — so the control
+/// loop's first tick already sees a live reservation.
+Task<> adaptiveTenantClient(BuiltScenario& b,
+                            BuiltScenario::AdaptiveTenantRun& t,
+                            const AdaptationSpec& aspec,
+                            double until_seconds) {
+  auto& rig = b.rig;
+  t.socket = co_await tcp::TcpSocket::connect(*rig.garnet.premium_src,
+                                              rig.garnet.premium_dst->id(),
+                                              t.spec.port,
+                                              rig.world.tcpConfig());
+
+  gara::ReservationRequest request;
+  request.start = rig.sim.now();
+  request.amount = t.spec.reservation_kbps * 1000.0;
+  request.flow.src = rig.garnet.premium_src->id();
+  request.flow.dst = rig.garnet.premium_dst->id();
+  request.flow.dst_port = t.spec.port;
+  request.flow.proto = net::Protocol::kTcp;
+  t.path = b.adapt->broker->requestPath("premium-forward", request);
+  if (!t.path) {
+    MGQ_LOG(kWarn) << "scenario: tenant " << t.spec.name
+                   << " path reservation failed: " << t.path.error;
+  }
+  t.initial_bps = request.amount;
+  t.shaper = std::make_unique<gq::ShapedSocket>(
+      *t.socket, request.amount,
+      net::TokenBucket::depthForRate(request.amount,
+                                     request.bucket_divisor));
+
+  apps::PhasedBulkConfig pc;
+  pc.offered_bps = t.spec.offered_bps;
+  pc.chunk_bytes = t.spec.chunk_bytes;
+  pc.bulk_seconds = t.spec.bulk_seconds;
+  pc.idle_seconds = t.spec.idle_seconds;
+  pc.phase_offset_seconds = t.spec.phase_offset_seconds;
+
+  if (b.adapt->controller != nullptr && t.path) {
+    adapt::QosController::TenantConfig tc;
+    tc.name = t.spec.name;
+    tc.policy.headroom = aspec.headroom;
+    tc.policy.grow_threshold = aspec.grow_threshold;
+    tc.policy.shrink_threshold = aspec.shrink_threshold;
+    tc.policy.grow_multiplier = aspec.grow_multiplier;
+    tc.policy.shrink_step = aspec.shrink_step;
+    tc.policy.floor_bps = t.spec.floor_kbps * 1000.0;
+    tc.policy.ceiling_bps = t.spec.ceiling_kbps * 1000.0;
+    tc.policy.grow_cooldown_seconds = aspec.grow_cooldown_seconds;
+    tc.policy.shrink_cooldown_seconds = aspec.shrink_cooldown_seconds;
+    // Offered demand is the schedule's intent (a pure function of time),
+    // not the sender's progress: a sender throttled by an undersized
+    // reservation still shows the demand the controller should chase.
+    tc.inputs.offered_bytes = [&rig, pc] {
+      return apps::phasedBulkOfferedBytesAt(pc, rig.sim.now().toSeconds());
+    };
+    tc.inputs.delivered_bytes = [&t]() -> std::int64_t {
+      return t.receiver != nullptr ? t.receiver->bytesDelivered() : 0;
+    };
+    tc.inputs.policer = [&t]() -> const net::TokenBucket* {
+      if (t.path.handles.empty()) return nullptr;
+      const auto& edge = t.path.handles.front();
+      if (edge == nullptr || gara::isTerminal(edge->state())) return nullptr;
+      return edge->bucket.get();
+    };
+    tc.shaper = t.shaper.get();
+    t.controller_index = b.adapt->controller->addTenant(tc, &t.path);
+  }
+
+  co_await apps::phasedBulkSender(rig.sim, *t.shaper, pc,
+                                  TimePoint::fromSeconds(until_seconds),
+                                  &t.stats);
+}
+
+void wireAdaptiveTenants(BuiltScenario& b, const ScenarioSpec& spec,
+                         const AdaptiveTenantsWorkload& w) {
+  auto& rig = b.rig;
+  b.adapt = std::make_unique<BuiltScenario::Adaptation>();
+  auto& ad = *b.adapt;
+
+  // Broker path: the enforcing forward edge plus an accounting-only view
+  // of the shared core EF share, so multi-tenant admission accounts for
+  // the interior link the tenants compete on.
+  ad.core_ef = std::make_unique<gara::LinkAccountingManager>(
+      rig.net_forward.slots().capacity());
+  rig.gara.registerManager("core-ef", *ad.core_ef);
+  ad.broker = std::make_unique<gara::BandwidthBroker>(rig.gara);
+  ad.broker->definePath("premium-forward", {"net-forward", "core-ef"});
+  ad.arbiter = std::make_unique<adapt::BandwidthArbiter>(rig.gara);
+  ad.arbiter->setPoolResources({"net-forward", "core-ef"});
+
+  if (spec.adaptation.enabled) {
+    adapt::QosController::Config cc;
+    cc.cadence_seconds = spec.adaptation.cadence_seconds;
+    cc.ewma_alpha = spec.adaptation.ewma_alpha;
+    ad.controller = std::make_unique<adapt::QosController>(
+        rig.sim, *ad.broker, *ad.arbiter, cc);
+    ad.controller->attachObservability(b.metrics.get(), b.trace.get());
+    ad.controller->start();
+  }
+
+  const tcp::TcpConfig cfg = rig.world.tcpConfig();
+  for (const auto& ts : w.tenants) {
+    auto run = std::make_unique<BuiltScenario::AdaptiveTenantRun>();
+    run->spec = ts;
+    run->listener = std::make_unique<tcp::TcpListener>(
+        *rig.garnet.premium_dst, ts.port, cfg);
+    rig.sim.spawn(offeredLoadServer(*run->listener, run->receiver));
+    rig.sim.spawn(
+        adaptiveTenantClient(b, *run, spec.adaptation, w.seconds));
+    ad.tenants.push_back(std::move(run));
+  }
+
+  b.delivered_fn = [&b]() -> std::int64_t {
+    std::int64_t total = 0;
+    for (const auto& t : b.adapt->tenants) {
+      if (t->receiver != nullptr) total += t->receiver->bytesDelivered();
+    }
+    return total;
+  };
+}
+
 void wirePingPong(BuiltScenario& b, const ScenarioSpec& spec,
                   const PingPongWorkload& w) {
   auto inl = inlineReservations(spec);
@@ -430,6 +554,9 @@ std::unique_ptr<BuiltScenario> ScenarioBuilder::build(
           },
           [&](const OfferedLoadTcpWorkload& w) { wireOfferedLoad(*b, w); },
           [&](const PingLatencyWorkload& w) { wirePingLatency(*b, spec, w); },
+          [&](const AdaptiveTenantsWorkload& w) {
+            wireAdaptiveTenants(*b, spec, w);
+          },
       },
       spec.workload);
 

@@ -10,9 +10,12 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/arbiter.hpp"
+#include "adapt/controller.hpp"
 #include "apps/bandwidth_trace.hpp"
 #include "apps/garnet_rig.hpp"
 #include "apps/workloads.hpp"
+#include "gara/bandwidth_broker.hpp"
 #include "cpu/cpu_scheduler.hpp"
 #include "net/buffer.hpp"
 #include "net/faults.hpp"
@@ -92,6 +95,32 @@ struct BuiltScenario {
   };
   ControlPlaneResilience resil;
   bool hasResilience() const { return resil.journal != nullptr; }
+
+  // Adaptive QoS control plane (AdaptiveTenantsWorkload + AdaptationSpec,
+  // DESIGN.md §15). Null for every other workload, so legacy scenarios
+  // build byte-identically.
+  struct AdaptiveTenantRun {
+    TenantSpec spec;
+    std::unique_ptr<tcp::TcpListener> listener;
+    tcp::TcpSocket* receiver = nullptr;
+    std::unique_ptr<tcp::TcpSocket> socket;    // client side, once connected
+    std::unique_ptr<gq::ShapedSocket> shaper;  // paces to the reservation
+    gara::BandwidthBroker::PathReservation path;
+    apps::PhasedBulkStats stats;
+    double initial_bps = 0.0;
+    std::size_t controller_index = 0;
+  };
+  struct Adaptation {
+    /// Accounting-only manager for the shared core EF share; the path is
+    /// enforcing edge ("net-forward") + this interior link ("core-ef").
+    std::unique_ptr<gara::LinkAccountingManager> core_ef;
+    std::unique_ptr<gara::BandwidthBroker> broker;
+    std::unique_ptr<adapt::BandwidthArbiter> arbiter;
+    /// Null when spec.adaptation.enabled is false (static baseline).
+    std::unique_ptr<adapt::QosController> controller;
+    std::vector<std::unique_ptr<AdaptiveTenantRun>> tenants;
+  };
+  std::unique_ptr<Adaptation> adapt;
 
   // Measurement.
   std::function<std::int64_t()> delivered_fn;  // receiver-side byte count

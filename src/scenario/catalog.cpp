@@ -474,6 +474,113 @@ ScenarioSpec partitionHealSpec(const std::string& name) {
   return spec;
 }
 
+ScenarioSpec adaptPhaseShiftSpec(const std::string& name, bool adaptive) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.title = "Adaptive QoS: phase-shifting tenant, bulk 10 s / idle 10 s";
+  spec.paper_ref = "§6 future work: adaptive reservation management "
+                   "(DESIGN.md §15)";
+  AdaptiveTenantsWorkload w;
+  TenantSpec t;
+  t.name = "phased";
+  // Deliberately small initial grant: a quarter of the 20 Mb/s offered
+  // load, so the controller has real work to do in the first bulk phase.
+  t.reservation_kbps = 4'000.0;
+  t.floor_kbps = 2'000.0;
+  t.ceiling_kbps = 40'000.0;
+  t.offered_bps = 20e6;
+  t.bulk_seconds = 10.0;
+  t.idle_seconds = 10.0;
+  w.tenants.push_back(t);
+  w.seconds = 30.0;
+  spec.workload = w;
+  spec.contention.enabled = true;
+  spec.adaptation.enabled = adaptive;
+  if (adaptive) {
+    spec.checks = {
+        {"controller grew the reservation toward demand (>= 2 grows)",
+         [](const ScenarioResult& res) { return res.adapt_grows >= 2; }},
+        {"idle phase reclaimed capacity (>= 2 shrinks)",
+         [](const ScenarioResult& res) { return res.adapt_shrinks >= 2; }},
+        {"first bulk phase converged above 10 Mb/s",
+         [](const ScenarioResult& res) {
+           return res.meanKbps(6.0, 10.0) > 10'000.0;
+         }},
+        {"second bulk phase re-converged above 6 Mb/s",
+         [](const ScenarioResult& res) {
+           return res.meanKbps(26.0, 30.0) > 6'000.0;
+         }},
+        {"reservation tracked demand at the end (>= 10 Mb/s)",
+         [](const ScenarioResult& res) {
+           const auto* t = res.tenant("phased");
+           return t != nullptr && t->final_kbps >= 10'000.0;
+         }},
+    };
+  }
+  return spec;
+}
+
+ScenarioSpec adaptTwoTenantTradeoffSpec(const std::string& name,
+                                        bool adaptive) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.title = "Adaptive QoS: hungry tenant vs. fading tenant arbitration";
+  spec.paper_ref = "§6 future work: cross-tenant bandwidth arbitration "
+                   "(DESIGN.md §15)";
+  AdaptiveTenantsWorkload w;
+  // Initial grants total 36 Mb/s against the 44 Mb/s premium share, so
+  // both admissions succeed but the hungry tenant starts starved.
+  TenantSpec hungry;
+  hungry.name = "hungry";
+  hungry.reservation_kbps = 8'000.0;
+  hungry.floor_kbps = 4'000.0;
+  hungry.ceiling_kbps = 40'000.0;
+  hungry.offered_bps = 30e6;
+  hungry.bulk_seconds = 0.0;  // always bulk: wants 30 Mb/s for the whole run
+  hungry.port = 7100;
+  w.tenants.push_back(hungry);
+  TenantSpec fading;
+  fading.name = "fading";
+  fading.reservation_kbps = 28'000.0;
+  fading.floor_kbps = 2'000.0;
+  fading.ceiling_kbps = 30'000.0;
+  fading.offered_bps = 30e6;
+  fading.bulk_seconds = 8.0;  // bulk for 8 s, then idle for the rest
+  fading.idle_seconds = 1'000.0;
+  fading.port = 7200;
+  w.tenants.push_back(fading);
+  w.seconds = 30.0;
+  spec.workload = w;
+  spec.contention.enabled = true;
+  spec.adaptation.enabled = adaptive;
+  if (adaptive) {
+    spec.checks = {
+        {"hungry tenant goodput lifted well above its 8 Mb/s static grant",
+         [](const ScenarioResult& res) {
+           const auto* t = res.tenant("hungry");
+           return t != nullptr && t->goodput_kbps > 12'000.0;
+         }},
+        {"fading tenant's idle reservation reclaimed (final <= half)",
+         [](const ScenarioResult& res) {
+           const auto* t = res.tenant("fading");
+           return t != nullptr && t->final_kbps > 0 &&
+                  t->final_kbps <= 0.5 * t->initial_kbps;
+         }},
+        {"hungry tenant received re-granted capacity (>= 2 grows)",
+         [](const ScenarioResult& res) {
+           const auto* t = res.tenant("hungry");
+           return t != nullptr && t->grows >= 2;
+         }},
+        {"fading tenant shrank (>= 2 shrinks)",
+         [](const ScenarioResult& res) {
+           const auto* t = res.tenant("fading");
+           return t != nullptr && t->shrinks >= 2;
+         }},
+    };
+  }
+  return spec;
+}
+
 void registerPaperScenarios(ScenarioRegistry& registry) {
   registry.add({"fig1_under", "Figure 1: 50 Mb/s offered, 40 Mb/s reserved",
                 "Figure 1 (§5)",
@@ -576,6 +683,17 @@ void registerPaperScenarios(ScenarioRegistry& registry) {
                 "Partition/heal: premium egress blackholed 8-16 s",
                 "DESIGN.md §14", [] {
                   return partitionHealSpec("partition_heal_reconverge");
+                }});
+  registry.add({"adapt_phase_shift",
+                "Adaptive QoS: phase-shifting tenant resized to demand",
+                "DESIGN.md §15", [] {
+                  return adaptPhaseShiftSpec("adapt_phase_shift");
+                }});
+  registry.add({"adapt_two_tenant_tradeoff",
+                "Adaptive QoS: idle capacity re-granted across tenants",
+                "DESIGN.md §15", [] {
+                  return adaptTwoTenantTradeoffSpec(
+                      "adapt_two_tenant_tradeoff");
                 }});
 }
 

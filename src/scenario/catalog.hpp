@@ -80,4 +80,23 @@ ScenarioSpec partitionHealSpec(const std::string& name);
 /// replays the journal, reconciles, re-issues the intent, and re-grants.
 ScenarioSpec crashRecoverySpec(const std::string& name);
 
+/// Adaptive-QoS scenario (DESIGN.md §15): one tenant offering 20 Mb/s in
+/// bulk(10 s)/idle(10 s)/bulk phases behind a deliberately small 4 Mb/s
+/// initial reservation. With `adaptive` the QosController grows the
+/// reservation toward demand x headroom during bulk phases and reclaims
+/// it during idle; with adaptive=false the reservation stays static (the
+/// baseline the tests compare against).
+ScenarioSpec adaptPhaseShiftSpec(const std::string& name,
+                                 bool adaptive = true);
+
+/// Adaptive-QoS arbitration scenario (DESIGN.md §15): a "hungry" tenant
+/// (8 Mb/s reserved, 30 Mb/s offered throughout) shares the premium core
+/// with a "fading" tenant (28 Mb/s reserved, bulk for 8 s then idle).
+/// With `adaptive` the controller shrinks the fading tenant's idle
+/// reservation and the arbiter re-grants the reclaimed capacity to the
+/// hungry tenant max-min-fairly; with adaptive=false both reservations
+/// stay static.
+ScenarioSpec adaptTwoTenantTradeoffSpec(const std::string& name,
+                                        bool adaptive = true);
+
 }  // namespace mgq::scenario

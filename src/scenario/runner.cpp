@@ -39,6 +39,8 @@ double defaultRunUntilSeconds(const ScenarioSpec& spec) {
           return w.seconds + 120.0;
         } else if constexpr (std::is_same_v<W, OfferedLoadTcpWorkload>) {
           return w.seconds > 0 ? w.seconds : 60.0;
+        } else if constexpr (std::is_same_v<W, AdaptiveTenantsWorkload>) {
+          return w.seconds + 5.0;
         } else {
           return 120.0;
         }
@@ -123,6 +125,43 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
     const auto status = rig.agent.status(*built->comm0);
     result.qos_state = status.state;
     result.recovery_attempts = status.recovery_attempts;
+  }
+  if (built->adapt != nullptr) {
+    std::vector<adapt::QosController::TenantView> views;
+    if (built->adapt->controller != nullptr) {
+      views = built->adapt->controller->tenantViews();
+      result.adapt_ticks = built->adapt->controller->ticks();
+    }
+    for (const auto& run : built->adapt->tenants) {
+      ScenarioResult::TenantOutcome out;
+      out.name = run->spec.name;
+      out.delivered_bytes =
+          run->receiver != nullptr ? run->receiver->bytesDelivered() : 0;
+      if (result.seconds > 0) {
+        out.goodput_kbps = static_cast<double>(out.delivered_bytes) * 8.0 /
+                           result.seconds / 1000.0;
+      }
+      out.initial_kbps = run->initial_bps / 1000.0;
+      bool live = !run->path.handles.empty();
+      for (const auto& leg : run->path.handles) {
+        if (leg == nullptr || gara::isTerminal(leg->state())) live = false;
+      }
+      if (live) {
+        out.final_kbps = run->path.handles.front()->request().amount / 1000.0;
+      }
+      if (run->controller_index < views.size()) {
+        const auto& v = views[run->controller_index];
+        out.grows = v.grows;
+        out.shrinks = v.shrinks;
+        out.refused = v.refused;
+        out.clamped = v.clamped;
+      }
+      result.adapt_grows += out.grows;
+      result.adapt_shrinks += out.shrinks;
+      result.adapt_refused += out.refused;
+      result.adapt_clamped += out.clamped;
+      result.tenants.push_back(std::move(out));
+    }
   }
   if (built->injector != nullptr) result.injector_log = built->injector->logText();
   result.events_executed = rig.sim.eventsExecuted();

@@ -62,6 +62,33 @@ struct ScenarioResult {
   int recovery_attempts = 0;
   std::string injector_log;
 
+  /// Per-tenant outcomes of an AdaptiveTenantsWorkload (empty otherwise).
+  /// grows/shrinks/refused/clamped stay zero in static-baseline runs.
+  struct TenantOutcome {
+    std::string name;
+    std::int64_t delivered_bytes = 0;
+    double goodput_kbps = 0.0;
+    double initial_kbps = 0.0;
+    double final_kbps = 0.0;
+    std::uint64_t grows = 0;
+    std::uint64_t shrinks = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t clamped = 0;
+  };
+  std::vector<TenantOutcome> tenants;
+  const TenantOutcome* tenant(const std::string& name) const {
+    for (const auto& t : tenants) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  }
+  /// Controller totals across tenants (zero without adaptation).
+  std::uint64_t adapt_ticks = 0;
+  std::uint64_t adapt_grows = 0;
+  std::uint64_t adapt_shrinks = 0;
+  std::uint64_t adapt_refused = 0;
+  std::uint64_t adapt_clamped = 0;
+
   /// Simulator::eventsExecuted() at the end of the run. A pure function
   /// of the spec — the golden-determinism guard pins it per scenario to
   /// catch silent event reordering in the kernel.

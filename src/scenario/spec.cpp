@@ -87,9 +87,33 @@ bool applyParam(ScenarioSpec& spec, const std::string& key, double value) {
     return true;
   }
   if (key == "offered_bps") {
-    auto* w = std::get_if<OfferedLoadTcpWorkload>(&spec.workload);
-    if (w == nullptr) return false;
-    w->offered_bps = value;
+    if (auto* w = std::get_if<OfferedLoadTcpWorkload>(&spec.workload)) {
+      w->offered_bps = value;
+      return true;
+    }
+    if (auto* a = std::get_if<AdaptiveTenantsWorkload>(&spec.workload)) {
+      if (a->tenants.empty()) return false;
+      a->tenants.front().offered_bps = value;
+      return true;
+    }
+    return false;
+  }
+  if (key == "adapt_cadence") {
+    spec.adaptation.cadence_seconds = value;
+    return true;
+  }
+  if (key == "adapt_headroom") {
+    spec.adaptation.headroom = value;
+    return true;
+  }
+  if (key == "bulk_seconds" || key == "idle_seconds") {
+    auto* a = std::get_if<AdaptiveTenantsWorkload>(&spec.workload);
+    if (a == nullptr || a->tenants.empty()) return false;
+    if (key == "bulk_seconds") {
+      a->tenants.front().bulk_seconds = value;
+    } else {
+      a->tenants.front().idle_seconds = value;
+    }
     return true;
   }
   if (key == "lease_seconds") {
@@ -119,6 +143,10 @@ bool applyParam(ScenarioSpec& spec, const std::string& key, double value) {
     }
     if (auto* o = std::get_if<OfferedLoadTcpWorkload>(&spec.workload)) {
       o->seconds = value;
+      return true;
+    }
+    if (auto* a = std::get_if<AdaptiveTenantsWorkload>(&spec.workload)) {
+      a->seconds = value;
       return true;
     }
     return false;

@@ -76,8 +76,36 @@ struct PingLatencyWorkload {
   double gap_seconds = 0.050;
 };
 
+/// One adaptive tenant: a shaped raw-TCP bulk stream with its own path
+/// reservation through the bandwidth broker, on a phase-shifting
+/// bulk/idle schedule. Paired with AdaptationSpec the QosController
+/// resizes the reservation at runtime; with adaptation off the same
+/// workload runs as the static baseline.
+struct TenantSpec {
+  std::string name;
+  /// Initial raw wire reservation (kb/s), also the shaper's pace.
+  double reservation_kbps = 4'000.0;
+  /// Policy clamps (kb/s). ceiling 0 = unlimited (admission still caps).
+  double floor_kbps = 0.0;
+  double ceiling_kbps = 0.0;
+  /// Offered schedule: bulk_seconds on / idle_seconds off, repeating
+  /// from phase_offset_seconds. bulk_seconds 0 = always bulk.
+  double offered_bps = 0.0;
+  std::int64_t chunk_bytes = 0;  // 0 = derived from the 10 ms interval
+  double bulk_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double phase_offset_seconds = 0.0;
+  net::PortId port = 7100;
+};
+
+struct AdaptiveTenantsWorkload {
+  std::vector<TenantSpec> tenants;
+  double seconds = 30.0;  // goodput measurement window
+};
+
 using Workload = std::variant<PingPongWorkload, VisualizationWorkload,
-                              OfferedLoadTcpWorkload, PingLatencyWorkload>;
+                              OfferedLoadTcpWorkload, PingLatencyWorkload,
+                              AdaptiveTenantsWorkload>;
 
 // --------------------------------------------------------------------------
 // Premium admission and reservations
@@ -174,6 +202,26 @@ struct AdversarialSpec {
 };
 
 // --------------------------------------------------------------------------
+// Adaptive QoS control plane (src/adapt/, DESIGN.md §15)
+// --------------------------------------------------------------------------
+
+/// Arms the QosController over an AdaptiveTenantsWorkload's path
+/// reservations. Disabled (the default) builds the identical static rig,
+/// and non-adaptive workloads ignore it entirely — golden-catalog safe.
+struct AdaptationSpec {
+  bool enabled = false;
+  double cadence_seconds = 0.5;
+  double headroom = 1.25;
+  double ewma_alpha = 0.4;
+  double grow_threshold = 1.05;
+  double shrink_threshold = 0.70;
+  double grow_multiplier = 1.6;
+  double shrink_step = 0.5;
+  double grow_cooldown_seconds = 1.0;
+  double shrink_cooldown_seconds = 2.0;
+};
+
+// --------------------------------------------------------------------------
 // Control-plane resilience
 // --------------------------------------------------------------------------
 
@@ -243,6 +291,7 @@ struct ScenarioSpec {
   std::vector<CpuHogSpec> cpu_hogs;
   std::vector<FaultSpec> faults;
   AdversarialSpec adversarial;
+  AdaptationSpec adaptation;
   ResilienceSpec resil;
   std::vector<AgentCrashSpec> agent_crashes;  // forces resil wiring on
 
@@ -268,7 +317,9 @@ struct ScenarioSpec {
 /// reservation_kbps, bucket_divisor, message_bytes, frame_bytes, fps,
 /// cpu_seconds_per_frame, offered_bps, flow_rate_bps, contention_bps,
 /// cpu_fraction, lease_seconds, crash_at, restart_after (the last two
-/// retune the first scripted agent crash, creating one when absent).
+/// retune the first scripted agent crash, creating one when absent),
+/// adapt_cadence, adapt_headroom, and — for AdaptiveTenantsWorkload's
+/// first tenant — bulk_seconds and idle_seconds.
 /// message_bytes/frame_bytes also retune the first
 /// reservation's max_message_size (they are coupled in every paper
 /// experiment). Returns false for an unknown key or one that does not

@@ -1,0 +1,89 @@
+// BandwidthArbiter: slot-table headroom over the pool resources and the
+// water-filling max-min fair split of contended capacity.
+#include "adapt/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gara/bandwidth_broker.hpp"
+
+namespace mgq::adapt {
+namespace {
+
+TEST(BandwidthArbiterTest, MaxMinSplitGivesEveryoneTheirWantWhenItFits) {
+  const auto shares = BandwidthArbiter::maxMinShares({10, 10, 10}, 30);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_DOUBLE_EQ(shares[0], 10);
+  EXPECT_DOUBLE_EQ(shares[1], 10);
+  EXPECT_DOUBLE_EQ(shares[2], 10);
+}
+
+TEST(BandwidthArbiterTest, MaxMinSplitWaterFillsContention) {
+  // The small want is satisfied in full; the two big wants split the
+  // remaining 25 equally — the defining max-min property.
+  const auto shares = BandwidthArbiter::maxMinShares({5, 20, 20}, 30);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_DOUBLE_EQ(shares[0], 5);
+  EXPECT_DOUBLE_EQ(shares[1], 12.5);
+  EXPECT_DOUBLE_EQ(shares[2], 12.5);
+}
+
+TEST(BandwidthArbiterTest, MaxMinSplitPreservesInputOrder) {
+  // Shares come back in input order even though the fill walks wants in
+  // ascending order.
+  const auto shares = BandwidthArbiter::maxMinShares({20, 5, 11}, 30);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_DOUBLE_EQ(shares[1], 5);
+  EXPECT_DOUBLE_EQ(shares[2], 11);
+  EXPECT_DOUBLE_EQ(shares[0], 14);  // the leftover after the smaller two
+}
+
+TEST(BandwidthArbiterTest, MaxMinSplitIgnoresNonPositiveWantsAndEmptyPool) {
+  auto shares = BandwidthArbiter::maxMinShares({-3, 0, 10}, 30);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_DOUBLE_EQ(shares[0], 0);
+  EXPECT_DOUBLE_EQ(shares[1], 0);
+  EXPECT_DOUBLE_EQ(shares[2], 10);
+  shares = BandwidthArbiter::maxMinShares({5, 5}, 0);
+  EXPECT_DOUBLE_EQ(shares[0], 0);
+  EXPECT_DOUBLE_EQ(shares[1], 0);
+}
+
+TEST(BandwidthArbiterTest, HeadroomIsTheMinOverPoolResources) {
+  sim::Simulator sim;
+  gara::Gara gara(sim);
+  gara::LinkAccountingManager wide(40e6);
+  gara::LinkAccountingManager narrow(30e6);
+  gara.registerManager("wide", wide);
+  gara.registerManager("narrow", narrow);
+
+  BandwidthArbiter arbiter(gara);
+  arbiter.setPoolResources({"wide", "narrow"});
+  EXPECT_DOUBLE_EQ(arbiter.headroomBps(sim.now()), 30e6);
+
+  gara::ReservationRequest request;
+  request.start = sim.now();
+  request.amount = 10e6;
+  auto outcome = gara.reserve("narrow", request);
+  ASSERT_TRUE(static_cast<bool>(outcome)) << outcome.error;
+  EXPECT_DOUBLE_EQ(arbiter.headroomBps(sim.now()), 20e6);
+
+  // Unknown resources contribute nothing; an empty pool has no headroom.
+  arbiter.setPoolResources({"wide", "no-such-link"});
+  EXPECT_DOUBLE_EQ(arbiter.headroomBps(sim.now()), 40e6);
+  arbiter.setPoolResources({});
+  EXPECT_DOUBLE_EQ(arbiter.headroomBps(sim.now()), 0.0);
+}
+
+TEST(BandwidthArbiterTest, ReclaimedAccountingIgnoresNonPositive) {
+  sim::Simulator sim;
+  gara::Gara gara(sim);
+  BandwidthArbiter arbiter(gara);
+  arbiter.noteReclaimed(5e6);
+  arbiter.noteReclaimed(-1e6);
+  arbiter.noteReclaimed(0.0);
+  arbiter.noteReclaimed(3e6);
+  EXPECT_DOUBLE_EQ(arbiter.reclaimedBps(), 8e6);
+}
+
+}  // namespace
+}  // namespace mgq::adapt

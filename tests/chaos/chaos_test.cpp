@@ -200,6 +200,32 @@ TEST(ChaosSoakTest, AdversarialWireHoldsInvariantsOver200Seeds) {
 
 // --- control-plane resilience ---------------------------------------------
 
+TEST(ChaosSoakTest, AdaptControllerHoldsInvariantsOver200Seeds) {
+  // Controller-active soak: the adaptive two-tenant scenario with the
+  // QosController resizing reservations every 500 ms while aggressive
+  // cancel/modify storms churn the same handles underneath it. Arms the
+  // adapt-no-over-admission and adapt-bucket-consistent invariants on
+  // top of the standard set; the controller must never over-admit a slot
+  // table or leave a bucket mis-paced, no matter what chaos cancels or
+  // resizes between its ticks.
+  ChaosOptions options;
+  options.horizon_seconds = 5.0;
+  options.profile.reservation_cancels_per_100s = 40.0;
+  options.profile.reservation_modifies_per_100s = 40.0;
+  ChaosRunner runner;
+  const auto outcome =
+      runner.runSeeds("adapt_two_tenant_tradeoff", 1, 200, options);
+  EXPECT_TRUE(outcome.ok())
+      << "seed "
+      << (outcome.failure() != nullptr ? outcome.failure()->plan.seed : 0)
+      << " violated invariants:\n"
+      << (outcome.failure() != nullptr ? outcome.failure()->log
+                                       : std::string{});
+  EXPECT_EQ(outcome.reports.size(), 200u);
+  EXPECT_EQ(net::BufferPool::totalLive(), 0)
+      << "adapt controller soak leaked pooled payload buffers";
+}
+
 TEST(ChaosRunnerTest, ManagerRevocationReentersReleaseUnderTheMonitors) {
   // A manager outage mid-run drives FlakyResourceManager::revokeActive,
   // whose reportFailure() re-enters release() for every victim while the

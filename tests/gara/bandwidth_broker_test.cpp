@@ -120,6 +120,81 @@ TEST(BandwidthBrokerTest, PathNamesListed) {
   EXPECT_FALSE(f.broker->hasPath("via-c"));
 }
 
+TEST(BandwidthBrokerTest, MidPathModifyRefusalRestoresEarlierLegs) {
+  // Three-leg path with the bottleneck in the middle: the forward pass
+  // grows edge-a, the narrow middle leg refuses, and the already-grown
+  // earlier leg must be rolled back to its original amount.
+  DomainFixture f;
+  LinkAccountingManager narrow(11e6);
+  f.gara.registerManager("narrow", narrow);
+  f.broker->definePath("pinched", {"edge-a", "narrow", "core"});
+  auto path = f.broker->requestPath("pinched", f.request(10e6));
+  ASSERT_TRUE(path) << path.error;
+
+  EXPECT_FALSE(f.broker->modify(path, 12e6));  // 12 > 11 on the middle leg
+  ASSERT_EQ(path.handles.size(), 3u);
+  for (const auto& leg : path.handles) {
+    EXPECT_EQ(leg->state(), ReservationState::kActive);
+    EXPECT_DOUBLE_EQ(leg->request().amount, 10e6);
+  }
+  EXPECT_DOUBLE_EQ(f.edge_a->slots().usedAt(f.sim.now()), 10e6);
+  EXPECT_DOUBLE_EQ(narrow.slots().usedAt(f.sim.now()), 10e6);
+  EXPECT_DOUBLE_EQ(f.core->slots().usedAt(f.sim.now()), 10e6);
+  // The path is still modifiable afterwards — nothing was failed.
+  EXPECT_TRUE(f.broker->modify(path, 11e6));
+}
+
+/// Accounting manager with a rationable validate budget: once spent,
+/// every validate refuses — including the broker's rollback restore,
+/// which is how the rollback-failure path is reached deterministically.
+class RefusingManager : public ResourceManager {
+ public:
+  explicit RefusingManager(double capacity) : ResourceManager(capacity) {}
+  void allowValidates(int n) { validates_remaining_ = n; }
+
+  std::string type() const override { return "refusing"; }
+  std::string validate(const ReservationRequest& request) const override {
+    if (request.amount <= 0.0) return "reservation needs amount > 0";
+    if (validates_remaining_ == 0) return "validation budget exhausted";
+    if (validates_remaining_ > 0) --validates_remaining_;
+    return {};
+  }
+  void enforce(Reservation&) override {}
+  void release(Reservation&) override {}
+
+ private:
+  mutable int validates_remaining_ = -1;  // -1 = unlimited
+};
+
+TEST(BandwidthBrokerTest, ModifyRollbackFailureFailsTheLegLoudly) {
+  // The documented rollback-failure contract (bandwidth_broker.cpp): if
+  // restoring an already-grown leg fails, that leg no longer verifiably
+  // holds its capacity, so it must be failed with an explicit reason
+  // rather than left silently inconsistent.
+  DomainFixture f;
+  RefusingManager flaky(100e6);
+  LinkAccountingManager bottleneck(11e6);
+  f.gara.registerManager("flaky", flaky);
+  f.gara.registerManager("bottleneck", bottleneck);
+  f.broker->definePath("frail", {"flaky", "bottleneck"});
+  auto path = f.broker->requestPath("frail", f.request(10e6));
+  ASSERT_TRUE(path) << path.error;
+
+  // One validate left: the forward grow of the flaky leg consumes it, the
+  // bottleneck then refuses 12 > 11, and the rollback restore is denied.
+  flaky.allowValidates(1);
+  EXPECT_FALSE(f.broker->modify(path, 12e6));
+
+  ASSERT_EQ(path.handles.size(), 2u);
+  EXPECT_EQ(path.handles[0]->state(), ReservationState::kFailed);
+  EXPECT_EQ(path.handles[0]->failureReason(), "path modify rollback failed");
+  // Failing the leg released its slot: nothing is silently held.
+  EXPECT_DOUBLE_EQ(flaky.slots().usedAt(f.sim.now()), 0.0);
+  // The refusing leg was never grown, so it is untouched and active.
+  EXPECT_EQ(path.handles[1]->state(), ReservationState::kActive);
+  EXPECT_DOUBLE_EQ(path.handles[1]->request().amount, 10e6);
+}
+
 TEST(BandwidthBrokerTest, AdvancePathReservationsShareTimeline) {
   DomainFixture f;
   auto req1 = f.request(30e6);

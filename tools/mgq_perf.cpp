@@ -34,6 +34,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "perf_adapt.hpp"
 #include "perf_dataplane.hpp"
 #include "perf_kernel.hpp"
 #include "util/table.hpp"
@@ -41,8 +42,8 @@
 namespace {
 
 constexpr const char* kMixNames[] = {
-    "schedule_heavy", "cancel_heavy", "wakeup_heavy", "hop_forward",
-    "police_qdisc",   "tcp_bulk",     "mpi_pingpong",
+    "schedule_heavy", "cancel_heavy", "wakeup_heavy",    "hop_forward",
+    "police_qdisc",   "tcp_bulk",     "mpi_pingpong",    "adapt_controller",
 };
 
 int usage(const char* argv0) {
@@ -145,6 +146,8 @@ int main(int argc, char** argv) {
   const std::int64_t bulk_bytes = quick ? 20'000'000 : 200'000'000;
   const int pingpong_rounds = quick ? 2'000 : 10'000;
   const std::int32_t pingpong_bytes = 16'384;
+  const int adapt_tenants = 64;
+  const double adapt_horizon = quick ? 30.0 : 120.0;
 
   // Best-of-N: rerun each mix and keep the fastest trial.
   auto best = [trials](auto&& run) {
@@ -177,6 +180,9 @@ int main(int argc, char** argv) {
   if (selected("mpi_pingpong"))
     mixes.push_back(best(
         [&] { return perf::runMpiPingpong(pingpong_rounds, pingpong_bytes); }));
+  if (selected("adapt_controller"))
+    mixes.push_back(best(
+        [&] { return perf::runAdaptController(adapt_tenants, adapt_horizon); }));
 
   std::vector<perf::WallResult> walls;
   if (!skip_e2e) {
